@@ -1,0 +1,29 @@
+//! # egraph-baselines
+//!
+//! The "wrong ways" to search an evolving graph, implemented as honest
+//! baselines so the paper's correctness arguments become executable
+//! comparisons:
+//!
+//! * [`naive_product`] — path counting by sums of adjacency-matrix products
+//!   (Equation 2) and by identity-padded products; both miscount temporal
+//!   paths (Section III-A);
+//! * [`flat_bfs`] — BFS on the time-flattened union graph, which ignores
+//!   causality and over-approximates reachability;
+//! * [`snapshot_bfs`] — per-snapshot static BFS, which drops causal edges and
+//!   under-approximates reachability.
+//!
+//! The `naive_vs_correct` benchmark and several integration/property tests
+//! are built on these.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod flat_bfs;
+pub mod naive_product;
+pub mod snapshot_bfs;
+
+pub use flat_bfs::{flat_false_positives, flat_reachable_nodes, flatten, temporal_reachable_nodes};
+pub use naive_product::{
+    correct_path_count, disagreement_rate, discrepancy_table, naive_path_count, NaiveScheme,
+};
+pub use snapshot_bfs::{missed_by_snapshot_bfs, snapshot_bfs, snapshot_graph};

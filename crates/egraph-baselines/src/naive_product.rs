@@ -1,0 +1,153 @@
+//! Baseline: naïve adjacency-product path counting (Equation 2).
+//!
+//! This is the "wrong way" the paper's title alludes to: treat the evolving
+//! graph as a bag of per-snapshot adjacency matrices and hope that sums of
+//! their products count temporal paths the way powers of a static adjacency
+//! matrix count static paths. The matrix machinery lives in
+//! `egraph_matrix::naive_sum`; this module wraps it in the same
+//! "count paths between two temporal end points" interface as the correct
+//! counter so tests and benchmarks can swap one for the other and measure
+//! the discrepancy.
+
+use egraph_core::graph::EvolvingGraph;
+use egraph_core::ids::NodeId;
+use egraph_matrix::naive_sum::{identity_padded_product, naive_path_sum};
+
+/// Which naïve construction to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NaiveScheme {
+    /// Equation (2): sums of products `A[t1] ⋯ A[tn]` over increasing chains
+    /// of snapshots.
+    PathSum,
+    /// The identity-padded product `Π_t (A[t] + I)`, which lets nodes wait —
+    /// including inactive ones.
+    IdentityPadded,
+}
+
+/// The naïve "number of temporal paths from `(src, t_first)` to
+/// `(dst, t_last)`" according to `scheme`. Both schemes only answer the
+/// question for the first and last snapshot (that is all Equation 2 is
+/// defined for), which is also all the paper's counter-example needs.
+pub fn naive_path_count<G: EvolvingGraph>(graph: &G, scheme: NaiveScheme, src: NodeId, dst: NodeId) -> f64 {
+    let m = match scheme {
+        NaiveScheme::PathSum => naive_path_sum(graph),
+        NaiveScheme::IdentityPadded => identity_padded_product(graph),
+    };
+    if src.index() >= m.rows() || dst.index() >= m.cols() {
+        return 0.0;
+    }
+    m.get(src.index(), dst.index())
+}
+
+/// The correct count of temporal paths from the first to the last snapshot
+/// between two node identifiers: total over all path lengths, computed from
+/// the block matrix via `egraph_matrix::path_count::total_path_count`.
+pub fn correct_path_count<G: EvolvingGraph>(graph: &G, src: NodeId, dst: NodeId) -> f64 {
+    if graph.num_timestamps() == 0 {
+        return 0.0;
+    }
+    let first = egraph_core::ids::TemporalNode::new(src, egraph_core::ids::TimeIndex(0));
+    let last = egraph_core::ids::TemporalNode::new(
+        dst,
+        egraph_core::ids::TimeIndex::from_index(graph.num_timestamps() - 1),
+    );
+    egraph_matrix::path_count::total_path_count(graph, first, last)
+}
+
+/// For every ordered node pair, the triple
+/// `(naïve count, padded count, correct count)`. Used by the
+/// `naive_vs_correct` benchmark and by tests that quantify how often the
+/// naïve schemes are wrong.
+pub fn discrepancy_table<G: EvolvingGraph>(graph: &G) -> Vec<(NodeId, NodeId, f64, f64, f64)> {
+    let sum = naive_path_sum(graph);
+    let padded = identity_padded_product(graph);
+    let mut out = Vec::new();
+    for s in 0..graph.num_nodes() {
+        for d in 0..graph.num_nodes() {
+            let src = NodeId::from_index(s);
+            let dst = NodeId::from_index(d);
+            let correct = correct_path_count(graph, src, dst);
+            out.push((src, dst, sum.get(s, d), padded.get(s, d), correct));
+        }
+    }
+    out
+}
+
+/// Fraction of ordered node pairs on which a naïve scheme disagrees with the
+/// correct count.
+pub fn disagreement_rate<G: EvolvingGraph>(graph: &G, scheme: NaiveScheme) -> f64 {
+    let table = discrepancy_table(graph);
+    if table.is_empty() {
+        return 0.0;
+    }
+    let wrong = table
+        .iter()
+        .filter(|&&(_, _, s, p, c)| {
+            let naive = match scheme {
+                NaiveScheme::PathSum => s,
+                NaiveScheme::IdentityPadded => p,
+            };
+            (naive - c).abs() > 1e-9
+        })
+        .count();
+    wrong as f64 / table.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph_core::examples::paper_figure1;
+
+    #[test]
+    fn paper_counter_example_shows_the_undercount() {
+        let g = paper_figure1();
+        // Naïve: 1 path from node 1 to node 3 across the full time span;
+        // correct: 2.
+        assert_eq!(
+            naive_path_count(&g, NaiveScheme::PathSum, NodeId(0), NodeId(2)),
+            1.0
+        );
+        assert_eq!(correct_path_count(&g, NodeId(0), NodeId(2)), 2.0);
+    }
+
+    #[test]
+    fn identity_padding_overcounts_through_inactive_nodes() {
+        let g = paper_figure1();
+        // There is no temporal path from (3, t1) to (3, t3) because (3, t1)
+        // is inactive — yet the padded product claims one.
+        assert!(
+            naive_path_count(&g, NaiveScheme::IdentityPadded, NodeId(2), NodeId(2)) >= 1.0
+        );
+        assert_eq!(correct_path_count(&g, NodeId(2), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn both_naive_schemes_disagree_somewhere_on_the_paper_example() {
+        let g = paper_figure1();
+        assert!(disagreement_rate(&g, NaiveScheme::PathSum) > 0.0);
+        assert!(disagreement_rate(&g, NaiveScheme::IdentityPadded) > 0.0);
+    }
+
+    #[test]
+    fn discrepancy_table_covers_every_ordered_pair() {
+        let g = paper_figure1();
+        let table = discrepancy_table(&g);
+        assert_eq!(table.len(), 9);
+        // The (1,3) row of the paper: naive 1, correct 2.
+        let row = table
+            .iter()
+            .find(|&&(s, d, ..)| s == NodeId(0) && d == NodeId(2))
+            .unwrap();
+        assert_eq!(row.2, 1.0);
+        assert_eq!(row.4, 2.0);
+    }
+
+    #[test]
+    fn out_of_range_queries_return_zero() {
+        let g = paper_figure1();
+        assert_eq!(
+            naive_path_count(&g, NaiveScheme::PathSum, NodeId(9), NodeId(0)),
+            0.0
+        );
+    }
+}

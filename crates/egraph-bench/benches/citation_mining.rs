@@ -1,0 +1,63 @@
+//! SEC5 — the citation-network application: influence sets, influencer sets,
+//! communities and the whole-network influence ranking on a synthetic
+//! citation corpus.
+//!
+//! The paper describes this application qualitatively; the benchmark pins
+//! down the cost of each mining primitive so the library's users know what a
+//! per-author query versus a whole-corpus ranking costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egraph_bench::citation_workload;
+use egraph_citation::community::community_of;
+use egraph_citation::influence::{influence_set, influencer_set};
+use egraph_citation::model::CitationNetwork;
+use egraph_citation::rank::{rank_by_influence, top_influencers};
+use egraph_gen::citation::synthetic_citation_corpus;
+
+fn citation_mining(c: &mut Criterion) {
+    let corpus = synthetic_citation_corpus(&citation_workload());
+    let network = CitationNetwork::from_corpus(&corpus);
+
+    // Pick the most-cited author, so the queries do real work.
+    let counts = network.citation_counts();
+    let star = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(a, _)| egraph_core::ids::NodeId(a as u32))
+        .expect("corpus is non-empty");
+    let epoch = network.active_epochs(star)[0];
+
+    let mut group = c.benchmark_group("citation_mining");
+    group.sample_size(10);
+
+    group.bench_function("influence_set_T", |b| {
+        b.iter(|| std::hint::black_box(influence_set(&network, star, epoch).unwrap().len()))
+    });
+
+    group.bench_function("influencer_set_T_inverse", |b| {
+        let late_epoch = *network.active_epochs(star).last().unwrap();
+        b.iter(|| std::hint::black_box(influencer_set(&network, star, late_epoch).unwrap().len()))
+    });
+
+    group.bench_function("community_of_author", |b| {
+        b.iter(|| std::hint::black_box(community_of(&network, star, epoch).unwrap().len()))
+    });
+
+    group.bench_function("rank_all_authors_parallel", |b| {
+        b.iter(|| std::hint::black_box(rank_by_influence(&network).len()))
+    });
+
+    group.bench_function("top_10_influencers", |b| {
+        b.iter(|| std::hint::black_box(top_influencers(&network, 10).len()))
+    });
+
+    group.bench_function("network_construction", |b| {
+        b.iter(|| std::hint::black_box(CitationNetwork::from_corpus(&corpus).num_citations()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, citation_mining);
+criterion_main!(benches);

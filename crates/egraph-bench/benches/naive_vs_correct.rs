@@ -1,0 +1,60 @@
+//! EQ2 — the naïve adjacency-product path sums of Section III-A versus the
+//! correct block-matrix counting.
+//!
+//! Correctness is settled by the tests (the naïve schemes miscount); this
+//! bench adds the cost dimension: the naïve sum enumerates `2^(n-2)` products
+//! of dense matrices and blows up with the number of snapshots, while the
+//! correct block power iteration stays polynomial. The series over the
+//! snapshot count makes that separation visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egraph_baselines::naive_product::{naive_path_count, NaiveScheme};
+use egraph_core::graph::EvolvingGraph;
+use egraph_core::ids::{NodeId, TemporalNode, TimeIndex};
+use egraph_gen::random::figure5_workload;
+use egraph_matrix::path_count::total_path_count;
+
+fn naive_vs_correct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naive_vs_correct");
+    group.sample_size(10);
+
+    for &n_t in &[4usize, 6, 8] {
+        let num_nodes = 40usize;
+        let graph = figure5_workload(num_nodes, n_t, num_nodes * n_t, 0xEC2 + n_t as u64);
+        let src = NodeId(0);
+        let dst = NodeId((num_nodes - 1) as u32);
+        let from = TemporalNode::new(src, TimeIndex(0));
+        let to = TemporalNode::new(dst, TimeIndex::from_index(graph.num_timestamps() - 1));
+
+        group.bench_with_input(BenchmarkId::new("naive_eq2_path_sum", n_t), &n_t, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(naive_path_count(&graph, NaiveScheme::PathSum, src, dst))
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("naive_identity_padded", n_t),
+            &n_t,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(naive_path_count(
+                        &graph,
+                        NaiveScheme::IdentityPadded,
+                        src,
+                        dst,
+                    ))
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("correct_block_matrix", n_t),
+            &n_t,
+            |b, _| b.iter(|| std::hint::black_box(total_path_count(&graph, from, to))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, naive_vs_correct);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Canonical benchmark workloads, shared between the Criterion targets and
+//! the `figures` binary.
+
+use egraph_core::adjacency::AdjacencyListGraph;
+use egraph_core::graph::EvolvingGraph;
+use egraph_core::ids::TemporalNode;
+use egraph_gen::citation::CitationConfig;
+use egraph_gen::random::figure5_workload;
+
+/// The scaled-down Figure 5 sweep.
+///
+/// The paper uses 10⁵ active nodes, 10 time stamps and 1–5 ×10⁸ static edges
+/// on an 80-core, 1 TB machine. The reproduction keeps the *shape* — a fixed
+/// node universe and snapshot count with a growing static edge count whose
+/// relative spacing matches the paper's (≈1, 1.5, 1.8, 2.5, 3.5, 5 ×) — while
+/// scaling the absolute sizes so the sweep finishes in seconds on a laptop.
+/// `scale` multiplies the base edge count; `scale = 1` gives 10⁴ nodes and
+/// 10⁵–5×10⁵ edges.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure5Config {
+    /// Number of nodes in the universe (paper: 10⁵).
+    pub num_nodes: usize,
+    /// Number of snapshots (paper: 10).
+    pub num_timestamps: usize,
+    /// Base static edge count that the relative series multiplies.
+    pub base_edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Figure5Config {
+    fn default() -> Self {
+        Figure5Config {
+            num_nodes: 10_000,
+            num_timestamps: 10,
+            base_edges: 100_000,
+            seed: 0xF165,
+        }
+    }
+}
+
+/// The relative edge-count series of Figure 5 (the paper grows the graph from
+/// ≈1×10⁸ to ≈5×10⁸ edges through these steps).
+pub const FIGURE5_RELATIVE_STEPS: [f64; 6] = [1.0, 1.5, 1.8, 2.5, 3.5, 5.0];
+
+/// Materialises the Figure 5 sweep: one graph per step, each with the step's
+/// edge count, plus the BFS root used for timing (an active node with the
+/// earliest possible time stamp, as the paper assumes WLOG).
+pub fn figure5_sweep(config: &Figure5Config) -> Vec<(usize, AdjacencyListGraph, TemporalNode)> {
+    FIGURE5_RELATIVE_STEPS
+        .iter()
+        .map(|&step| {
+            let edges = (config.base_edges as f64 * step) as usize;
+            let g = figure5_workload(config.num_nodes, config.num_timestamps, edges, config.seed);
+            let root = first_active_node(&g);
+            (edges, g, root)
+        })
+        .collect()
+}
+
+/// The first active temporal node of a graph (panics if the graph has no
+/// edges — benchmark workloads always do).
+pub fn first_active_node(graph: &AdjacencyListGraph) -> TemporalNode {
+    graph
+        .active_nodes()
+        .into_iter()
+        .next()
+        .expect("benchmark workloads contain at least one edge")
+}
+
+/// Workload for the ABL-A (Algorithm 1 vs Algorithm 2) ablation: small enough
+/// that the dense engine is feasible, dense enough that the sparse engines
+/// have work to do.
+pub fn alg_comparison_workload(num_nodes: usize, seed: u64) -> (AdjacencyListGraph, TemporalNode) {
+    let g = figure5_workload(num_nodes, 8, num_nodes * 8, seed);
+    let root = first_active_node(&g);
+    (g, root)
+}
+
+/// Workload for the ABL-B (serial vs parallel BFS) ablation: a large, shallow
+/// graph so frontiers are wide enough to parallelise.
+pub fn parallel_bfs_workload(scale: usize, seed: u64) -> (AdjacencyListGraph, TemporalNode) {
+    let num_nodes = 20_000 * scale;
+    let g = figure5_workload(num_nodes, 6, num_nodes * 10, seed);
+    let root = first_active_node(&g);
+    (g, root)
+}
+
+/// The synthetic citation corpus used by the SEC5 benchmark and example.
+pub fn citation_workload() -> CitationConfig {
+    CitationConfig {
+        num_authors: 2_000,
+        num_epochs: 30,
+        papers_per_epoch: 100,
+        citations_per_paper: 5,
+        preferential_bias: 1.0,
+        seed: 0x5EC5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_sweep_grows_monotonically() {
+        let cfg = Figure5Config {
+            num_nodes: 500,
+            num_timestamps: 5,
+            base_edges: 2_000,
+            seed: 1,
+        };
+        let sweep = figure5_sweep(&cfg);
+        assert_eq!(sweep.len(), FIGURE5_RELATIVE_STEPS.len());
+        for w in sweep.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for (edges, g, root) in &sweep {
+            assert_eq!(g.num_static_edges(), *edges);
+            assert!(g.is_active(root.node, root.time));
+        }
+    }
+
+    #[test]
+    fn ablation_workloads_have_active_roots() {
+        let (g, root) = alg_comparison_workload(200, 3);
+        assert!(g.is_active(root.node, root.time));
+        let (g, root) = parallel_bfs_workload(1, 4);
+        assert!(g.is_active(root.node, root.time));
+    }
+}

@@ -1,0 +1,233 @@
+//! Forward and backward influence sets (Section V).
+//!
+//! Given an author `a` publishing at epoch `t`:
+//!
+//! * `T(a, t)` — the authors influenced by `a`'s work at `t` — is the set of
+//!   distinct authors reached by the forward evolving-graph BFS from
+//!   `(a, t)` over influence edges;
+//! * `T⁻¹(a, t)` — the authors who influenced `a` at `t` — is the set reached
+//!   by the backward BFS.
+//!
+//! Both come in a plain variant (just the author set) and a detailed variant
+//! exposing the underlying [`DistanceMap`] for callers that need distances,
+//! shortest influence chains or reach times.
+
+use egraph_core::bfs::{backward_bfs, backward_bfs_with_parents, bfs, bfs_with_parents};
+use egraph_core::distance::DistanceMap;
+use egraph_core::error::{GraphError, Result};
+use egraph_core::ids::TemporalNode;
+
+use crate::model::{AuthorId, CitationNetwork, Epoch};
+
+/// The influence set `T(a, t)`: distinct authors reached forward in time from
+/// `(a, t)`, excluding `a` itself.
+///
+/// # Errors
+/// Returns [`GraphError::UnknownTimestamp`] if no citation happened at
+/// `epoch`, and [`GraphError::InactiveRoot`] if the author did not
+/// participate in any citation at that epoch.
+pub fn influence_set(
+    network: &CitationNetwork,
+    author: AuthorId,
+    epoch: Epoch,
+) -> Result<Vec<AuthorId>> {
+    let map = influence_map(network, author, epoch)?;
+    Ok(strip_root(map.reached_node_ids(), author))
+}
+
+/// The influencer set `T⁻¹(a, t)`: distinct authors from which `(a, t)` is
+/// reachable, excluding `a` itself.
+pub fn influencer_set(
+    network: &CitationNetwork,
+    author: AuthorId,
+    epoch: Epoch,
+) -> Result<Vec<AuthorId>> {
+    let map = influencer_map(network, author, epoch)?;
+    Ok(strip_root(map.reached_node_ids(), author))
+}
+
+/// The full forward distance map behind `T(a, t)`.
+pub fn influence_map(
+    network: &CitationNetwork,
+    author: AuthorId,
+    epoch: Epoch,
+) -> Result<DistanceMap> {
+    let root = root_of(network, author, epoch)?;
+    bfs(network.graph(), root)
+}
+
+/// The full backward distance map behind `T⁻¹(a, t)`.
+pub fn influencer_map(
+    network: &CitationNetwork,
+    author: AuthorId,
+    epoch: Epoch,
+) -> Result<DistanceMap> {
+    let root = root_of(network, author, epoch)?;
+    backward_bfs(network.graph(), root)
+}
+
+/// Forward map with BFS-tree parents (used to exhibit explicit influence
+/// chains).
+pub fn influence_map_with_parents(
+    network: &CitationNetwork,
+    author: AuthorId,
+    epoch: Epoch,
+) -> Result<DistanceMap> {
+    let root = root_of(network, author, epoch)?;
+    bfs_with_parents(network.graph(), root)
+}
+
+/// Backward map with BFS-tree parents (used by the community extraction to
+/// find the leaves of the influencer tree).
+pub fn influencer_map_with_parents(
+    network: &CitationNetwork,
+    author: AuthorId,
+    epoch: Epoch,
+) -> Result<DistanceMap> {
+    let root = root_of(network, author, epoch)?;
+    backward_bfs_with_parents(network.graph(), root)
+}
+
+/// An explicit shortest influence chain from `(author, epoch)` to `target`,
+/// as a sequence of `(author, epoch)` pairs, if `target` was influenced.
+pub fn influence_chain(
+    network: &CitationNetwork,
+    author: AuthorId,
+    epoch: Epoch,
+    target: AuthorId,
+) -> Result<Option<Vec<(AuthorId, Epoch)>>> {
+    let map = influence_map_with_parents(network, author, epoch)?;
+    // Find the earliest-reached occurrence of the target author.
+    let Some((_, t)) = map
+        .earliest_reach_times()
+        .into_iter()
+        .find(|&(v, _)| v == target)
+    else {
+        return Ok(None);
+    };
+    let path = map.path_to(TemporalNode::new(target, t));
+    Ok(path.map(|p| {
+        p.into_iter()
+            .map(|tn| (tn.node, network.epoch_label(tn.time)))
+            .collect()
+    }))
+}
+
+/// The size of `T(a, t)` for every epoch at which `a` is active — a profile
+/// of how the author's influence changes depending on when the work is
+/// published.
+pub fn influence_profile(network: &CitationNetwork, author: AuthorId) -> Vec<(Epoch, usize)> {
+    network
+        .active_epochs(author)
+        .into_iter()
+        .map(|epoch| {
+            let size = influence_set(network, author, epoch)
+                .map(|s| s.len())
+                .unwrap_or(0);
+            (epoch, size)
+        })
+        .collect()
+}
+
+fn root_of(network: &CitationNetwork, author: AuthorId, epoch: Epoch) -> Result<TemporalNode> {
+    let root = network
+        .temporal_node(author, epoch)
+        .ok_or(GraphError::UnknownTimestamp { timestamp: epoch })?;
+    Ok(root)
+}
+
+fn strip_root(mut authors: Vec<AuthorId>, root: AuthorId) -> Vec<AuthorId> {
+    authors.retain(|&a| a != root);
+    authors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CitationNetwork, CitationRecord};
+    use egraph_core::ids::NodeId;
+
+    /// epoch 0: 1 cites 0; epoch 1: 2 cites 1; epoch 2: 3 cites 2, 3 cites 0.
+    fn toy_network() -> CitationNetwork {
+        CitationNetwork::from_records([
+            CitationRecord {
+                citing: NodeId(1),
+                cited: NodeId(0),
+                epoch: 0,
+            },
+            CitationRecord {
+                citing: NodeId(2),
+                cited: NodeId(1),
+                epoch: 1,
+            },
+            CitationRecord {
+                citing: NodeId(3),
+                cited: NodeId(2),
+                epoch: 2,
+            },
+            CitationRecord {
+                citing: NodeId(3),
+                cited: NodeId(0),
+                epoch: 2,
+            },
+        ])
+    }
+
+    #[test]
+    fn author_0_influences_the_whole_chain_from_epoch_0() {
+        let net = toy_network();
+        let mut influenced = influence_set(&net, NodeId(0), 0).unwrap();
+        influenced.sort();
+        // 1 cites 0 directly; 2 cites 1 later; 3 cites 2 later still.
+        assert_eq!(influenced, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn influence_depends_on_the_publication_epoch() {
+        let net = toy_network();
+        // At epoch 2, author 0's only remaining influence is author 3's
+        // direct citation — the earlier chain can no longer be entered.
+        let influenced = influence_set(&net, NodeId(0), 2).unwrap();
+        assert_eq!(influenced, vec![NodeId(3)]);
+        let profile = influence_profile(&net, NodeId(0));
+        assert_eq!(profile, vec![(0, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn influencers_are_the_backward_closure() {
+        let net = toy_network();
+        let mut influencers = influencer_set(&net, NodeId(3), 2).unwrap();
+        influencers.sort();
+        assert_eq!(influencers, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        // Author 1 at epoch 0 is influenced only by the author it cites.
+        assert_eq!(influencer_set(&net, NodeId(1), 0).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn inactive_queries_are_rejected() {
+        let net = toy_network();
+        assert!(matches!(
+            influence_set(&net, NodeId(3), 0).unwrap_err(),
+            GraphError::InactiveRoot { .. }
+        ));
+        assert!(matches!(
+            influence_set(&net, NodeId(0), 99).unwrap_err(),
+            GraphError::UnknownTimestamp { .. }
+        ));
+    }
+
+    #[test]
+    fn influence_chain_reconstructs_the_citation_cascade() {
+        let net = toy_network();
+        let chain = influence_chain(&net, NodeId(0), 0, NodeId(3)).unwrap().unwrap();
+        // 0 at epoch 0 → 1 at epoch 0 (cited) → … → 3 at epoch 2.
+        assert_eq!(chain.first().unwrap().0, NodeId(0));
+        assert_eq!(chain.last().unwrap().0, NodeId(3));
+        // Epochs never decrease along the chain.
+        for w in chain.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // A target that was never influenced yields None.
+        assert_eq!(influence_chain(&net, NodeId(2), 2, NodeId(1)).unwrap(), None);
+    }
+}

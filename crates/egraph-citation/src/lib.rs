@@ -1,0 +1,62 @@
+//! # egraph-citation
+//!
+//! Citation-network mining with the evolving-graph BFS — the Section V
+//! application of *"The Right Way to Search Evolving Graphs"* (Chen & Zhang,
+//! IPPS 2016).
+//!
+//! The crate models authors citing each other over publication epochs,
+//! stores the network as an evolving graph of *influence edges*
+//! (cited → citing), and exposes the analyses the paper describes:
+//!
+//! * [`influence::influence_set`] — `T(a, t)`, the authors influenced by
+//!   `a`'s work at epoch `t` (forward temporal BFS);
+//! * [`influence::influencer_set`] — `T⁻¹(a, t)`, the authors who influenced
+//!   `a` (backward temporal BFS);
+//! * [`community::community_of`] — the paper's community procedure: find the
+//!   leaves of the backward influence tree and union their forward cones;
+//! * [`rank::rank_by_influence`] — whole-network influence ranking,
+//!   parallelised over authors with rayon.
+//!
+//! ## Example
+//!
+//! ```
+//! use egraph_citation::prelude::*;
+//! use egraph_core::ids::NodeId;
+//!
+//! // Author 1 cites author 0 in epoch 2000; author 2 cites author 1 in 2001.
+//! let net = CitationNetwork::from_records([
+//!     CitationRecord { citing: NodeId(1), cited: NodeId(0), epoch: 2000 },
+//!     CitationRecord { citing: NodeId(2), cited: NodeId(1), epoch: 2001 },
+//! ]);
+//! let influenced = influence_set(&net, NodeId(0), 2000).unwrap();
+//! assert_eq!(influenced, vec![NodeId(1), NodeId(2)]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod community;
+pub mod influence;
+pub mod model;
+pub mod rank;
+
+pub use community::{communities_at_epoch, community_of, influence_leaves};
+pub use influence::{
+    influence_chain, influence_map, influence_profile, influence_set, influencer_map,
+    influencer_set,
+};
+pub use model::{AuthorId, CitationNetwork, CitationRecord, Epoch};
+pub use rank::{batch_influence_sizes, rank_by_influence, top_influencers, InfluenceScore};
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::community::{communities_at_epoch, community_of, influence_leaves};
+    pub use crate::influence::{
+        influence_chain, influence_map, influence_profile, influence_set, influencer_map,
+        influencer_set,
+    };
+    pub use crate::model::{AuthorId, CitationNetwork, CitationRecord, Epoch};
+    pub use crate::rank::{
+        batch_influence_sizes, rank_by_influence, top_influencers, InfluenceScore,
+    };
+}

@@ -1,0 +1,353 @@
+//! [`DistanceMap`]: the result of a breadth-first traversal.
+//!
+//! Algorithm 1 returns `reached`, a dictionary from temporal nodes to their
+//! distances from the root. Because this crate uses dense node and snapshot
+//! indices, the dictionary is stored as a flat array indexed by
+//! `time * num_nodes + node`, with `u32::MAX` marking unreached temporal
+//! nodes. An optional parallel array of parent pointers lets callers recover
+//! an explicit shortest temporal path (the BFS tree of Section II-C).
+
+use crate::ids::{NodeId, TemporalNode, TimeIndex};
+
+/// Sentinel distance for unreached temporal nodes.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Sentinel parent for the root / unreached nodes.
+const NO_PARENT: u64 = u64::MAX;
+
+/// Distances (and optionally BFS-tree parents) from a single root temporal
+/// node, as produced by [`crate::bfs::bfs`] and friends.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DistanceMap {
+    num_nodes: usize,
+    num_timestamps: usize,
+    root: TemporalNode,
+    dist: Vec<u32>,
+    parent: Option<Vec<u64>>,
+    reached_count: usize,
+    max_distance: u32,
+}
+
+impl DistanceMap {
+    /// Creates a map with every temporal node unreached except the root
+    /// (distance 0).
+    pub(crate) fn new(
+        num_nodes: usize,
+        num_timestamps: usize,
+        root: TemporalNode,
+        with_parents: bool,
+    ) -> Self {
+        let size = num_nodes * num_timestamps;
+        let mut dist = vec![UNREACHED; size];
+        let mut parent = if with_parents {
+            Some(vec![NO_PARENT; size])
+        } else {
+            None
+        };
+        let root_idx = root.flat_index(num_nodes);
+        dist[root_idx] = 0;
+        if let Some(p) = parent.as_mut() {
+            p[root_idx] = NO_PARENT;
+        }
+        DistanceMap {
+            num_nodes,
+            num_timestamps,
+            root,
+            dist,
+            parent,
+            reached_count: 1,
+            max_distance: 0,
+        }
+    }
+
+    #[inline]
+    fn flat(&self, tn: TemporalNode) -> usize {
+        tn.flat_index(self.num_nodes)
+    }
+
+    /// Marks `tn` reached at distance `d` with BFS-tree parent `from`.
+    /// Returns `false` if it was already reached.
+    #[inline]
+    pub(crate) fn try_reach(&mut self, tn: TemporalNode, d: u32, from: TemporalNode) -> bool {
+        let idx = self.flat(tn);
+        if self.dist[idx] != UNREACHED {
+            return false;
+        }
+        self.dist[idx] = d;
+        if let Some(p) = self.parent.as_mut() {
+            p[idx] = from.flat_index(self.num_nodes) as u64;
+        }
+        self.reached_count += 1;
+        self.max_distance = self.max_distance.max(d);
+        true
+    }
+
+    /// Direct access used by the parallel BFS, which computes visited flags
+    /// with atomics and writes the distances afterwards.
+    #[inline]
+    pub(crate) fn set_distance_unchecked(&mut self, tn: TemporalNode, d: u32) {
+        let idx = self.flat(tn);
+        if self.dist[idx] == UNREACHED {
+            self.reached_count += 1;
+        }
+        self.dist[idx] = d;
+        self.max_distance = self.max_distance.max(d);
+    }
+
+    /// Builds a distance map from an explicit list of `(temporal node,
+    /// distance)` pairs. The root must be included with distance 0 (it is
+    /// added if missing). Intended for alternative BFS engines — notably the
+    /// algebraic formulation of Algorithm 2 in `egraph-matrix` — so their
+    /// results can be compared against Algorithm 1 with ordinary equality.
+    pub fn from_reached(
+        num_nodes: usize,
+        num_timestamps: usize,
+        root: TemporalNode,
+        reached: &[(TemporalNode, u32)],
+    ) -> Self {
+        let mut map = DistanceMap::new(num_nodes, num_timestamps, root, false);
+        for &(tn, d) in reached {
+            if tn == root {
+                continue;
+            }
+            map.set_distance_unchecked(tn, d);
+        }
+        map
+    }
+
+    /// The root temporal node from which the traversal started.
+    pub fn root(&self) -> TemporalNode {
+        self.root
+    }
+
+    /// Size of the node universe of the traversed graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of snapshots of the traversed graph.
+    pub fn num_timestamps(&self) -> usize {
+        self.num_timestamps
+    }
+
+    /// Distance from the root to `tn`, or `None` if `tn` was not reached.
+    #[inline]
+    pub fn distance(&self, tn: TemporalNode) -> Option<u32> {
+        let d = self.dist[self.flat(tn)];
+        if d == UNREACHED {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Whether `tn` is reachable from the root (Definition 7).
+    #[inline]
+    pub fn is_reached(&self, tn: TemporalNode) -> bool {
+        self.dist[self.flat(tn)] != UNREACHED
+    }
+
+    /// Number of reached temporal nodes, including the root.
+    pub fn num_reached(&self) -> usize {
+        self.reached_count
+    }
+
+    /// The largest finite distance in the map (the BFS depth).
+    pub fn max_distance(&self) -> u32 {
+        self.max_distance
+    }
+
+    /// All reached temporal nodes with their distances, in flat-index order.
+    pub fn reached(&self) -> Vec<(TemporalNode, u32)> {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != UNREACHED)
+            .map(|(i, &d)| (TemporalNode::from_flat_index(i, self.num_nodes), d))
+            .collect()
+    }
+
+    /// The reached temporal nodes at exactly distance `k` (one BFS layer).
+    pub fn layer(&self, k: u32) -> Vec<TemporalNode> {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == k)
+            .map(|(i, _)| TemporalNode::from_flat_index(i, self.num_nodes))
+            .collect()
+    }
+
+    /// The distinct *node* identifiers reached at any time — the influence
+    /// set `T(a, t)` of Section V is exactly this set for a citation graph.
+    pub fn reached_node_ids(&self) -> Vec<NodeId> {
+        let mut seen = vec![false; self.num_nodes];
+        for (i, &d) in self.dist.iter().enumerate() {
+            if d != UNREACHED {
+                seen[i % self.num_nodes] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(v, _)| NodeId::from_index(v))
+            .collect()
+    }
+
+    /// The earliest snapshot at which each reached node is reached, keyed by
+    /// node. Unreached nodes are absent.
+    pub fn earliest_reach_times(&self) -> Vec<(NodeId, TimeIndex)> {
+        let mut earliest: Vec<Option<TimeIndex>> = vec![None; self.num_nodes];
+        for (i, &d) in self.dist.iter().enumerate() {
+            if d == UNREACHED {
+                continue;
+            }
+            let tn = TemporalNode::from_flat_index(i, self.num_nodes);
+            let slot = &mut earliest[tn.node.index()];
+            if slot.map(|t| tn.time < t).unwrap_or(true) {
+                *slot = Some(tn.time);
+            }
+        }
+        earliest
+            .iter()
+            .enumerate()
+            .filter_map(|(v, t)| t.map(|t| (NodeId::from_index(v), t)))
+            .collect()
+    }
+
+    /// BFS-tree parent of `tn`, if parents were recorded and `tn` is reached
+    /// and is not the root.
+    pub fn parent(&self, tn: TemporalNode) -> Option<TemporalNode> {
+        let parents = self.parent.as_ref()?;
+        if !self.is_reached(tn) || tn == self.root {
+            return None;
+        }
+        let p = parents[self.flat(tn)];
+        if p == NO_PARENT {
+            None
+        } else {
+            Some(TemporalNode::from_flat_index(p as usize, self.num_nodes))
+        }
+    }
+
+    /// Reconstructs a shortest temporal path from the root to `tn` (inclusive
+    /// of both end points) using the recorded parents. Returns `None` if `tn`
+    /// is unreached or parents were not recorded.
+    pub fn path_to(&self, tn: TemporalNode) -> Option<Vec<TemporalNode>> {
+        self.parent.as_ref()?;
+        if !self.is_reached(tn) {
+            return None;
+        }
+        let mut path = vec![tn];
+        let mut cur = tn;
+        while cur != self.root {
+            cur = self.parent(cur)?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Histogram of distances: `hist[k]` = number of temporal nodes at
+    /// distance `k`. Index 0 counts the root.
+    pub fn distance_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_distance as usize + 1];
+        for &d in &self.dist {
+            if d != UNREACHED {
+                hist[d as usize] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Raw flat distance slice (time-major), mainly for the matrix crate's
+    /// equivalence tests.
+    pub fn as_flat_slice(&self) -> &[u32] {
+        &self.dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_map() -> DistanceMap {
+        // 3 nodes, 2 timestamps.
+        let root = TemporalNode::from_raw(0, 0);
+        let mut m = DistanceMap::new(3, 2, root, true);
+        assert!(m.try_reach(TemporalNode::from_raw(1, 0), 1, root));
+        assert!(m.try_reach(TemporalNode::from_raw(1, 1), 2, TemporalNode::from_raw(1, 0)));
+        m
+    }
+
+    #[test]
+    fn root_has_distance_zero() {
+        let m = toy_map();
+        assert_eq!(m.distance(TemporalNode::from_raw(0, 0)), Some(0));
+        assert_eq!(m.root(), TemporalNode::from_raw(0, 0));
+    }
+
+    #[test]
+    fn try_reach_rejects_duplicates() {
+        let mut m = toy_map();
+        assert!(!m.try_reach(
+            TemporalNode::from_raw(1, 0),
+            7,
+            TemporalNode::from_raw(0, 0)
+        ));
+        assert_eq!(m.distance(TemporalNode::from_raw(1, 0)), Some(1));
+    }
+
+    #[test]
+    fn counters_track_reached_nodes_and_depth() {
+        let m = toy_map();
+        assert_eq!(m.num_reached(), 3);
+        assert_eq!(m.max_distance(), 2);
+        assert_eq!(m.distance_histogram(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn layers_partition_reached_nodes() {
+        let m = toy_map();
+        assert_eq!(m.layer(0), vec![TemporalNode::from_raw(0, 0)]);
+        assert_eq!(m.layer(1), vec![TemporalNode::from_raw(1, 0)]);
+        assert_eq!(m.layer(2), vec![TemporalNode::from_raw(1, 1)]);
+        assert!(m.layer(3).is_empty());
+    }
+
+    #[test]
+    fn reached_node_ids_deduplicate_across_time() {
+        let m = toy_map();
+        assert_eq!(m.reached_node_ids(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn earliest_reach_times_pick_minimum_snapshot() {
+        let m = toy_map();
+        let times = m.earliest_reach_times();
+        assert!(times.contains(&(NodeId(1), TimeIndex(0))));
+        assert!(times.contains(&(NodeId(0), TimeIndex(0))));
+        assert_eq!(times.len(), 2);
+    }
+
+    #[test]
+    fn path_reconstruction_follows_parents() {
+        let m = toy_map();
+        let path = m.path_to(TemporalNode::from_raw(1, 1)).unwrap();
+        assert_eq!(
+            path,
+            vec![
+                TemporalNode::from_raw(0, 0),
+                TemporalNode::from_raw(1, 0),
+                TemporalNode::from_raw(1, 1),
+            ]
+        );
+        assert_eq!(m.path_to(TemporalNode::from_raw(2, 1)), None);
+    }
+
+    #[test]
+    fn parent_of_root_is_none() {
+        let m = toy_map();
+        assert_eq!(m.parent(TemporalNode::from_raw(0, 0)), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error types shared across the evolving-graph crates.
+
+use crate::ids::{NodeId, TemporalNode, TimeIndex, Timestamp};
+use core::fmt;
+
+/// Errors produced while constructing or querying evolving graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node identifier lies outside the node universe `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The size of the node universe.
+        num_nodes: usize,
+    },
+    /// A snapshot index lies outside `0..num_timestamps`.
+    TimeOutOfRange {
+        /// The offending snapshot index.
+        time: TimeIndex,
+        /// The number of snapshots.
+        num_timestamps: usize,
+    },
+    /// A timestamp label was not found in the snapshot sequence.
+    UnknownTimestamp {
+        /// The label that was looked up.
+        timestamp: Timestamp,
+    },
+    /// Timestamp labels handed to a constructor were not strictly increasing.
+    UnsortedTimestamps {
+        /// Position at which the ordering was violated.
+        position: usize,
+    },
+    /// A self-loop `(v, v)` was inserted; the paper's activeness notion
+    /// (Definition 3) requires an edge to a *different* node, so self-loops
+    /// are rejected rather than silently ignored.
+    SelfLoop {
+        /// The node carrying the rejected self-loop.
+        node: NodeId,
+        /// The snapshot at which insertion was attempted.
+        time: TimeIndex,
+    },
+    /// A traversal was rooted at an inactive temporal node. Definition 4
+    /// forces every temporal path from an inactive end point to be empty, so
+    /// the search result would be trivially empty; surfacing this as an error
+    /// catches a common caller mistake.
+    InactiveRoot {
+        /// The rejected root.
+        root: TemporalNode,
+    },
+    /// The operation requires at least one snapshot.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (num_nodes = {num_nodes})")
+            }
+            GraphError::TimeOutOfRange {
+                time,
+                num_timestamps,
+            } => write!(
+                f,
+                "snapshot index {time} out of range (num_timestamps = {num_timestamps})"
+            ),
+            GraphError::UnknownTimestamp { timestamp } => {
+                write!(f, "timestamp label {timestamp} not present in the graph")
+            }
+            GraphError::UnsortedTimestamps { position } => write!(
+                f,
+                "timestamp labels must be strictly increasing (violated at position {position})"
+            ),
+            GraphError::SelfLoop { node, time } => {
+                write!(f, "self-loop on node {node} at snapshot {time} rejected")
+            }
+            GraphError::InactiveRoot { root } => {
+                write!(f, "BFS root {root:?} is not an active temporal node")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty evolving graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId(9),
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+
+        let e = GraphError::SelfLoop {
+            node: NodeId(2),
+            time: TimeIndex(1),
+        };
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = GraphError::InactiveRoot {
+            root: TemporalNode::from_raw(1, 0),
+        };
+        assert!(e.to_string().contains("not an active"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<GraphError>();
+    }
+}

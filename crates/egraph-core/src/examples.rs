@@ -1,0 +1,136 @@
+//! Constructors for the worked examples used throughout the paper.
+//!
+//! Keeping the examples in the library (rather than only in tests) lets the
+//! test suite, the examples and the benchmark harness all agree on exactly
+//! which graph "Figure 1" refers to.
+
+use crate::adjacency::AdjacencyListGraph;
+use crate::ids::{NodeId, TimeIndex};
+
+/// The evolving directed graph of Figure 1 (used through Figures 2–4 and the
+/// Section III matrix examples).
+///
+/// Three nodes and three snapshots with one directed edge per snapshot:
+///
+/// * `1 → 2` at `t1`
+/// * `1 → 3` at `t2`
+/// * `2 → 3` at `t3`
+///
+/// The paper numbers nodes from 1 and times from `t1`; this crate uses
+/// zero-based identifiers, so paper node `k` is [`NodeId`]`(k-1)` and paper
+/// time `t_k` is [`TimeIndex`]`(k-1)`.
+pub fn paper_figure1() -> AdjacencyListGraph {
+    let mut g = AdjacencyListGraph::directed(3, vec![1, 2, 3]).expect("valid timestamps");
+    g.add_edge(NodeId(0), NodeId(1), TimeIndex(0))
+        .expect("edge 1->2 at t1");
+    g.add_edge(NodeId(0), NodeId(2), TimeIndex(1))
+        .expect("edge 1->3 at t2");
+    g.add_edge(NodeId(1), NodeId(2), TimeIndex(2))
+        .expect("edge 2->3 at t3");
+    g
+}
+
+/// The message-passing game of the paper's introduction, encoded as an
+/// evolving graph: three players, player 1 talks to player 2 at `t1`, then
+/// player 2 talks to player 3 at `t2`.
+///
+/// Player 3 can collect message `a` precisely because a temporal path
+/// `1 → 2 → 3` exists; reversing the two events destroys it.
+pub fn introduction_game(one_talks_first: bool) -> AdjacencyListGraph {
+    let mut g = AdjacencyListGraph::directed(3, vec![1, 2]).expect("valid timestamps");
+    if one_talks_first {
+        g.add_edge(NodeId(0), NodeId(1), TimeIndex(0)).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), TimeIndex(1)).unwrap();
+    } else {
+        g.add_edge(NodeId(1), NodeId(2), TimeIndex(0)).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), TimeIndex(1)).unwrap();
+    }
+    g
+}
+
+/// A small evolving graph with a cycle inside one snapshot, used to exercise
+/// the cyclic branch of the termination proof (Theorem 3).
+pub fn cyclic_example() -> AdjacencyListGraph {
+    let mut g = AdjacencyListGraph::directed(3, vec![0, 1]).expect("valid timestamps");
+    g.add_edge(NodeId(0), NodeId(1), TimeIndex(0)).unwrap();
+    g.add_edge(NodeId(1), NodeId(2), TimeIndex(0)).unwrap();
+    g.add_edge(NodeId(2), NodeId(0), TimeIndex(0)).unwrap();
+    g.add_edge(NodeId(0), NodeId(2), TimeIndex(1)).unwrap();
+    g
+}
+
+/// A longer chain example: node `i` connects to node `i+1` at snapshot `i`,
+/// so the only temporal path from `(0, t0)` to `(n-1, t_{n-2})` alternates
+/// static and causal edges. Useful for distance and path-counting tests with
+/// a known closed form.
+pub fn staircase(n: usize) -> AdjacencyListGraph {
+    assert!(n >= 2, "staircase needs at least two nodes");
+    let mut g = AdjacencyListGraph::directed_with_unit_times(n, n - 1);
+    for i in 0..n - 1 {
+        g.add_edge(
+            NodeId::from_index(i),
+            NodeId::from_index(i + 1),
+            TimeIndex::from_index(i),
+        )
+        .unwrap();
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EvolvingGraph;
+
+    #[test]
+    fn figure1_has_three_edges_and_six_active_nodes() {
+        let g = paper_figure1();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_timestamps(), 3);
+        assert_eq!(g.num_static_edges(), 3);
+        assert_eq!(g.num_active_nodes(), 6);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn figure1_inactive_nodes_match_paper() {
+        let g = paper_figure1();
+        // (3, t1), (2, t2), (1, t3) are the inactive temporal nodes.
+        assert!(!g.is_active(NodeId(2), TimeIndex(0)));
+        assert!(!g.is_active(NodeId(1), TimeIndex(1)));
+        assert!(!g.is_active(NodeId(0), TimeIndex(2)));
+    }
+
+    #[test]
+    fn introduction_game_order_matters() {
+        let good = introduction_game(true);
+        let bad = introduction_game(false);
+        assert_eq!(good.num_static_edges(), 2);
+        assert_eq!(bad.num_static_edges(), 2);
+        // In the "bad" ordering, player 2 only talks to 3 *before* hearing
+        // from player 1 — there is no static edge from 1 at t1.
+        assert!(good.has_static_edge(NodeId(0), NodeId(1), TimeIndex(0)));
+        assert!(bad.has_static_edge(NodeId(1), NodeId(2), TimeIndex(0)));
+    }
+
+    #[test]
+    fn staircase_shape() {
+        let g = staircase(5);
+        assert_eq!(g.num_static_edges(), 4);
+        assert_eq!(g.num_timestamps(), 4);
+        assert!(g.has_static_edge(NodeId(2), NodeId(3), TimeIndex(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn staircase_rejects_degenerate_size() {
+        let _ = staircase(1);
+    }
+
+    #[test]
+    fn cyclic_example_contains_a_cycle_at_t0() {
+        let g = cyclic_example();
+        assert!(g.has_static_edge(NodeId(2), NodeId(0), TimeIndex(0)));
+        assert_eq!(g.num_static_edges(), 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! # egraph-core
+//!
+//! Evolving-graph data structures and breadth-first search over temporal
+//! paths — a from-scratch Rust reproduction of the core contribution of
+//! *"The Right Way to Search Evolving Graphs"* (Chen & Zhang, IPPS 2016).
+//!
+//! An **evolving graph** is a time-ordered sequence of static graphs
+//! `G_n = ⟨G[1], …, G[n]⟩`. Searching it correctly requires tracking
+//!
+//! * **active nodes** — a temporal node `(v, t)` is active iff it has an
+//!   incident edge at snapshot `t` (Definition 3);
+//! * **temporal paths** — sequences of active temporal nodes that advance
+//!   through static edges (same snapshot) or **causal edges** (same node,
+//!   later snapshot) and never move backward in time (Definition 4);
+//! * the **forward neighbor** relation combining both edge kinds
+//!   (Definition 5).
+//!
+//! The headline algorithm is [`bfs::bfs`] — Algorithm 1 of the paper — which
+//! computes distances over temporal paths in `O(|E| + |V|)` time for the
+//! adjacency-list representation ([`adjacency::AdjacencyListGraph`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use egraph_core::prelude::*;
+//!
+//! // The 3-node example of the paper's Figure 1:
+//! //   1 → 2 at t1,   1 → 3 at t2,   2 → 3 at t3.
+//! let mut g = AdjacencyListGraph::directed(3, vec![1, 2, 3]).unwrap();
+//! g.add_edge(NodeId(0), NodeId(1), TimeIndex(0)).unwrap();
+//! g.add_edge(NodeId(0), NodeId(2), TimeIndex(1)).unwrap();
+//! g.add_edge(NodeId(1), NodeId(2), TimeIndex(2)).unwrap();
+//!
+//! let reached = bfs(&g, TemporalNode::from_raw(0, 0)).unwrap();
+//! // (3, t3) is three hops away: one static hop and two causal/static hops.
+//! assert_eq!(reached.distance(TemporalNode::from_raw(2, 2)), Some(3));
+//! ```
+//!
+//! ## Module overview
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`ids`] | [`NodeId`](ids::NodeId), [`TimeIndex`](ids::TimeIndex), [`TemporalNode`](ids::TemporalNode), edge types |
+//! | [`graph`] | the [`EvolvingGraph`](graph::EvolvingGraph) trait |
+//! | [`adjacency`] | adjacency-list representation (incremental) |
+//! | [`snapshots`] | snapshot-sequence representation |
+//! | [`bfs`] | Algorithm 1 (serial), backward BFS, reachability |
+//! | [`par_bfs`] | frontier-parallel BFS and multi-source BFS (rayon) |
+//! | [`paths`] | temporal-path validation, enumeration, walk counting |
+//! | [`static_equiv`] | the equivalent static graph of Theorem 1 |
+//! | [`reverse`], [`window`] | time-reversed and time-windowed views |
+//! | [`examples`] | the paper's worked examples |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adjacency;
+pub mod bfs;
+pub mod components;
+pub mod distance;
+pub mod error;
+pub mod examples;
+pub mod foremost;
+pub mod graph;
+pub mod ids;
+pub mod metrics;
+pub mod par_bfs;
+pub mod paths;
+pub mod reverse;
+pub mod snapshots;
+pub mod static_equiv;
+pub mod static_graph;
+pub mod window;
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::adjacency::AdjacencyListGraph;
+    pub use crate::bfs::{
+        backward_bfs, backward_bfs_with_parents, bfs, bfs_with_parents, distance_between,
+        is_reachable, reachable_set, Direction,
+    };
+    pub use crate::components::{in_component, out_component, weak_components, WeakComponents};
+    pub use crate::distance::DistanceMap;
+    pub use crate::foremost::{earliest_arrival, temporal_distance_steps, ForemostResult};
+    pub use crate::metrics::{eccentricity, reach_counts, GraphMetrics};
+    pub use crate::error::{GraphError, Result};
+    pub use crate::graph::EvolvingGraph;
+    pub use crate::ids::{CausalEdge, NodeId, StaticEdge, TemporalNode, TimeIndex, Timestamp};
+    pub use crate::par_bfs::{multi_source_bfs, par_bfs};
+    pub use crate::paths::{enumerate_paths, is_temporal_path, walk_count_vector};
+    pub use crate::reverse::ReversedView;
+    pub use crate::snapshots::{Snapshot, SnapshotSequence};
+    pub use crate::static_equiv::EquivalentStaticGraph;
+    pub use crate::static_graph::StaticGraph;
+    pub use crate::window::TimeWindowView;
+}
+
+pub use adjacency::AdjacencyListGraph;
+pub use bfs::{backward_bfs, bfs, bfs_with_parents};
+pub use distance::DistanceMap;
+pub use error::{GraphError, Result};
+pub use graph::EvolvingGraph;
+pub use ids::{NodeId, TemporalNode, TimeIndex, Timestamp};
+pub use par_bfs::par_bfs;
+pub use snapshots::SnapshotSequence;
+pub use static_equiv::EquivalentStaticGraph;
+pub use static_graph::StaticGraph;

@@ -1,0 +1,179 @@
+//! Frontier-parallel BFS over evolving graphs (rayon).
+//!
+//! The paper runs Algorithm 1 on a single core; the algorithm is nonetheless
+//! naturally level-synchronous, and each BFS level can expand its frontier in
+//! parallel because discoveries within a level are independent (ties are
+//! broken by an atomic compare-and-swap on the visited word, which is how
+//! classical parallel BFS implementations operate). The result is bit-for-bit
+//! identical to the serial traversal — distances are determined by the level
+//! structure, not by discovery order — which the test-suite and the ABL-B
+//! ablation benchmark both check.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::distance::{DistanceMap, UNREACHED};
+use crate::error::Result;
+use crate::graph::EvolvingGraph;
+use crate::ids::TemporalNode;
+
+/// Frontier size below which the expansion falls back to the serial loop;
+/// spawning rayon tasks for a handful of nodes costs more than it saves.
+const PARALLEL_FRONTIER_THRESHOLD: usize = 256;
+
+/// Runs Algorithm 1 with parallel frontier expansion. Results are identical
+/// to [`crate::bfs::bfs`].
+pub fn par_bfs<G>(graph: &G, root: TemporalNode) -> Result<DistanceMap>
+where
+    G: EvolvingGraph + Sync,
+{
+    crate::bfs::check_root(graph, root)?;
+
+    let num_nodes = graph.num_nodes();
+    let size = num_nodes * graph.num_timestamps();
+
+    // Shared visited/distance array. UNREACHED means "not yet discovered".
+    let dist: Vec<AtomicU32> = (0..size).map(|_| AtomicU32::new(UNREACHED)).collect();
+    dist[root.flat_index(num_nodes)].store(0, Ordering::Relaxed);
+
+    let mut frontier: Vec<TemporalNode> = vec![root];
+    let mut level: u32 = 1;
+
+    while !frontier.is_empty() {
+        let next: Vec<TemporalNode> = if frontier.len() >= PARALLEL_FRONTIER_THRESHOLD {
+            frontier
+                .par_iter()
+                .fold(Vec::new, |mut acc, &tn| {
+                    expand(graph, tn, level, num_nodes, &dist, &mut acc);
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                })
+        } else {
+            let mut acc = Vec::new();
+            for &tn in &frontier {
+                expand(graph, tn, level, num_nodes, &dist, &mut acc);
+            }
+            acc
+        };
+        frontier = next;
+        level += 1;
+    }
+
+    // Convert the atomic array into a DistanceMap.
+    let mut map = DistanceMap::new(num_nodes, graph.num_timestamps(), root, false);
+    for (i, d) in dist.iter().enumerate() {
+        let d = d.load(Ordering::Relaxed);
+        if d != UNREACHED && d != 0 {
+            map.set_distance_unchecked(TemporalNode::from_flat_index(i, num_nodes), d);
+        }
+    }
+    Ok(map)
+}
+
+#[inline]
+fn expand<G: EvolvingGraph>(
+    graph: &G,
+    tn: TemporalNode,
+    level: u32,
+    num_nodes: usize,
+    dist: &[AtomicU32],
+    acc: &mut Vec<TemporalNode>,
+) {
+    graph.for_each_forward_neighbor(tn, &mut |nbr| {
+        let slot = &dist[nbr.flat_index(num_nodes)];
+        // First writer wins; everybody else sees the CAS fail and moves on.
+        if slot
+            .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            acc.push(nbr);
+        }
+    });
+}
+
+/// Runs BFS from many roots in parallel (one serial BFS per root, roots
+/// distributed over the rayon pool). This is the access pattern of the
+/// citation-mining workload of Section V, where an influence set is wanted
+/// for every author.
+pub fn multi_source_bfs<G>(graph: &G, roots: &[TemporalNode]) -> Vec<Result<DistanceMap>>
+where
+    G: EvolvingGraph + Sync,
+{
+    roots
+        .par_iter()
+        .map(|&root| crate::bfs::bfs(graph, root))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyListGraph;
+    use crate::bfs::bfs;
+    use crate::error::GraphError;
+    use crate::examples::paper_figure1;
+    use crate::ids::{NodeId, TimeIndex};
+
+    #[test]
+    fn parallel_matches_serial_on_paper_example() {
+        let g = paper_figure1();
+        for &root in &g.active_nodes() {
+            let serial = bfs(&g, root).unwrap();
+            let parallel = par_bfs(&g, root).unwrap();
+            assert_eq!(serial.as_flat_slice(), parallel.as_flat_slice());
+        }
+    }
+
+    #[test]
+    fn parallel_rejects_inactive_root() {
+        let g = paper_figure1();
+        assert!(matches!(
+            par_bfs(&g, TemporalNode::from_raw(2, 0)).unwrap_err(),
+            GraphError::InactiveRoot { .. }
+        ));
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_a_dense_random_graph() {
+        // Large enough to cross PARALLEL_FRONTIER_THRESHOLD.
+        let n = 400usize;
+        let n_t = 4usize;
+        let mut g = AdjacencyListGraph::directed_with_unit_times(n, n_t);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..6000 {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            let t = (next() % n_t as u64) as u32;
+            if u != v {
+                g.add_edge(NodeId(u), NodeId(v), TimeIndex(t)).unwrap();
+            }
+        }
+        let root = g.active_nodes()[0];
+        let serial = bfs(&g, root).unwrap();
+        let parallel = par_bfs(&g, root).unwrap();
+        assert_eq!(serial.num_reached(), parallel.num_reached());
+        assert_eq!(serial.as_flat_slice(), parallel.as_flat_slice());
+    }
+
+    #[test]
+    fn multi_source_runs_every_root() {
+        let g = paper_figure1();
+        let roots = g.active_nodes();
+        let results = multi_source_bfs(&g, &roots);
+        assert_eq!(results.len(), roots.len());
+        for (root, res) in roots.iter().zip(&results) {
+            let map = res.as_ref().unwrap();
+            assert_eq!(map.root(), *root);
+            assert_eq!(map.distance(*root), Some(0));
+        }
+    }
+}

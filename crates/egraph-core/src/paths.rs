@@ -1,0 +1,292 @@
+//! Temporal paths: validation, enumeration and walk counting.
+//!
+//! Definition 4 defines a *temporal path* as a time-ordered sequence of
+//! active temporal nodes in which consecutive elements are joined either by a
+//! static edge (same snapshot) or by a causal edge (same node, strictly later
+//! snapshot). The paper's central counter-example (Section III-A) is about
+//! *counting* such paths: the naïve adjacency-product sum `S[t]` finds one
+//! path of length 4 from `(1, t1)` to `(3, t3)` in the Figure 1 graph when
+//! there are really two.
+//!
+//! This module provides
+//!
+//! * [`is_temporal_path`] — an executable version of Definition 4;
+//! * [`enumerate_paths`] — exhaustive enumeration of simple temporal paths
+//!   (used by tests on small graphs);
+//! * [`count_walks_of_length`] / [`walk_count_vector`] — dynamic-programming
+//!   walk counts that match the powers of the block adjacency matrix
+//!   `(A_nᵀ)^k` of Section III-C exactly.
+
+use crate::graph::EvolvingGraph;
+use crate::ids::TemporalNode;
+
+/// Why a sequence of temporal nodes fails to be a temporal path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathViolation {
+    /// The sequence is empty.
+    Empty,
+    /// Some element is not an active temporal node (Definition 4 requires a
+    /// sequence of active nodes).
+    InactiveNode(usize),
+    /// Time decreased between consecutive elements.
+    TimeDecreased(usize),
+    /// Consecutive elements are joined by neither a static edge nor a causal
+    /// edge.
+    NotAdjacent(usize),
+    /// The same temporal node appears twice (the path is not simple).
+    RepeatedTemporalNode(usize),
+}
+
+/// Checks whether `seq` is a (simple) temporal path of the graph, returning
+/// the first violation if it is not.
+pub fn check_temporal_path<G: EvolvingGraph>(
+    graph: &G,
+    seq: &[TemporalNode],
+) -> Result<(), PathViolation> {
+    if seq.is_empty() {
+        return Err(PathViolation::Empty);
+    }
+    for (i, &tn) in seq.iter().enumerate() {
+        if !graph.is_active(tn.node, tn.time) {
+            return Err(PathViolation::InactiveNode(i));
+        }
+        if seq[..i].contains(&tn) {
+            return Err(PathViolation::RepeatedTemporalNode(i));
+        }
+    }
+    for i in 1..seq.len() {
+        let prev = seq[i - 1];
+        let cur = seq[i];
+        if cur.time < prev.time {
+            return Err(PathViolation::TimeDecreased(i));
+        }
+        let static_hop = cur.time == prev.time
+            && graph
+                .static_out_neighbors(prev.node, prev.time)
+                .contains(&cur.node);
+        let causal_hop = cur.node == prev.node && cur.time > prev.time;
+        if !(static_hop || causal_hop) {
+            return Err(PathViolation::NotAdjacent(i));
+        }
+    }
+    Ok(())
+}
+
+/// Whether `seq` is a valid (simple) temporal path.
+pub fn is_temporal_path<G: EvolvingGraph>(graph: &G, seq: &[TemporalNode]) -> bool {
+    check_temporal_path(graph, seq).is_ok()
+}
+
+/// Enumerates every *simple* temporal path from `from` to `to` with at most
+/// `max_nodes` temporal nodes (the paper measures length in nodes, so the
+/// Figure 2 paths have length 4).
+///
+/// Exhaustive enumeration is exponential in the worst case; it is meant for
+/// small graphs, tests and teaching, not for production traversals.
+pub fn enumerate_paths<G: EvolvingGraph>(
+    graph: &G,
+    from: TemporalNode,
+    to: TemporalNode,
+    max_nodes: usize,
+) -> Vec<Vec<TemporalNode>> {
+    let mut results = Vec::new();
+    if max_nodes == 0
+        || !graph.is_active(from.node, from.time)
+        || !graph.is_active(to.node, to.time)
+    {
+        return results;
+    }
+    let mut stack = vec![from];
+    dfs(graph, to, max_nodes, &mut stack, &mut results);
+    results
+}
+
+fn dfs<G: EvolvingGraph>(
+    graph: &G,
+    to: TemporalNode,
+    max_nodes: usize,
+    stack: &mut Vec<TemporalNode>,
+    results: &mut Vec<Vec<TemporalNode>>,
+) {
+    let cur = *stack.last().expect("stack never empty");
+    if cur == to {
+        results.push(stack.clone());
+        // A path may in principle continue through `to` and come back only if
+        // it revisits a temporal node, which simple paths forbid — so we can
+        // stop this branch.
+        return;
+    }
+    if stack.len() == max_nodes {
+        return;
+    }
+    let neighbors = graph.forward_neighbors(cur);
+    for nbr in neighbors {
+        if stack.contains(&nbr) {
+            continue;
+        }
+        stack.push(nbr);
+        dfs(graph, to, max_nodes, stack, results);
+        stack.pop();
+    }
+}
+
+/// Number of temporal *walks* (paths that may revisit temporal nodes) with
+/// exactly `num_edges` hops from `from` to `to`. This is the quantity counted
+/// by the `(i, j)` entry of `(A_nᵀ)^k` in Section III-C; for acyclic evolving
+/// graphs walks and paths coincide.
+pub fn count_walks_of_length<G: EvolvingGraph>(
+    graph: &G,
+    from: TemporalNode,
+    to: TemporalNode,
+    num_edges: usize,
+) -> u64 {
+    walk_count_vector(graph, from, num_edges)
+        .get(to.flat_index(graph.num_nodes()))
+        .copied()
+        .unwrap_or(0)
+}
+
+/// The full vector of walk counts after `num_edges` hops from `from`,
+/// flat-indexed time-major (`time * num_nodes + node`). Entry `j` equals
+/// `((A_nᵀ)^k b)_j` with `b` the indicator of `from`, computed without ever
+/// forming the matrix.
+pub fn walk_count_vector<G: EvolvingGraph>(
+    graph: &G,
+    from: TemporalNode,
+    num_edges: usize,
+) -> Vec<u64> {
+    let size = graph.num_nodes() * graph.num_timestamps();
+    let mut counts = vec![0u64; size];
+    if !graph.is_active(from.node, from.time) {
+        return counts;
+    }
+    counts[from.flat_index(graph.num_nodes())] = 1;
+    let mut next = vec![0u64; size];
+    for _ in 0..num_edges {
+        next.iter_mut().for_each(|c| *c = 0);
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let tn = TemporalNode::from_flat_index(i, graph.num_nodes());
+            graph.for_each_forward_neighbor(tn, &mut |nbr| {
+                next[nbr.flat_index(graph.num_nodes())] += c;
+            });
+        }
+        std::mem::swap(&mut counts, &mut next);
+    }
+    counts
+}
+
+/// Total number of simple temporal paths between two temporal nodes with at
+/// most `max_nodes` nodes. Convenience wrapper over [`enumerate_paths`].
+pub fn count_paths<G: EvolvingGraph>(
+    graph: &G,
+    from: TemporalNode,
+    to: TemporalNode,
+    max_nodes: usize,
+) -> usize {
+    enumerate_paths(graph, from, to, max_nodes).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{paper_figure1, staircase};
+
+    fn tn(v: u32, t: u32) -> TemporalNode {
+        TemporalNode::from_raw(v, t)
+    }
+
+    #[test]
+    fn figure2_paths_are_valid() {
+        let g = paper_figure1();
+        // ⟨(1,t1),(1,t2),(3,t2),(3,t3)⟩
+        assert!(is_temporal_path(
+            &g,
+            &[tn(0, 0), tn(0, 1), tn(2, 1), tn(2, 2)]
+        ));
+        // ⟨(1,t1),(2,t1),(2,t3),(3,t3)⟩
+        assert!(is_temporal_path(
+            &g,
+            &[tn(0, 0), tn(1, 0), tn(1, 2), tn(2, 2)]
+        ));
+    }
+
+    #[test]
+    fn inactive_node_invalidates_path_as_in_section_iia() {
+        let g = paper_figure1();
+        // ⟨(1,t1),(1,t2),(2,t2),(3,t2),(3,t3)⟩ is NOT a temporal path because
+        // node 2 is inactive at t2.
+        let seq = [tn(0, 0), tn(0, 1), tn(1, 1), tn(2, 1), tn(2, 2)];
+        assert_eq!(
+            check_temporal_path(&g, &seq),
+            Err(PathViolation::InactiveNode(2))
+        );
+    }
+
+    #[test]
+    fn non_adjacent_and_backward_sequences_are_rejected() {
+        let g = paper_figure1();
+        assert_eq!(
+            check_temporal_path(&g, &[tn(0, 0), tn(2, 1)]),
+            Err(PathViolation::NotAdjacent(1))
+        );
+        assert_eq!(
+            check_temporal_path(&g, &[tn(0, 1), tn(0, 0)]),
+            Err(PathViolation::TimeDecreased(1))
+        );
+        assert_eq!(check_temporal_path(&g, &[]), Err(PathViolation::Empty));
+        assert_eq!(
+            check_temporal_path(&g, &[tn(0, 0), tn(1, 0), tn(1, 0)]),
+            Err(PathViolation::RepeatedTemporalNode(2))
+        );
+    }
+
+    #[test]
+    fn figure2_enumeration_finds_exactly_two_paths_of_length_four() {
+        let g = paper_figure1();
+        let paths = enumerate_paths(&g, tn(0, 0), tn(2, 2), 4);
+        assert_eq!(paths.len(), 2, "paper counts exactly two temporal paths");
+        for p in &paths {
+            assert_eq!(p.len(), 4);
+            assert!(is_temporal_path(&g, p));
+        }
+    }
+
+    #[test]
+    fn walk_counts_match_the_block_matrix_example() {
+        // Section III-C: (A_3ᵀ)³ applied to e_(1,t1) has a 2 in the (3,t3)
+        // entry — two walks of 3 hops.
+        let g = paper_figure1();
+        assert_eq!(count_walks_of_length(&g, tn(0, 0), tn(2, 2), 3), 2);
+        // And one hop fewer reaches (3,t2) and (2,t3) once each.
+        assert_eq!(count_walks_of_length(&g, tn(0, 0), tn(2, 1), 2), 1);
+        assert_eq!(count_walks_of_length(&g, tn(0, 0), tn(1, 2), 2), 1);
+        // Four hops: nothing is left (the matrix is nilpotent).
+        let total: u64 = walk_count_vector(&g, tn(0, 0), 4).iter().sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn walk_counts_from_inactive_node_are_zero() {
+        let g = paper_figure1();
+        assert_eq!(walk_count_vector(&g, tn(2, 0), 1).iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn staircase_has_a_unique_maximal_path() {
+        let g = staircase(4);
+        let paths = enumerate_paths(&g, tn(0, 0), tn(3, 2), 8);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 6); // 3 static hops + 2 causal hops + root
+        assert_eq!(count_paths(&g, tn(0, 0), tn(3, 2), 8), 1);
+    }
+
+    #[test]
+    fn enumeration_respects_the_node_budget() {
+        let g = paper_figure1();
+        assert!(enumerate_paths(&g, tn(0, 0), tn(2, 2), 3).is_empty());
+        assert_eq!(enumerate_paths(&g, tn(0, 0), tn(2, 2), 4).len(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! # egraph-gen
+//!
+//! Workload generators for evolving-graph experiments.
+//!
+//! Every generator is deterministic given its seed, so benchmark series and
+//! property tests are reproducible run to run:
+//!
+//! * [`random`] — uniform random temporal edges, the workload of the paper's
+//!   Figure 5 linear-scaling experiment, plus incremental extension;
+//! * [`er`] — per-snapshot Erdős–Rényi graphs with controlled density;
+//! * [`preferential`] — temporal preferential attachment (heavy-tailed
+//!   in-degrees);
+//! * [`citation`] — synthetic citation corpora for the Section V
+//!   application (authors with debut epochs, recency/preferential citation
+//!   targets);
+//! * [`stream`] — deterministic edge-batch streams for incremental-update
+//!   experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod citation;
+pub mod er;
+pub mod preferential;
+pub mod random;
+pub mod stream;
+
+pub use citation::{synthetic_citation_corpus, CitationConfig, CitationCorpus, CitationEvent};
+pub use er::{erdos_renyi_evolving, ErConfig};
+pub use preferential::{preferential_attachment, PreferentialConfig};
+pub use random::{
+    extend_with_random_edges, figure5_workload, uniform_random_graph, UniformRandomConfig,
+};
+pub use stream::{apply_batch, rebuild_from_batches, EdgeStream};
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::citation::{
+        synthetic_citation_corpus, CitationConfig, CitationCorpus, CitationEvent,
+    };
+    pub use crate::er::{erdos_renyi_evolving, ErConfig};
+    pub use crate::preferential::{preferential_attachment, PreferentialConfig};
+    pub use crate::random::{
+        extend_with_random_edges, figure5_workload, uniform_random_graph, UniformRandomConfig,
+    };
+    pub use crate::stream::{apply_batch, rebuild_from_batches, EdgeStream};
+}

@@ -1,0 +1,125 @@
+//! JSON serialisation of graphs and search results.
+//!
+//! The core types derive `serde` traits behind the `serde` feature; this
+//! module pins down a concrete interchange representation (serde_json) and
+//! provides round-trip helpers so downstream tooling — notebooks, plotting
+//! scripts, the benchmark report generator — can consume search results
+//! without linking the Rust crates.
+
+use egraph_core::adjacency::AdjacencyListGraph;
+use egraph_core::distance::DistanceMap;
+use egraph_core::ids::TemporalNode;
+use serde::{Deserialize, Serialize};
+
+/// A self-describing JSON document for one BFS run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct BfsResultDocument {
+    /// Root node identifier.
+    pub root_node: u32,
+    /// Root snapshot index.
+    pub root_time: u32,
+    /// Number of nodes in the traversed graph's universe.
+    pub num_nodes: usize,
+    /// Number of snapshots in the traversed graph.
+    pub num_timestamps: usize,
+    /// Reached temporal nodes as `(node, time, distance)` triples.
+    pub reached: Vec<(u32, u32, u32)>,
+}
+
+impl BfsResultDocument {
+    /// Builds a document from a [`DistanceMap`].
+    pub fn from_distance_map(map: &DistanceMap) -> Self {
+        BfsResultDocument {
+            root_node: map.root().node.0,
+            root_time: map.root().time.0,
+            num_nodes: map.num_nodes(),
+            num_timestamps: map.num_timestamps(),
+            reached: map
+                .reached()
+                .into_iter()
+                .map(|(tn, d)| (tn.node.0, tn.time.0, d))
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a [`DistanceMap`] from the document.
+    pub fn to_distance_map(&self) -> DistanceMap {
+        let root = TemporalNode::from_raw(self.root_node, self.root_time);
+        let reached: Vec<(TemporalNode, u32)> = self
+            .reached
+            .iter()
+            .map(|&(v, t, d)| (TemporalNode::from_raw(v, t), d))
+            .collect();
+        DistanceMap::from_reached(self.num_nodes, self.num_timestamps, root, &reached)
+    }
+}
+
+/// Serialises a graph to a JSON string.
+pub fn graph_to_json(graph: &AdjacencyListGraph) -> serde_json::Result<String> {
+    serde_json::to_string(graph)
+}
+
+/// Deserialises a graph from a JSON string.
+pub fn graph_from_json(json: &str) -> serde_json::Result<AdjacencyListGraph> {
+    serde_json::from_str(json)
+}
+
+/// Serialises a BFS result to a JSON string.
+pub fn bfs_result_to_json(map: &DistanceMap) -> serde_json::Result<String> {
+    serde_json::to_string(&BfsResultDocument::from_distance_map(map))
+}
+
+/// Deserialises a BFS result from a JSON string.
+pub fn bfs_result_from_json(json: &str) -> serde_json::Result<DistanceMap> {
+    let doc: BfsResultDocument = serde_json::from_str(json)?;
+    Ok(doc.to_distance_map())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph_core::bfs::bfs;
+    use egraph_core::examples::paper_figure1;
+    use egraph_core::graph::EvolvingGraph;
+
+    #[test]
+    fn graph_round_trips_through_json() {
+        let g = paper_figure1();
+        let json = graph_to_json(&g).unwrap();
+        let back = graph_from_json(&json).unwrap();
+        assert_eq!(back.num_nodes(), 3);
+        assert_eq!(back.num_static_edges(), 3);
+        assert_eq!(back.edge_triples(), g.edge_triples());
+    }
+
+    #[test]
+    fn bfs_result_round_trips_through_json() {
+        let g = paper_figure1();
+        let map = bfs(&g, TemporalNode::from_raw(0, 0)).unwrap();
+        let json = bfs_result_to_json(&map).unwrap();
+        let back = bfs_result_from_json(&json).unwrap();
+        assert_eq!(back.as_flat_slice(), map.as_flat_slice());
+        assert_eq!(back.root(), map.root());
+        assert_eq!(back.num_reached(), map.num_reached());
+    }
+
+    #[test]
+    fn document_structure_is_stable() {
+        let g = paper_figure1();
+        let map = bfs(&g, TemporalNode::from_raw(0, 1)).unwrap();
+        let doc = BfsResultDocument::from_distance_map(&map);
+        assert_eq!(doc.root_node, 0);
+        assert_eq!(doc.root_time, 1);
+        assert_eq!(doc.reached.len(), 3);
+        let json = serde_json::to_string(&doc).unwrap();
+        assert!(json.contains("\"root_node\":0"));
+        let parsed: BfsResultDocument = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(graph_from_json("{not json").is_err());
+        assert!(bfs_result_from_json("[]").is_err());
+    }
+}

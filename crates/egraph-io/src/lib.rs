@@ -1,0 +1,24 @@
+//! # egraph-io
+//!
+//! Input/output for evolving graphs and search results:
+//!
+//! * [`edgelist`] — plain-text `src dst time` temporal edge lists (read and
+//!   write), the interchange format used by public temporal-graph datasets;
+//! * [`json`] — serde_json round-tripping of graphs and BFS results;
+//! * [`report`] — the table/CSV formatter and the least-squares helper used
+//!   by the benchmark harness to regenerate the paper's Figure 5 series.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod edgelist;
+pub mod json;
+pub mod report;
+
+pub use edgelist::{
+    parse_edge_list, read_edge_list, to_edge_list_string, write_edge_list, EdgeListError,
+};
+pub use json::{
+    bfs_result_from_json, bfs_result_to_json, graph_from_json, graph_to_json, BfsResultDocument,
+};
+pub use report::{linear_fit, SeriesTable};

@@ -1,0 +1,192 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! CSR is the natural layout for row-parallel sparse matrix–vector products
+//! (each output element is an independent dot product), which is what the
+//! rayon kernel in [`crate::parallel`] exploits.
+
+use crate::dense::DenseMatrix;
+
+/// A sparse `rows × cols` matrix in compressed sparse row format.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from triplets, summing duplicates.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Self {
+        // Sort a copy of the triplets by (row, col), merge duplicates, then
+        // build the row pointer by counting entries per row.
+        let mut sorted: Vec<(u32, u32, f64)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == r && last.1 == c {
+                    last.2 += v;
+                    continue;
+                }
+            }
+            merged.push((r, c, v));
+        }
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Whether row `r` stores no entries.
+    pub fn row_is_empty(&self, r: usize) -> bool {
+        self.row_ptr[r] == self.row_ptr[r + 1]
+    }
+
+    /// Element lookup (linear in the row length).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        cols.iter()
+            .position(|&x| x as usize == c)
+            .map(|i| vals[i])
+            .unwrap_or(0.0)
+    }
+
+    /// Sparse matrix–vector product `y = A x` (the gaxpy kernel whose cost is
+    /// `2 nnz` flops, as used in the proof of Theorem 6).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Transposed product `y = Aᵀ x` computed by scattering rows.
+    pub fn transpose_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in transpose_matvec");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c as usize] += v * xr;
+            }
+        }
+        y
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                m.add_to(r, c as usize, v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [[0, 1, 0],
+        //  [2, 0, 3],
+        //  [0, 0, 0]]
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 2.0), (1, 2, 3.0)])
+    }
+
+    #[test]
+    fn structure_and_lookup() {
+        let a = example();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 2), 3.0);
+        assert_eq!(a.get(2, 2), 0.0);
+        assert!(a.row_is_empty(2));
+        assert!(!a.row_is_empty(1));
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = example();
+        let d = a.to_dense();
+        let x = vec![1.0, -1.0, 2.0];
+        assert_eq!(a.matvec(&x), d.matvec(&x));
+        assert_eq!(a.transpose_matvec(&x), d.transpose_matvec(&x));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn empty_matrix_works() {
+        let a = CsrMatrix::from_triplets(3, 4, &[]);
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.matvec(&[0.0; 4]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn entries_out_of_order_are_handled() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(2, 0, 5.0), (0, 2, 1.0), (1, 1, 4.0)]);
+        assert_eq!(a.get(2, 0), 5.0);
+        assert_eq!(a.get(0, 2), 1.0);
+        assert_eq!(a.get(1, 1), 4.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! The "wrong ways" of Section III-A: naïve adjacency-product path sums.
+//!
+//! For a static graph, `(A^k)_{ij}` counts paths of length `k`. The tempting
+//! generalisation to evolving graphs — Equation (2) of the paper — sums
+//! products of per-snapshot adjacency matrices over increasing chains of
+//! time stamps:
+//!
+//! ```text
+//! S[tn] = A[t1] A[tn] + Σ A[t1] A[t] A[tn] + … + Σ A[t1] A[t] A[t′] ⋯ A[tn]
+//! ```
+//!
+//! The paper shows that this *miscounts* temporal paths (it finds 1 path from
+//! `(1,t1)` to `(3,t3)` in the Figure 1 graph where there are 2) because
+//! products of adjacency matrices cannot express causal edges. Padding the
+//! diagonal with ones (so a node may "wait") is still wrong, because it also
+//! lets *inactive* nodes wait, counting sequences that are not temporal
+//! paths.
+//!
+//! Both constructions are implemented here so that the baseline crate, the
+//! tests and the `naive_vs_correct` benchmark can demonstrate the
+//! discrepancy quantitatively.
+
+use egraph_core::graph::EvolvingGraph;
+use egraph_core::ids::TimeIndex;
+
+use crate::block::BlockAdjacency;
+use crate::dense::DenseMatrix;
+
+/// The per-snapshot dense adjacency matrices `⟨A[1], …, A[n]⟩`.
+pub fn snapshot_matrices<G: EvolvingGraph>(graph: &G) -> Vec<DenseMatrix> {
+    let blocks = BlockAdjacency::from_graph(graph);
+    (0..graph.num_timestamps())
+        .map(|t| blocks.block(TimeIndex::from_index(t)).to_dense())
+        .collect()
+}
+
+/// Equation (2): the naïve discrete path sum `S[tn]`.
+///
+/// Every term is a product that starts with `A[t1]`, ends with `A[tn]` and
+/// threads through an arbitrary (possibly empty) increasing selection of the
+/// intermediate snapshots. Entry `(i, j)` is the naïve "count of temporal
+/// paths from `(i, t1)` to `(j, tn)`" — which the paper proves is wrong.
+///
+/// Returns the zero matrix for graphs with fewer than two snapshots (the sum
+/// is empty).
+pub fn naive_path_sum<G: EvolvingGraph>(graph: &G) -> DenseMatrix {
+    let mats = snapshot_matrices(graph);
+    naive_path_sum_from_matrices(&mats)
+}
+
+/// [`naive_path_sum`] on explicit per-snapshot matrices.
+pub fn naive_path_sum_from_matrices(mats: &[DenseMatrix]) -> DenseMatrix {
+    let n = mats.first().map(|m| m.rows()).unwrap_or(0);
+    let mut total = DenseMatrix::zeros(n, n);
+    let n_t = mats.len();
+    if n_t < 2 {
+        return total;
+    }
+    // Sum over every subset of the intermediate snapshots {1, …, n_t-2},
+    // taken in increasing order: A[0] · Π_{s ∈ subset} A[s] · A[n_t-1].
+    let inner = n_t - 2;
+    for bits in 0..(1u64 << inner) {
+        let mut prod = mats[0].clone();
+        for s in 0..inner {
+            if bits & (1 << s) != 0 {
+                prod = prod.matmul(&mats[s + 1]);
+            }
+        }
+        prod = prod.matmul(&mats[n_t - 1]);
+        total = total.add(&prod);
+    }
+    total
+}
+
+/// The identity-padded variant: `Π_t (A[t] + I)`, which lets every node —
+/// active or not — "wait" between snapshots. Entry `(i, j)` over-counts by
+/// including sequences through inactive temporal nodes.
+pub fn identity_padded_product<G: EvolvingGraph>(graph: &G) -> DenseMatrix {
+    let mats = snapshot_matrices(graph);
+    identity_padded_product_from_matrices(&mats)
+}
+
+/// [`identity_padded_product`] on explicit per-snapshot matrices.
+pub fn identity_padded_product_from_matrices(mats: &[DenseMatrix]) -> DenseMatrix {
+    let n = mats.first().map(|m| m.rows()).unwrap_or(0);
+    let mut prod = DenseMatrix::identity(n);
+    for a in mats {
+        prod = prod.matmul(&a.add(&DenseMatrix::identity(n)));
+    }
+    prod
+}
+
+/// The plain product `A[t1] A[t2] ⋯ A[tn]` of all snapshot matrices — the
+/// most naïve construction of all. The paper notes that for Figure 1 already
+/// `A[t1] A[t2] = 0`, wiping out every path.
+pub fn plain_product<G: EvolvingGraph>(graph: &G) -> DenseMatrix {
+    let mats = snapshot_matrices(graph);
+    let n = mats.first().map(|m| m.rows()).unwrap_or(0);
+    let mut prod = DenseMatrix::identity(n);
+    for a in &mats {
+        prod = prod.matmul(a);
+    }
+    prod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph_core::examples::paper_figure1;
+    use egraph_core::ids::TemporalNode;
+    use egraph_core::paths::count_walks_of_length;
+
+    #[test]
+    fn section_iiia_miscount_is_reproduced() {
+        // (S[t3])_{13} = 1, but the true number of temporal paths from
+        // (1,t1) to (3,t3) is 2.
+        let g = paper_figure1();
+        let s = naive_path_sum(&g);
+        assert_eq!(s.get(0, 2), 1.0);
+
+        let true_count: u64 = (1..=4)
+            .map(|k| {
+                count_walks_of_length(
+                    &g,
+                    TemporalNode::from_raw(0, 0),
+                    TemporalNode::from_raw(2, 2),
+                    k,
+                )
+            })
+            .sum();
+        assert_eq!(true_count, 2);
+        assert_ne!(s.get(0, 2) as u64, true_count);
+    }
+
+    #[test]
+    fn first_term_of_the_sum_vanishes_as_noted_in_the_paper() {
+        // A[t1] A[t2] = 0 for the Figure 1 graph.
+        let g = paper_figure1();
+        let mats = snapshot_matrices(&g);
+        assert!(mats[0].matmul(&mats[1]).is_zero());
+        // And therefore the plain product of all three matrices vanishes too.
+        assert!(plain_product(&g).is_zero());
+    }
+
+    #[test]
+    fn identity_padding_counts_sequences_through_inactive_nodes() {
+        let g = paper_figure1();
+        let padded = identity_padded_product(&g);
+        // Node 3 is inactive at t1, so there are no temporal paths starting
+        // at (3, t1) — yet the padded product reports a "path" from 3 to 3
+        // (waiting at an inactive node three times).
+        assert!(padded.get(2, 2) >= 1.0);
+        let true_count: u64 = (0..=4)
+            .map(|k| {
+                count_walks_of_length(
+                    &g,
+                    TemporalNode::from_raw(2, 0),
+                    TemporalNode::from_raw(2, 2),
+                    k,
+                )
+            })
+            .sum();
+        assert_eq!(true_count, 0);
+    }
+
+    #[test]
+    fn degenerate_graphs_yield_zero_or_identity() {
+        let g = egraph_core::adjacency::AdjacencyListGraph::directed_with_unit_times(3, 1);
+        assert!(naive_path_sum(&g).is_zero());
+        // With one (empty) snapshot the padded product is A + I = I.
+        assert_eq!(identity_padded_product(&g), DenseMatrix::identity(3));
+    }
+
+    #[test]
+    fn naive_sum_from_matrices_handles_two_snapshots() {
+        // Two snapshots: S = A[1] A[2] only.
+        let a1 = DenseMatrix::from_ones(2, 2, &[(0, 1)]);
+        let a2 = DenseMatrix::from_ones(2, 2, &[(1, 0)]);
+        let s = naive_path_sum_from_matrices(&[a1.clone(), a2.clone()]);
+        assert_eq!(s, a1.matmul(&a2));
+    }
+}

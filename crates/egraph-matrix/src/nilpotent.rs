@@ -1,0 +1,125 @@
+//! Nilpotency of the block adjacency matrix (Lemma 1).
+//!
+//! Lemma 1: if every snapshot of an evolving directed graph is acyclic, then
+//! the block adjacency matrix `A_n` is nilpotent — some power of it is the
+//! zero matrix. Theorem 3's termination argument for the algebraic BFS rests
+//! on this in the acyclic case. These helpers make the lemma executable so
+//! property tests can exercise it on random acyclic inputs.
+
+use egraph_core::graph::EvolvingGraph;
+use egraph_core::ids::{NodeId, TimeIndex};
+use egraph_core::static_graph::StaticGraph;
+
+use crate::block::BlockAdjacency;
+use crate::dense::DenseMatrix;
+
+/// Whether `m` is nilpotent, i.e. `m^k = 0` for some `k ≤ dim`.
+pub fn is_nilpotent(m: &DenseMatrix) -> bool {
+    nilpotency_index(m).is_some()
+}
+
+/// The smallest `k` with `m^k = 0`, or `None` if `m` is not nilpotent.
+/// (By Cayley–Hamilton it suffices to check powers up to the dimension.)
+pub fn nilpotency_index(m: &DenseMatrix) -> Option<usize> {
+    assert_eq!(m.rows(), m.cols(), "nilpotency requires a square matrix");
+    let dim = m.rows();
+    if dim == 0 {
+        return Some(0);
+    }
+    let mut acc = DenseMatrix::identity(dim);
+    for k in 0..=dim {
+        if acc.is_zero() {
+            return Some(k);
+        }
+        acc = acc.matmul(m);
+    }
+    if acc.is_zero() {
+        Some(dim)
+    } else {
+        None
+    }
+}
+
+/// Whether every snapshot `G[t]` of the evolving graph is an acyclic directed
+/// graph — the hypothesis of Lemma 1.
+pub fn all_snapshots_acyclic<G: EvolvingGraph>(graph: &G) -> bool {
+    for t in 0..graph.num_timestamps() {
+        let ti = TimeIndex::from_index(t);
+        let mut s = StaticGraph::new(graph.num_nodes());
+        for v in 0..graph.num_nodes() {
+            let v_id = NodeId::from_index(v);
+            graph.for_each_static_out(v_id, ti, &mut |w| {
+                s.add_edge(v, w.index());
+            });
+        }
+        if !s.is_acyclic() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Executable statement of Lemma 1 for a specific graph: builds the dense
+/// `A_n` and checks its nilpotency. Returns the pair
+/// `(all snapshots acyclic, A_n nilpotent)`; Lemma 1 promises that the first
+/// implies the second.
+pub fn lemma1_check<G: EvolvingGraph>(graph: &G) -> (bool, bool) {
+    let acyclic = all_snapshots_acyclic(graph);
+    let (an, _) = BlockAdjacency::from_graph(graph).to_dense_an();
+    (acyclic, is_nilpotent(&an))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph_core::examples::{cyclic_example, paper_figure1, staircase};
+
+    #[test]
+    fn strictly_upper_triangular_matrices_are_nilpotent() {
+        let m = DenseMatrix::from_ones(3, 3, &[(0, 1), (0, 2), (1, 2)]);
+        assert!(is_nilpotent(&m));
+        assert_eq!(nilpotency_index(&m), Some(3));
+    }
+
+    #[test]
+    fn identity_is_not_nilpotent() {
+        assert!(!is_nilpotent(&DenseMatrix::identity(4)));
+        assert_eq!(nilpotency_index(&DenseMatrix::identity(4)), None);
+    }
+
+    #[test]
+    fn zero_matrix_has_index_at_most_one() {
+        assert_eq!(nilpotency_index(&DenseMatrix::zeros(3, 3)), Some(1));
+        assert_eq!(nilpotency_index(&DenseMatrix::zeros(0, 0)), Some(0));
+    }
+
+    #[test]
+    fn lemma1_holds_on_the_paper_example() {
+        let g = paper_figure1();
+        let (acyclic, nilpotent) = lemma1_check(&g);
+        assert!(acyclic);
+        assert!(nilpotent);
+    }
+
+    #[test]
+    fn lemma1_holds_on_staircases() {
+        let (acyclic, nilpotent) = lemma1_check(&staircase(6));
+        assert!(acyclic && nilpotent);
+    }
+
+    #[test]
+    fn cyclic_snapshots_are_detected() {
+        let g = cyclic_example();
+        assert!(!all_snapshots_acyclic(&g));
+        // Lemma 1 says nothing in this case; the A_n of this particular graph
+        // is in fact not nilpotent because the t0 cycle survives in a block.
+        let (an, _) = BlockAdjacency::from_graph(&g).to_dense_an();
+        assert!(!is_nilpotent(&an));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn nilpotency_rejects_rectangular_matrices() {
+        let _ = nilpotency_index(&DenseMatrix::zeros(2, 3));
+    }
+}

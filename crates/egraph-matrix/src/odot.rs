@@ -1,0 +1,174 @@
+//! The `⊙` (odot) matrix–vector product of Section III-B.
+//!
+//! The paper introduces a new product to express "advance in time while
+//! staying on the same (active) node":
+//!
+//! ```text
+//! Aᵀ ⊙ b = b   if Aᵀ b ≠ 0 or A b ≠ 0,
+//!          0   otherwise.
+//! ```
+//!
+//! The two conditions test whether `b` touches the *left-active* or
+//! *right-active* nodes of the snapshot whose adjacency matrix is `A`. For an
+//! elementary vector `b = e_k` the definition reads "keep `e_k` iff node `k`
+//! is active in this snapshot", and that componentwise reading is what the
+//! off-diagonal blocks `M[ti,tj]` implement (they additionally require
+//! activeness at the *destination* time). This module provides
+//!
+//! * [`odot_literal`] — the vector-level definition exactly as printed;
+//! * [`odot_componentwise`] — the per-component masking that the block
+//!   matrix `M_n` encodes and that the algebraic BFS uses;
+//! * [`causal_apply`] — `M[ti,tj]ᵀ b` given the two activeness masks.
+//!
+//! For elementary vectors the literal and componentwise forms agree, which is
+//! tested below; for general vectors the componentwise form is the faithful
+//! translation of the causal edge set `E′`.
+
+use crate::csc::CscMatrix;
+
+/// The activeness mask of a snapshot derived from its adjacency block: a node
+/// is active iff its row or its column in `A[t]` is non-empty. This is
+/// exactly the union `V̂[t]_L ∪ V̂[t]_R` from the proof of Theorem 1, and the
+/// per-block cost is `O(|V[t]| + |E[t]|)` as charged in Theorem 6.
+pub fn activeness_mask(block: &CscMatrix) -> Vec<bool> {
+    let rows = block.nonempty_rows();
+    let cols = block.nonempty_cols();
+    rows.iter().zip(cols.iter()).map(|(&r, &c)| r || c).collect()
+}
+
+/// The literal `⊙` product of the paper: returns `b` unchanged if `Aᵀ b ≠ 0`
+/// or `A b ≠ 0`, and the zero vector otherwise.
+pub fn odot_literal(block: &CscMatrix, b: &[f64]) -> Vec<f64> {
+    let at_b = block.transpose_matvec(b);
+    if at_b.iter().any(|&x| x != 0.0) {
+        return b.to_vec();
+    }
+    let a_b = block.matvec(b);
+    if a_b.iter().any(|&x| x != 0.0) {
+        return b.to_vec();
+    }
+    vec![0.0; b.len()]
+}
+
+/// The componentwise `⊙` product: keeps `b[v]` iff node `v` is active in the
+/// snapshot represented by `block`, zeroing every other component. Equals
+/// `diag(activeness_mask)ᵀ · b`.
+pub fn odot_componentwise(block: &CscMatrix, b: &[f64]) -> Vec<f64> {
+    let mask = activeness_mask(block);
+    mask_apply(&mask, b)
+}
+
+/// Applies an activeness mask to a vector (`y[v] = b[v]` if `mask[v]`, else 0).
+pub fn mask_apply(mask: &[bool], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(mask.len(), b.len());
+    mask.iter()
+        .zip(b.iter())
+        .map(|(&m, &x)| if m { x } else { 0.0 })
+        .collect()
+}
+
+/// `M[ti,tj]ᵀ b`: keeps the components of `b` whose node is active at *both*
+/// snapshots. `mask_i` and `mask_j` are the activeness masks of the two
+/// snapshots.
+pub fn causal_apply(mask_i: &[bool], mask_j: &[bool], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(mask_i.len(), b.len());
+    debug_assert_eq!(mask_j.len(), b.len());
+    mask_i
+        .iter()
+        .zip(mask_j.iter())
+        .zip(b.iter())
+        .map(|((&a, &c), &x)| if a && c { x } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockAdjacency;
+    use egraph_core::examples::paper_figure1;
+    use egraph_core::ids::TimeIndex;
+
+    fn unit(n: usize, k: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        v[k] = 1.0;
+        v
+    }
+
+    #[test]
+    fn activeness_masks_from_blocks_match_the_graph() {
+        let g = paper_figure1();
+        let blocks = BlockAdjacency::from_graph(&g);
+        for t in 0..3u32 {
+            let mask = activeness_mask(blocks.block(TimeIndex(t)));
+            assert_eq!(mask, blocks.active_mask(TimeIndex(t)), "snapshot {t}");
+        }
+    }
+
+    #[test]
+    fn paper_forward_neighbor_computation_for_node_1_t1() {
+        // Section III-B computes ⟨(A[1])ᵀ e1, (A[2])ᵀ ⊙ e1, (A[3])ᵀ ⊙ e1⟩
+        // = ⟨e2, e1, 0⟩ for the Figure 1 graph.
+        let g = paper_figure1();
+        let blocks = BlockAdjacency::from_graph(&g);
+        let e1 = unit(3, 0);
+        let first = blocks.block(TimeIndex(0)).transpose_matvec(&e1);
+        assert_eq!(first, unit(3, 1));
+        let second = odot_literal(blocks.block(TimeIndex(1)), &e1);
+        assert_eq!(second, e1);
+        let third = odot_literal(blocks.block(TimeIndex(2)), &e1);
+        assert_eq!(third, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn literal_and_componentwise_agree_on_elementary_vectors() {
+        let g = paper_figure1();
+        let blocks = BlockAdjacency::from_graph(&g);
+        for t in 0..3u32 {
+            let block = blocks.block(TimeIndex(t));
+            for k in 0..3 {
+                let e = unit(3, k);
+                assert_eq!(
+                    odot_literal(block, &e),
+                    odot_componentwise(block, &e),
+                    "snapshot {t}, node {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn componentwise_masks_mixed_vectors_per_node() {
+        let g = paper_figure1();
+        let blocks = BlockAdjacency::from_graph(&g);
+        // At t2, nodes 0 and 2 are active, node 1 is not.
+        let b = vec![1.0, 2.0, 3.0];
+        let masked = odot_componentwise(blocks.block(TimeIndex(1)), &b);
+        assert_eq!(masked, vec![1.0, 0.0, 3.0]);
+        // The literal form keeps the whole vector because Aᵀ b ≠ 0 — this is
+        // exactly the place where the componentwise reading is needed.
+        assert_eq!(odot_literal(blocks.block(TimeIndex(1)), &b), b);
+    }
+
+    #[test]
+    fn causal_apply_requires_activeness_at_both_times() {
+        let g = paper_figure1();
+        let blocks = BlockAdjacency::from_graph(&g);
+        let m1 = blocks.active_mask(TimeIndex(0)).to_vec();
+        let m2 = blocks.active_mask(TimeIndex(1)).to_vec();
+        // Nodes 0,1 active at t1; nodes 0,2 active at t2 ⇒ only node 0 passes.
+        let b = vec![5.0, 6.0, 7.0];
+        assert_eq!(causal_apply(&m1, &m2, &b), vec![5.0, 0.0, 0.0]);
+        // Consistent with the dense causal block of Equation (4).
+        let m = blocks.causal_block(TimeIndex(0), TimeIndex(1));
+        let dense_result = m.transpose_matvec(&b);
+        assert_eq!(causal_apply(&m1, &m2, &b), dense_result);
+    }
+
+    #[test]
+    fn mask_apply_zeroes_inactive_components() {
+        assert_eq!(
+            mask_apply(&[true, false, true], &[1.0, 2.0, 3.0]),
+            vec![1.0, 0.0, 3.0]
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Parallel sparse and dense matrix–vector kernels (rayon).
+//!
+//! The BFS power iteration of Algorithm 2 spends essentially all of its time
+//! in transposed matrix–vector products. These kernels parallelise the
+//! products over output elements with rayon; they produce bit-identical
+//! results to the serial kernels because each output element is an
+//! independent reduction (no concurrent accumulation into shared slots).
+
+use rayon::prelude::*;
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+
+/// Minimum number of output rows before the parallel path is taken; tiny
+/// matrices are faster serial.
+const PAR_THRESHOLD: usize = 512;
+
+/// Parallel `y = A x` for CSR (row-parallel: each row is a dot product).
+pub fn par_csr_matvec(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "dimension mismatch in par_csr_matvec");
+    if a.rows() < PAR_THRESHOLD {
+        return a.matvec(x);
+    }
+    (0..a.rows())
+        .into_par_iter()
+        .map(|r| {
+            let (cols, vals) = a.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Parallel `y = Aᵀ x` for CSC (column-parallel: each output component is a
+/// dot product of one column with `x`).
+pub fn par_csc_transpose_matvec(a: &CscMatrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        x.len(),
+        a.rows(),
+        "dimension mismatch in par_csc_transpose_matvec"
+    );
+    if a.cols() < PAR_THRESHOLD {
+        return a.transpose_matvec(x);
+    }
+    (0..a.cols())
+        .into_par_iter()
+        .map(|c| {
+            let (rows, vals) = a.col(c);
+            let mut acc = 0.0;
+            for (&r, &v) in rows.iter().zip(vals) {
+                acc += v * x[r as usize];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Parallel dense `y = A x` (row-parallel).
+pub fn par_dense_matvec(a: &DenseMatrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "dimension mismatch in par_dense_matvec");
+    if a.rows() < PAR_THRESHOLD {
+        return a.matvec(x);
+    }
+    (0..a.rows())
+        .into_par_iter()
+        .map(|r| {
+            a.row(r)
+                .iter()
+                .zip(x.iter())
+                .map(|(&av, &xv)| av * xv)
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn random_sparse(n: usize, nnz: usize, seed: u64) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(n, n, nnz);
+        let mut state = seed;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..nnz {
+            let r = (next() % n as u64) as usize;
+            let c = (next() % n as u64) as usize;
+            let v = ((next() % 1000) as f64) / 100.0;
+            coo.push(r, c, v);
+        }
+        coo
+    }
+
+    fn random_vector(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state % 2000) as f64 - 1000.0) / 250.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_csr_matches_serial_below_and_above_threshold() {
+        for &n in &[64usize, 1024] {
+            let coo = random_sparse(n, 6 * n, 0xABCD_0001);
+            let a = coo.to_csr();
+            let x = random_vector(n, 42);
+            let serial = a.matvec(&x);
+            let parallel = par_csr_matvec(&a, &x);
+            assert_eq!(serial, parallel, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_csc_transpose_matches_serial() {
+        for &n in &[64usize, 1024] {
+            let coo = random_sparse(n, 6 * n, 0xABCD_0002);
+            let a = coo.to_csc();
+            let x = random_vector(n, 7);
+            assert_eq!(
+                a.transpose_matvec(&x),
+                par_csc_transpose_matvec(&a, &x),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_dense_matches_serial() {
+        let n = 600usize;
+        let coo = random_sparse(n, 3 * n, 0xABCD_0003);
+        let a = coo.to_dense();
+        let x = random_vector(n, 9);
+        assert_eq!(a.matvec(&x), par_dense_matvec(&a, &x));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn parallel_kernels_validate_dimensions() {
+        let a = CooMatrix::new(4, 4).to_csr();
+        let _ = par_csr_matvec(&a, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,63 @@
+//! The message-passing game from the paper's introduction.
+//!
+//! Three players each hold a message. At every turn one player talks to one
+//! other player and hands over everything they know. Whether player 3 can
+//! ever collect message `a` depends on the *order* of the conversations —
+//! exactly the kind of question temporal reachability answers and static
+//! reachability gets wrong.
+//!
+//! Run with `cargo run --release --example message_game`.
+
+use evolving_graphs::baselines::flat_bfs::flat_false_positives;
+use evolving_graphs::prelude::*;
+
+fn describe(label: &str, graph: &AdjacencyListGraph) {
+    println!("— {label} —");
+    // Message `a` starts at player 1 (NodeId 0). Player 1 acts at its first
+    // active snapshot.
+    let start = graph
+        .active_times(NodeId(0))
+        .first()
+        .map(|&t| TemporalNode::new(NodeId(0), t));
+
+    match start {
+        Some(root) => {
+            let reached = bfs(graph, root).expect("player 1 is active");
+            let holders: Vec<String> = reached
+                .reached_node_ids()
+                .iter()
+                .map(|v| format!("player {}", v.0 + 1))
+                .collect();
+            println!("  message a ends up with: {}", holders.join(", "));
+            let got_it = reached.reached_node_ids().contains(&NodeId(2));
+            println!(
+                "  player 3 {} message a",
+                if got_it { "receives" } else { "can NEVER receive" }
+            );
+        }
+        None => println!("  player 1 never talks to anyone"),
+    }
+
+    // The flattened (time-ignoring) baseline claims otherwise:
+    let wrong = flat_false_positives(graph, NodeId(0));
+    if wrong.is_empty() {
+        println!("  (static flattening agrees here)");
+    } else {
+        let names: Vec<String> = wrong.iter().map(|v| format!("player {}", v.0 + 1)).collect();
+        println!(
+            "  (a static union-graph BFS would wrongly claim {} can get it)",
+            names.join(", ")
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // Ordering 1: player 1 talks to 2 first, then 2 talks to 3.
+    let good = evolving_graphs::core::examples::introduction_game(true);
+    describe("1→2 happens before 2→3", &good);
+
+    // Ordering 2: player 2 talks to 3 first, then 1 talks to 2.
+    let bad = evolving_graphs::core::examples::introduction_game(false);
+    describe("2→3 happens before 1→2", &bad);
+}

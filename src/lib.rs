@@ -1,0 +1,42 @@
+//! # evolving-graphs
+//!
+//! Umbrella crate for the Rust reproduction of *"The Right Way to Search
+//! Evolving Graphs"* (Chen & Zhang, IPPS 2016). It re-exports the workspace
+//! crates under one roof so applications can depend on a single crate:
+//!
+//! * [`core`] (`egraph-core`) — evolving-graph data structures, temporal
+//!   paths, Algorithm 1 BFS (serial and rayon-parallel);
+//! * [`matrix`] (`egraph-matrix`) — sparse/dense linear algebra, the block
+//!   adjacency matrix, the `⊙` product and Algorithm 2;
+//! * [`gen`] (`egraph-gen`) — reproducible workload generators;
+//! * [`citation`] (`egraph-citation`) — the Section V citation-mining
+//!   application;
+//! * [`baselines`] (`egraph-baselines`) — the incorrect/restricted schemes
+//!   the paper argues against;
+//! * [`io`] (`egraph-io`) — edge lists, JSON and benchmark report tables.
+//!
+//! ```
+//! use evolving_graphs::prelude::*;
+//!
+//! let g = evolving_graphs::core::examples::paper_figure1();
+//! let reached = bfs(&g, TemporalNode::from_raw(0, 0)).unwrap();
+//! assert_eq!(reached.num_reached(), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use egraph_baselines as baselines;
+pub use egraph_citation as citation;
+pub use egraph_core as core;
+pub use egraph_gen as gen;
+pub use egraph_io as io;
+pub use egraph_matrix as matrix;
+
+/// Commonly used items from every sub-crate.
+pub mod prelude {
+    pub use egraph_citation::prelude::*;
+    pub use egraph_core::prelude::*;
+    pub use egraph_gen::prelude::*;
+    pub use egraph_matrix::prelude::*;
+}
