@@ -28,7 +28,12 @@ pub enum NaiveScheme {
 /// `(dst, t_last)`" according to `scheme`. Both schemes only answer the
 /// question for the first and last snapshot (that is all Equation 2 is
 /// defined for), which is also all the paper's counter-example needs.
-pub fn naive_path_count<G: EvolvingGraph>(graph: &G, scheme: NaiveScheme, src: NodeId, dst: NodeId) -> f64 {
+pub fn naive_path_count<G: EvolvingGraph>(
+    graph: &G,
+    scheme: NaiveScheme,
+    src: NodeId,
+    dst: NodeId,
+) -> f64 {
     let m = match scheme {
         NaiveScheme::PathSum => naive_path_sum(graph),
         NaiveScheme::IdentityPadded => identity_padded_product(graph),
@@ -115,9 +120,7 @@ mod tests {
         let g = paper_figure1();
         // There is no temporal path from (3, t1) to (3, t3) because (3, t1)
         // is inactive — yet the padded product claims one.
-        assert!(
-            naive_path_count(&g, NaiveScheme::IdentityPadded, NodeId(2), NodeId(2)) >= 1.0
-        );
+        assert!(naive_path_count(&g, NaiveScheme::IdentityPadded, NodeId(2), NodeId(2)) >= 1.0);
         assert_eq!(correct_path_count(&g, NodeId(2), NodeId(2)), 0.0);
     }
 

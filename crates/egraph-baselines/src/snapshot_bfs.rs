@@ -45,7 +45,10 @@ pub fn missed_by_snapshot_bfs<G: EvolvingGraph>(
     let Ok(full) = egraph_core::bfs::bfs(graph, root) else {
         return Vec::new();
     };
-    let within: Vec<NodeId> = snapshot_bfs(graph, root).into_iter().map(|(v, _)| v).collect();
+    let within: Vec<NodeId> = snapshot_bfs(graph, root)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
     full.reached()
         .into_iter()
         .map(|(tn, _)| tn)

@@ -27,12 +27,16 @@ fn alg1_vs_alg2(c: &mut Criterion) {
 
         // The blocked engine is benchmarked both with and without the block
         // construction, to separate assembly cost from iteration cost.
-        group.bench_with_input(BenchmarkId::new("alg2_blocked_with_build", n), &n, |b, _| {
-            b.iter(|| {
-                let blocks = BlockAdjacency::from_graph(&graph);
-                std::hint::black_box(algebraic_bfs_blocked(&blocks, root).num_reached())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("alg2_blocked_with_build", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let blocks = BlockAdjacency::from_graph(&graph);
+                    std::hint::black_box(algebraic_bfs_blocked(&blocks, root).num_reached())
+                })
+            },
+        );
 
         let blocks = BlockAdjacency::from_graph(&graph);
         group.bench_with_input(BenchmarkId::new("alg2_blocked_prebuilt", n), &n, |b, _| {

@@ -4,13 +4,14 @@
 //! The paper runs single-core; this ablation quantifies what the level-
 //! synchronous structure of Algorithm 1 buys on a multicore host. Wide,
 //! shallow random graphs favour the parallel frontier; the multi-source
-//! pattern is the citation-mining access pattern of Section V.
+//! pattern is the citation-mining access pattern of Section V. All queries go
+//! through the unified `Search` builder so the ablation also covers the
+//! dispatch overhead of the query layer.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use egraph_bench::parallel_bfs_workload;
-use egraph_core::bfs::bfs;
 use egraph_core::graph::EvolvingGraph;
-use egraph_core::par_bfs::{multi_source_bfs, par_bfs};
+use egraph_query::{Search, Strategy};
 
 fn parallel_bfs_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_bfs");
@@ -20,23 +21,40 @@ fn parallel_bfs_bench(c: &mut Criterion) {
         let (graph, root) = parallel_bfs_workload(scale, 0xB0B + scale as u64);
 
         group.bench_with_input(BenchmarkId::new("serial", scale), &scale, |b, _| {
-            b.iter(|| std::hint::black_box(bfs(&graph, root).unwrap().num_reached()))
+            b.iter(|| {
+                let result = Search::from(root).run(&graph).unwrap();
+                std::hint::black_box(result.num_reached())
+            })
         });
 
         group.bench_with_input(
             BenchmarkId::new("parallel_frontier", scale),
             &scale,
-            |b, _| b.iter(|| std::hint::black_box(par_bfs(&graph, root).unwrap().num_reached())),
+            |b, _| {
+                b.iter(|| {
+                    let result = Search::from(root)
+                        .strategy(Strategy::Parallel)
+                        .run(&graph)
+                        .unwrap();
+                    std::hint::black_box(result.num_reached())
+                })
+            },
         );
 
         // Multi-source: 32 roots, each a full BFS, distributed over the pool.
         let roots: Vec<_> = graph.active_nodes().into_iter().take(32).collect();
-        group.bench_with_input(BenchmarkId::new("multi_source_32", scale), &scale, |b, _| {
-            b.iter(|| {
-                let results = multi_source_bfs(&graph, &roots);
-                std::hint::black_box(results.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("multi_source_32", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    let result = Search::from_sources(roots.iter().copied())
+                        .run(&graph)
+                        .unwrap();
+                    std::hint::black_box(result.num_sources())
+                })
+            },
+        );
     }
     group.finish();
 }

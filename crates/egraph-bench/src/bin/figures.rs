@@ -40,7 +40,7 @@ fn main() {
     let scale = parse_scale(&args);
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && !a.parse::<usize>().is_ok())
+        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
         .map(|s| s.as_str())
         .collect();
     let all = which.is_empty() || which.contains(&"all");
@@ -304,7 +304,7 @@ fn abl_a() {
             },
         ]);
     }
-    print!("{}\n", t.to_text());
+    println!("{}", t.to_text());
 }
 
 /// ABL-B: serial vs parallel BFS.
@@ -326,7 +326,7 @@ fn abl_b(scale: usize) {
             format!("{:.2}x", serial / parallel),
         ]);
     }
-    print!("{}\n", t.to_text());
+    println!("{}", t.to_text());
 }
 
 /// ABL-C: incremental insertion vs rebuild.
@@ -339,7 +339,12 @@ fn abl_c() {
 
     let mut t = SeriesTable::new(
         "ABL-C: incremental insertion vs rebuild (times in ms)",
-        &["batches applied", "apply_one_batch", "rebuild_all", "bfs_after"],
+        &[
+            "batches applied",
+            "apply_one_batch",
+            "rebuild_all",
+            "bfs_after",
+        ],
     );
     let mut incremental = stream.empty_graph();
     for (k, batch) in batches.iter().enumerate() {
@@ -359,11 +364,12 @@ fn abl_c() {
             format!("{query:.2}"),
         ]);
     }
-    print!("{}\n", t.to_text());
+    println!("{}", t.to_text());
 
     // Sanity context: same workload built once, timed end to end.
     let total_edges = batches.iter().map(|b| b.len()).sum::<usize>();
-    let once = time_ms(|| figure5_workload(num_nodes, num_timestamps, total_edges, 7).num_static_edges());
+    let once =
+        time_ms(|| figure5_workload(num_nodes, num_timestamps, total_edges, 7).num_static_edges());
     println!("(building the same {total_edges} edges in one shot takes {once:.2} ms)\n");
 }
 

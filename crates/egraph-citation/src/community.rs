@@ -86,10 +86,7 @@ pub fn community_of(
 /// community and returns the communities as author sets, largest first.
 /// Authors can belong to several communities; this is a per-root grouping,
 /// not a partition.
-pub fn communities_at_epoch(
-    network: &CitationNetwork,
-    epoch: Epoch,
-) -> Result<Vec<Vec<AuthorId>>> {
+pub fn communities_at_epoch(network: &CitationNetwork, epoch: Epoch) -> Result<Vec<Vec<AuthorId>>> {
     let Some(t) = network.epoch_index(epoch) else {
         return Ok(Vec::new());
     };

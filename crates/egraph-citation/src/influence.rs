@@ -12,10 +12,10 @@
 //! exposing the underlying [`DistanceMap`] for callers that need distances,
 //! shortest influence chains or reach times.
 
-use egraph_core::bfs::{backward_bfs, backward_bfs_with_parents, bfs, bfs_with_parents};
 use egraph_core::distance::DistanceMap;
 use egraph_core::error::{GraphError, Result};
 use egraph_core::ids::TemporalNode;
+use egraph_query::{Direction, Search};
 
 use crate::model::{AuthorId, CitationNetwork, Epoch};
 
@@ -53,7 +53,9 @@ pub fn influence_map(
     epoch: Epoch,
 ) -> Result<DistanceMap> {
     let root = root_of(network, author, epoch)?;
-    bfs(network.graph(), root)
+    Search::from(root)
+        .run(network.graph())
+        .map(|r| r.into_distance_map())
 }
 
 /// The full backward distance map behind `T⁻¹(a, t)`.
@@ -63,7 +65,10 @@ pub fn influencer_map(
     epoch: Epoch,
 ) -> Result<DistanceMap> {
     let root = root_of(network, author, epoch)?;
-    backward_bfs(network.graph(), root)
+    Search::from(root)
+        .direction(Direction::Backward)
+        .run(network.graph())
+        .map(|r| r.into_distance_map())
 }
 
 /// Forward map with BFS-tree parents (used to exhibit explicit influence
@@ -74,7 +79,10 @@ pub fn influence_map_with_parents(
     epoch: Epoch,
 ) -> Result<DistanceMap> {
     let root = root_of(network, author, epoch)?;
-    bfs_with_parents(network.graph(), root)
+    Search::from(root)
+        .with_parents()
+        .run(network.graph())
+        .map(|r| r.into_distance_map())
 }
 
 /// Backward map with BFS-tree parents (used by the community extraction to
@@ -85,7 +93,11 @@ pub fn influencer_map_with_parents(
     epoch: Epoch,
 ) -> Result<DistanceMap> {
     let root = root_of(network, author, epoch)?;
-    backward_bfs_with_parents(network.graph(), root)
+    Search::from(root)
+        .direction(Direction::Backward)
+        .with_parents()
+        .run(network.graph())
+        .map(|r| r.into_distance_map())
 }
 
 /// An explicit shortest influence chain from `(author, epoch)` to `target`,
@@ -219,7 +231,9 @@ mod tests {
     #[test]
     fn influence_chain_reconstructs_the_citation_cascade() {
         let net = toy_network();
-        let chain = influence_chain(&net, NodeId(0), 0, NodeId(3)).unwrap().unwrap();
+        let chain = influence_chain(&net, NodeId(0), 0, NodeId(3))
+            .unwrap()
+            .unwrap();
         // 0 at epoch 0 → 1 at epoch 0 (cited) → … → 3 at epoch 2.
         assert_eq!(chain.first().unwrap().0, NodeId(0));
         assert_eq!(chain.last().unwrap().0, NodeId(3));
@@ -228,6 +242,9 @@ mod tests {
             assert!(w[0].1 <= w[1].1);
         }
         // A target that was never influenced yields None.
-        assert_eq!(influence_chain(&net, NodeId(2), 2, NodeId(1)).unwrap(), None);
+        assert_eq!(
+            influence_chain(&net, NodeId(2), 2, NodeId(1)).unwrap(),
+            None
+        );
     }
 }

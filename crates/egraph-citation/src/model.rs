@@ -67,11 +67,16 @@ impl CitationNetwork {
 
     /// Builds a network from the synthetic corpus generator of `egraph-gen`.
     pub fn from_corpus(corpus: &CitationCorpus) -> Self {
-        Self::from_records(corpus.events.iter().map(|e: &CitationEvent| CitationRecord {
-            citing: NodeId(e.citing),
-            cited: NodeId(e.cited),
-            epoch: e.epoch,
-        }))
+        Self::from_records(
+            corpus
+                .events
+                .iter()
+                .map(|e: &CitationEvent| CitationRecord {
+                    citing: NodeId(e.citing),
+                    cited: NodeId(e.cited),
+                    epoch: e.epoch,
+                }),
+        )
     }
 
     /// The underlying evolving graph (influence orientation: cited → citing).

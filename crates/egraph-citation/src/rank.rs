@@ -8,9 +8,9 @@
 //! trivially over the rayon pool (the `citation_mining` benchmark measures
 //! exactly this).
 
-use egraph_core::bfs::bfs;
 use egraph_core::graph::EvolvingGraph;
 use egraph_core::ids::TemporalNode;
+use egraph_query::Search;
 use rayon::prelude::*;
 
 use crate::model::{AuthorId, CitationNetwork, Epoch};
@@ -46,8 +46,9 @@ pub fn rank_by_influence(network: &CitationNetwork) -> Vec<InfluenceScore> {
     let mut scores: Vec<InfluenceScore> = roots
         .par_iter()
         .map(|&root| {
-            let influenced = bfs(graph, root)
-                .map(|m| m.reached_node_ids().len().saturating_sub(1))
+            let influenced = Search::from(root)
+                .run(graph)
+                .map(|r| r.reached_node_ids().len().saturating_sub(1))
                 .unwrap_or(0);
             InfluenceScore {
                 author: root.node,
@@ -83,9 +84,10 @@ pub fn batch_influence_sizes(
         .par_iter()
         .map(|&(author, epoch)| {
             let root = network.temporal_node(author, epoch)?;
-            bfs(graph, root)
+            Search::from(root)
+                .run(graph)
                 .ok()
-                .map(|m| m.reached_node_ids().len().saturating_sub(1))
+                .map(|r| r.reached_node_ids().len().saturating_sub(1))
         })
         .collect()
 }
@@ -150,10 +152,7 @@ mod tests {
     #[test]
     fn batch_queries_handle_invalid_roots() {
         let net = toy_network();
-        let sizes = batch_influence_sizes(
-            &net,
-            &[(NodeId(0), 0), (NodeId(3), 0), (NodeId(0), 42)],
-        );
+        let sizes = batch_influence_sizes(&net, &[(NodeId(0), 0), (NodeId(3), 0), (NodeId(0), 42)]);
         assert_eq!(sizes[0], Some(3));
         // Author 3 is inactive at epoch 0.
         assert_eq!(sizes[1], None);

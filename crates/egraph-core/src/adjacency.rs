@@ -423,9 +423,8 @@ mod tests {
 
     #[test]
     fn labeled_edge_construction_infers_universe() {
-        let g =
-            AdjacencyListGraph::from_labeled_edges(&[(0, 1, 2010), (1, 2, 2012), (0, 2, 2011)])
-                .unwrap();
+        let g = AdjacencyListGraph::from_labeled_edges(&[(0, 1, 2010), (1, 2, 2012), (0, 2, 2011)])
+            .unwrap();
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_timestamps(), 3);
         assert_eq!(g.timestamps(), vec![2010, 2011, 2012]);

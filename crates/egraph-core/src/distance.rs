@@ -116,6 +116,31 @@ impl DistanceMap {
         map
     }
 
+    /// Builds a distance map *with parent pointers* from explicit
+    /// `(temporal node, distance, parent)` entries. The root is implied at
+    /// distance 0; entries equal to the root are skipped. Used by query
+    /// layers that run a traversal on a view (time window, reversed time)
+    /// and must express the result — including the BFS tree — in the
+    /// coordinates of the underlying graph.
+    pub fn from_reached_with_parents(
+        num_nodes: usize,
+        num_timestamps: usize,
+        root: TemporalNode,
+        reached: &[(TemporalNode, u32, Option<TemporalNode>)],
+    ) -> Self {
+        let mut map = DistanceMap::new(num_nodes, num_timestamps, root, true);
+        for &(tn, d, parent) in reached {
+            if tn == root {
+                continue;
+            }
+            map.set_distance_unchecked(tn, d);
+            if let (Some(p), Some(parents)) = (parent, map.parent.as_mut()) {
+                parents[tn.flat_index(num_nodes)] = p.flat_index(num_nodes) as u64;
+            }
+        }
+        map
+    }
+
     /// The root temporal node from which the traversal started.
     pub fn root(&self) -> TemporalNode {
         self.root
@@ -276,7 +301,11 @@ mod tests {
         let root = TemporalNode::from_raw(0, 0);
         let mut m = DistanceMap::new(3, 2, root, true);
         assert!(m.try_reach(TemporalNode::from_raw(1, 0), 1, root));
-        assert!(m.try_reach(TemporalNode::from_raw(1, 1), 2, TemporalNode::from_raw(1, 0)));
+        assert!(m.try_reach(
+            TemporalNode::from_raw(1, 1),
+            2,
+            TemporalNode::from_raw(1, 0)
+        ));
         m
     }
 

@@ -49,6 +49,19 @@ pub enum GraphError {
     },
     /// The operation requires at least one snapshot.
     EmptyGraph,
+    /// A search was issued without any source temporal node.
+    NoSources,
+    /// A search window resolved to an empty snapshot range.
+    EmptyWindow,
+    /// A search source lies outside the requested time window.
+    OutsideWindow {
+        /// The source's snapshot index.
+        time: TimeIndex,
+        /// First snapshot of the window (inclusive).
+        start: TimeIndex,
+        /// Last snapshot of the window (inclusive).
+        end: TimeIndex,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -78,6 +91,12 @@ impl fmt::Display for GraphError {
                 write!(f, "BFS root {root:?} is not an active temporal node")
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty evolving graph"),
+            GraphError::NoSources => write!(f, "search requires at least one source temporal node"),
+            GraphError::EmptyWindow => write!(f, "search window contains no snapshots"),
+            GraphError::OutsideWindow { time, start, end } => write!(
+                f,
+                "source snapshot {time} lies outside the window [{start}, {end}]"
+            ),
         }
     }
 }

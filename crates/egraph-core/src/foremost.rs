@@ -160,8 +160,11 @@ mod tests {
         // even though the distances differ.
         let g = paper_figure1();
         for &root in &g.active_nodes() {
-            let via_bfs: std::collections::BTreeSet<NodeId> =
-                bfs(&g, root).unwrap().reached_node_ids().into_iter().collect();
+            let via_bfs: std::collections::BTreeSet<NodeId> = bfs(&g, root)
+                .unwrap()
+                .reached_node_ids()
+                .into_iter()
+                .collect();
             let via_foremost: std::collections::BTreeSet<NodeId> = earliest_arrival(&g, root)
                 .reachable()
                 .into_iter()
@@ -189,7 +192,10 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(2), TimeIndex(0)).unwrap();
         let res = earliest_arrival(&g, TemporalNode::from_raw(0, 0));
         assert_eq!(res.arrival(NodeId(2)), Some(TimeIndex(0)));
-        assert_eq!(temporal_distance_steps(&g, NodeId(0), TimeIndex(0), NodeId(2)), Some(1));
+        assert_eq!(
+            temporal_distance_steps(&g, NodeId(0), TimeIndex(0), NodeId(2)),
+            Some(1)
+        );
     }
 
     #[test]

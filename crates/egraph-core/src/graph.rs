@@ -72,10 +72,22 @@ pub trait EvolvingGraph {
     }
 
     /// Resolves a time label to its snapshot index, if present.
+    ///
+    /// Labels are strictly increasing in [`TimeIndex`] order (a trait
+    /// invariant), so the lookup is a binary search: `O(log n)` calls to
+    /// [`EvolvingGraph::timestamp`] instead of a linear scan.
     fn time_index_of(&self, timestamp: Timestamp) -> Option<TimeIndex> {
-        (0..self.num_timestamps())
-            .map(TimeIndex::from_index)
-            .find(|&t| self.timestamp(t) == timestamp)
+        let mut lo = 0usize;
+        let mut hi = self.num_timestamps();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.timestamp(TimeIndex::from_index(mid)).cmp(&timestamp) {
+                core::cmp::Ordering::Equal => return Some(TimeIndex::from_index(mid)),
+                core::cmp::Ordering::Less => lo = mid + 1,
+                core::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
     }
 
     /// Whether the temporal node `(v, t)` is active (Definition 3): it has at
@@ -366,5 +378,25 @@ mod tests {
         assert_eq!(g.time_index_of(1), Some(TimeIndex(0)));
         assert_eq!(g.time_index_of(3), Some(TimeIndex(2)));
         assert_eq!(g.time_index_of(99), None);
+    }
+
+    #[test]
+    fn time_index_of_binary_search_agrees_with_linear_scan() {
+        // Sparse labels with gaps exercise every branch of the search.
+        let labels: Vec<i64> = vec![-40, -7, 0, 3, 4, 19, 100, 1000];
+        let g = AdjacencyListGraph::directed(1, labels.clone()).unwrap();
+        for probe in -45i64..1005 {
+            let linear = labels
+                .iter()
+                .position(|&l| l == probe)
+                .map(TimeIndex::from_index);
+            assert_eq!(g.time_index_of(probe), linear, "label {probe}");
+        }
+    }
+
+    #[test]
+    fn time_index_of_handles_empty_sequences() {
+        let g = AdjacencyListGraph::directed(1, Vec::new()).unwrap();
+        assert_eq!(g.time_index_of(0), None);
     }
 }

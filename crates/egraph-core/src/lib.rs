@@ -19,13 +19,21 @@
 //! computes distances over temporal paths in `O(|E| + |V|)` time for the
 //! adjacency-list representation ([`adjacency::AdjacencyListGraph`]).
 //!
+//! This crate is the *engine room*: it owns the graph representations, the
+//! traversal engines and the view adaptors. Applications usually query
+//! through the unified `Search` builder of the `egraph-query` crate, which
+//! fronts this crate's serial and parallel engines (plus `egraph-matrix`'s
+//! algebraic engine) behind one fluent entry point; the free functions below
+//! stay available for code that wants to talk to an engine directly.
+//!
 //! ## Quick example
+//!
+//! Build the 3-node example of the paper's Figure 1 (1 → 2 at t1, 1 → 3 at
+//! t2, 2 → 3 at t3) and search it with Algorithm 1:
 //!
 //! ```
 //! use egraph_core::prelude::*;
 //!
-//! // The 3-node example of the paper's Figure 1:
-//! //   1 → 2 at t1,   1 → 3 at t2,   2 → 3 at t3.
 //! let mut g = AdjacencyListGraph::directed(3, vec![1, 2, 3]).unwrap();
 //! g.add_edge(NodeId(0), NodeId(1), TimeIndex(0)).unwrap();
 //! g.add_edge(NodeId(0), NodeId(2), TimeIndex(1)).unwrap();
@@ -35,6 +43,11 @@
 //! // (3, t3) is three hops away: one static hop and two causal/static hops.
 //! assert_eq!(reached.distance(TemporalNode::from_raw(2, 2)), Some(3));
 //! ```
+//!
+//! The same query through the builder (from the `egraph-query` crate) reads
+//! `Search::from(TemporalNode::from_raw(0, 0)).run(&g)` and can switch to
+//! the parallel or algebraic engine, a time window, or backward traversal
+//! without changing the call shape.
 //!
 //! ## Module overview
 //!
@@ -81,11 +94,11 @@ pub mod prelude {
     };
     pub use crate::components::{in_component, out_component, weak_components, WeakComponents};
     pub use crate::distance::DistanceMap;
-    pub use crate::foremost::{earliest_arrival, temporal_distance_steps, ForemostResult};
-    pub use crate::metrics::{eccentricity, reach_counts, GraphMetrics};
     pub use crate::error::{GraphError, Result};
+    pub use crate::foremost::{earliest_arrival, temporal_distance_steps, ForemostResult};
     pub use crate::graph::EvolvingGraph;
     pub use crate::ids::{CausalEdge, NodeId, StaticEdge, TemporalNode, TimeIndex, Timestamp};
+    pub use crate::metrics::{eccentricity, reach_counts, GraphMetrics};
     pub use crate::par_bfs::{multi_source_bfs, par_bfs};
     pub use crate::paths::{enumerate_paths, is_temporal_path, walk_count_vector};
     pub use crate::reverse::ReversedView;

@@ -140,9 +140,7 @@ pub fn reach_counts<G: EvolvingGraph + Sync>(graph: &G) -> Vec<(TemporalNode, us
         .active_nodes()
         .par_iter()
         .map(|&root| {
-            let count = bfs(graph, root)
-                .map(|m| m.num_reached() - 1)
-                .unwrap_or(0);
+            let count = bfs(graph, root).map(|m| m.num_reached() - 1).unwrap_or(0);
             (root, count)
         })
         .collect()

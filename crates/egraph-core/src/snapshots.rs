@@ -63,6 +63,9 @@ impl SnapshotSequence {
         let mut active = vec![Vec::new(); num_nodes];
         for (ti, snap) in snapshots.iter().enumerate() {
             let t = TimeIndex::from_index(ti);
+            // Indexed on purpose: the loop is bounded by the snapshot's node
+            // count, which may be smaller than the universe `active` spans.
+            #[allow(clippy::needless_range_loop)]
             for v in 0..snap.graph.num_nodes() {
                 let incident = snap
                     .graph
@@ -230,9 +233,11 @@ mod tests {
 
     #[test]
     fn rejects_unsorted_labels() {
-        let err =
-            SnapshotSequence::new(true, vec![(3, StaticGraph::new(1)), (2, StaticGraph::new(1))])
-                .unwrap_err();
+        let err = SnapshotSequence::new(
+            true,
+            vec![(3, StaticGraph::new(1)), (2, StaticGraph::new(1))],
+        )
+        .unwrap_err();
         assert!(matches!(err, GraphError::UnsortedTimestamps { .. }));
     }
 

@@ -105,12 +105,8 @@ pub fn synthetic_citation_corpus(config: &CitationConfig) -> CitationCorpus {
         for _ in 0..config.papers_per_epoch {
             let citing = eligible[rng.gen_range(0..eligible.len())];
             for _ in 0..config.citations_per_paper {
-                let cited = sample_target(
-                    &eligible,
-                    &cited_counts,
-                    config.preferential_bias,
-                    &mut rng,
-                );
+                let cited =
+                    sample_target(&eligible, &cited_counts, config.preferential_bias, &mut rng);
                 if cited == citing {
                     continue;
                 }
@@ -132,12 +128,7 @@ pub fn synthetic_citation_corpus(config: &CitationConfig) -> CitationCorpus {
     }
 }
 
-fn sample_target(
-    eligible: &[u32],
-    cited_counts: &[f64],
-    bias: f64,
-    rng: &mut SmallRng,
-) -> u32 {
+fn sample_target(eligible: &[u32], cited_counts: &[f64], bias: f64, rng: &mut SmallRng) -> u32 {
     let total: f64 = eligible
         .iter()
         .map(|&a| 1.0 + bias * cited_counts[a as usize])

@@ -67,12 +67,8 @@ pub fn erdos_renyi_evolving(config: &ErConfig) -> AdjacencyListGraph {
                     continue;
                 }
                 if rng.gen_bool(config.edge_probability) {
-                    g.add_edge(
-                        NodeId(u as u32),
-                        NodeId(v as u32),
-                        TimeIndex(t as u32),
-                    )
-                    .expect("generated edge is always in range");
+                    g.add_edge(NodeId(u as u32), NodeId(v as u32), TimeIndex(t as u32))
+                        .expect("generated edge is always in range");
                 }
             }
         }

@@ -71,12 +71,8 @@ pub fn preferential_attachment(config: &PreferentialConfig) -> AdjacencyListGrap
             if dst == src {
                 continue;
             }
-            g.add_edge(
-                NodeId(src as u32),
-                NodeId(dst as u32),
-                TimeIndex(t as u32),
-            )
-            .expect("generated edge is always in range");
+            g.add_edge(NodeId(src as u32), NodeId(dst as u32), TimeIndex(t as u32))
+                .expect("generated edge is always in range");
             in_weight[dst] += 1;
             total_weight += 1;
         }

@@ -103,7 +103,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<AdjacencyListGraph, EdgeList
 
 /// Writes an evolving graph as a temporal edge list (one `src dst time` line
 /// per static edge), preceded by a comment header describing the graph.
-pub fn write_edge_list<G: EvolvingGraph, W: Write>(graph: &G, mut writer: W) -> std::io::Result<()> {
+pub fn write_edge_list<G: EvolvingGraph, W: Write>(
+    graph: &G,
+    mut writer: W,
+) -> std::io::Result<()> {
     writeln!(
         writer,
         "# evolving graph: {} nodes, {} snapshots, {} static edges, {}",

@@ -1,18 +1,55 @@
 //! JSON serialisation of graphs and search results.
 //!
-//! The core types derive `serde` traits behind the `serde` feature; this
-//! module pins down a concrete interchange representation (serde_json) and
-//! provides round-trip helpers so downstream tooling — notebooks, plotting
-//! scripts, the benchmark report generator — can consume search results
-//! without linking the Rust crates.
+//! This module pins down a concrete interchange representation so downstream
+//! tooling — notebooks, plotting scripts, the benchmark report generator —
+//! can consume graphs and search results without linking the Rust crates.
+//! The build environment has no access to crates.io, so instead of serde the
+//! module carries a small hand-rolled JSON writer and recursive-descent
+//! parser covering exactly the documents it emits (objects, arrays, integers,
+//! booleans and plain strings).
+//!
+//! Two document shapes are defined:
+//!
+//! * a graph document: `{"num_nodes", "directed", "timestamps", "edges"}`
+//!   with edges as `[src, dst, time_index]` triples;
+//! * a BFS-result document ([`BfsResultDocument`]): root coordinates, graph
+//!   dimensions and the reached `(node, time, distance)` triples.
 
 use egraph_core::adjacency::AdjacencyListGraph;
 use egraph_core::distance::DistanceMap;
-use egraph_core::ids::TemporalNode;
-use serde::{Deserialize, Serialize};
+use egraph_core::graph::EvolvingGraph;
+use egraph_core::ids::{NodeId, TemporalNode, TimeIndex, Timestamp};
+
+use core::fmt;
+
+/// Errors produced while encoding or decoding JSON documents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonError {
+    /// The input is not syntactically valid JSON (message, byte offset).
+    Syntax(String, usize),
+    /// The JSON is valid but does not have the expected document shape.
+    Shape(String),
+    /// The document decodes to an invalid graph (e.g. unsorted timestamps).
+    Graph(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Syntax(msg, at) => write!(f, "JSON syntax error at byte {at}: {msg}"),
+            JsonError::Shape(msg) => write!(f, "unexpected JSON document shape: {msg}"),
+            JsonError::Graph(msg) => write!(f, "decoded graph is invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for JSON round-trip helpers.
+pub type Result<T> = std::result::Result<T, JsonError>;
 
 /// A self-describing JSON document for one BFS run.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BfsResultDocument {
     /// Root node identifier.
     pub root_node: u32,
@@ -52,27 +89,397 @@ impl BfsResultDocument {
             .collect();
         DistanceMap::from_reached(self.num_nodes, self.num_timestamps, root, &reached)
     }
+
+    /// Encodes the document as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"root_node\":");
+        out.push_str(&self.root_node.to_string());
+        out.push_str(",\"root_time\":");
+        out.push_str(&self.root_time.to_string());
+        out.push_str(",\"num_nodes\":");
+        out.push_str(&self.num_nodes.to_string());
+        out.push_str(",\"num_timestamps\":");
+        out.push_str(&self.num_timestamps.to_string());
+        out.push_str(",\"reached\":[");
+        for (i, &(v, t, d)) in self.reached.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{v},{t},{d}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decodes a document from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let value = parse(json)?;
+        let obj = value.as_object("BFS-result document")?;
+        let reached = obj
+            .get("reached")?
+            .as_array("reached")?
+            .iter()
+            .map(|triple| {
+                let triple = triple.as_array("reached entry")?;
+                if triple.len() != 3 {
+                    return Err(JsonError::Shape(
+                        "reached entries must be [node, time, distance] triples".into(),
+                    ));
+                }
+                Ok((
+                    triple[0].as_u32("reached node")?,
+                    triple[1].as_u32("reached time")?,
+                    triple[2].as_u32("reached distance")?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(BfsResultDocument {
+            root_node: obj.get("root_node")?.as_u32("root_node")?,
+            root_time: obj.get("root_time")?.as_u32("root_time")?,
+            num_nodes: obj.get("num_nodes")?.as_usize("num_nodes")?,
+            num_timestamps: obj.get("num_timestamps")?.as_usize("num_timestamps")?,
+            reached,
+        })
+    }
 }
 
 /// Serialises a graph to a JSON string.
-pub fn graph_to_json(graph: &AdjacencyListGraph) -> serde_json::Result<String> {
-    serde_json::to_string(graph)
+pub fn graph_to_json(graph: &AdjacencyListGraph) -> Result<String> {
+    let mut out = String::new();
+    out.push_str("{\"num_nodes\":");
+    out.push_str(&graph.num_nodes().to_string());
+    out.push_str(",\"directed\":");
+    out.push_str(if graph.is_directed() { "true" } else { "false" });
+    out.push_str(",\"timestamps\":[");
+    for (i, label) in graph.timestamps().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&label.to_string());
+    }
+    out.push_str("],\"edges\":[");
+    for (i, (u, v, t)) in graph.edge_triples().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{},{},{}]", u.0, v.0, t.0));
+    }
+    out.push_str("]}");
+    Ok(out)
 }
 
 /// Deserialises a graph from a JSON string.
-pub fn graph_from_json(json: &str) -> serde_json::Result<AdjacencyListGraph> {
-    serde_json::from_str(json)
+pub fn graph_from_json(json: &str) -> Result<AdjacencyListGraph> {
+    let value = parse(json)?;
+    let obj = value.as_object("graph document")?;
+    let num_nodes = obj.get("num_nodes")?.as_usize("num_nodes")?;
+    let directed = obj.get("directed")?.as_bool("directed")?;
+    let timestamps: Vec<Timestamp> = obj
+        .get("timestamps")?
+        .as_array("timestamps")?
+        .iter()
+        .map(|v| v.as_i64("timestamp label"))
+        .collect::<Result<_>>()?;
+    let mut graph = AdjacencyListGraph::new(num_nodes, timestamps, directed)
+        .map_err(|e| JsonError::Graph(e.to_string()))?;
+    for triple in obj.get("edges")?.as_array("edges")? {
+        let triple = triple.as_array("edge entry")?;
+        if triple.len() != 3 {
+            return Err(JsonError::Shape(
+                "edges must be [src, dst, time_index] triples".into(),
+            ));
+        }
+        graph
+            .add_edge(
+                NodeId(triple[0].as_u32("edge src")?),
+                NodeId(triple[1].as_u32("edge dst")?),
+                TimeIndex(triple[2].as_u32("edge time")?),
+            )
+            .map_err(|e| JsonError::Graph(e.to_string()))?;
+    }
+    Ok(graph)
 }
 
 /// Serialises a BFS result to a JSON string.
-pub fn bfs_result_to_json(map: &DistanceMap) -> serde_json::Result<String> {
-    serde_json::to_string(&BfsResultDocument::from_distance_map(map))
+pub fn bfs_result_to_json(map: &DistanceMap) -> Result<String> {
+    Ok(BfsResultDocument::from_distance_map(map).to_json())
 }
 
 /// Deserialises a BFS result from a JSON string.
-pub fn bfs_result_from_json(json: &str) -> serde_json::Result<DistanceMap> {
-    let doc: BfsResultDocument = serde_json::from_str(json)?;
-    Ok(doc.to_distance_map())
+pub fn bfs_result_from_json(json: &str) -> Result<DistanceMap> {
+    Ok(BfsResultDocument::from_json(json)?.to_distance_map())
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model and recursive-descent parser.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (the subset this module emits).
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    /// An integer token (no fraction or exponent), kept exact: `i64` covers
+    /// every timestamp label, so labels never round through `f64`.
+    Int(i64),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_object(&self, what: &str) -> Result<Object<'_>> {
+        match self {
+            Value::Object(entries) => Ok(Object { entries }),
+            _ => Err(JsonError::Shape(format!("{what} must be a JSON object"))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Value]> {
+        match self {
+            Value::Array(items) => Ok(items),
+            _ => Err(JsonError::Shape(format!("{what} must be a JSON array"))),
+        }
+    }
+
+    fn as_i64(&self, what: &str) -> Result<i64> {
+        match self {
+            Value::Int(x) => Ok(*x),
+            _ => Err(JsonError::Shape(format!("{what} must be an integer"))),
+        }
+    }
+
+    fn as_u32(&self, what: &str) -> Result<u32> {
+        let x = self.as_i64(what)?;
+        u32::try_from(x).map_err(|_| JsonError::Shape(format!("{what} must fit in u32")))
+    }
+
+    fn as_usize(&self, what: &str) -> Result<usize> {
+        let x = self.as_i64(what)?;
+        usize::try_from(x).map_err(|_| JsonError::Shape(format!("{what} must be non-negative")))
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(JsonError::Shape(format!("{what} must be a boolean"))),
+        }
+    }
+}
+
+/// Borrowed view over an object's key/value entries.
+struct Object<'a> {
+    entries: &'a [(String, Value)],
+}
+
+impl Object<'_> {
+    fn get(&self, key: &str) -> Result<&Value> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| JsonError::Shape(format!("missing field \"{key}\"")))
+    }
+}
+
+fn parse(input: &str) -> Result<Value> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(JsonError::Syntax(
+            "trailing characters after document".into(),
+            parser.pos,
+        ));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error<T>(&self, msg: &str) -> Result<T> {
+        Err(JsonError::Syntax(msg.into(), self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.error(&format!("expected '{}'", byte as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.error("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            self.error(&format!("expected '{text}'"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return self.error("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.error("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        // Accumulate raw bytes: escapes contribute ASCII, everything else is
+        // copied verbatim, so multi-byte UTF-8 sequences survive intact
+        // (continuation bytes never collide with '"' or '\\').
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return self.error("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out).map_err(|_| {
+                        JsonError::Syntax("invalid UTF-8 in string".into(), self.pos)
+                    });
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'r') => out.push(b'\r'),
+                        _ => return self.error("unsupported escape sequence"),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans ASCII bytes");
+        if integral {
+            // Exact integer path: i64 covers every timestamp label without
+            // rounding through f64.
+            return match text.parse::<i64>() {
+                Ok(x) => Ok(Value::Int(x)),
+                Err(_) => self.error("integer out of i64 range"),
+            };
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Value::Number(x)),
+            Err(_) => self.error("malformed number"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +497,7 @@ mod tests {
         assert_eq!(back.num_nodes(), 3);
         assert_eq!(back.num_static_edges(), 3);
         assert_eq!(back.edge_triples(), g.edge_triples());
+        assert_eq!(back.timestamps(), g.timestamps());
     }
 
     #[test]
@@ -111,9 +519,9 @@ mod tests {
         assert_eq!(doc.root_node, 0);
         assert_eq!(doc.root_time, 1);
         assert_eq!(doc.reached.len(), 3);
-        let json = serde_json::to_string(&doc).unwrap();
+        let json = doc.to_json();
         assert!(json.contains("\"root_node\":0"));
-        let parsed: BfsResultDocument = serde_json::from_str(&json).unwrap();
+        let parsed = BfsResultDocument::from_json(&json).unwrap();
         assert_eq!(parsed, doc);
     }
 
@@ -121,5 +529,46 @@ mod tests {
     fn malformed_json_is_rejected() {
         assert!(graph_from_json("{not json").is_err());
         assert!(bfs_result_from_json("[]").is_err());
+        assert!(graph_from_json("{}").is_err());
+        assert!(graph_from_json("{\"num_nodes\": 2} trailing").is_err());
+    }
+
+    #[test]
+    fn negative_timestamps_survive_the_round_trip() {
+        // Reversed views negate labels; the format must cope with that.
+        let mut g = AdjacencyListGraph::new(2, vec![-5, -2, 7], true).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), TimeIndex(1)).unwrap();
+        let back = graph_from_json(&graph_to_json(&g).unwrap()).unwrap();
+        assert_eq!(back.timestamps(), vec![-5, -2, 7]);
+        assert_eq!(back.edge_triples(), g.edge_triples());
+    }
+
+    #[test]
+    fn large_timestamp_labels_round_trip_exactly() {
+        // Labels above 2^53 would corrupt silently if routed through f64.
+        let big = (1i64 << 53) + 1;
+        let mut g = AdjacencyListGraph::new(2, vec![-big, 0, big], true).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), TimeIndex(2)).unwrap();
+        let back = graph_from_json(&graph_to_json(&g).unwrap()).unwrap();
+        assert_eq!(back.timestamps(), vec![-big, 0, big]);
+    }
+
+    #[test]
+    fn non_ascii_strings_survive_parsing() {
+        let value = parse("{\"clé\": \"é → ✓\"}").unwrap();
+        let obj = value.as_object("test").unwrap();
+        assert_eq!(obj.get("clé").unwrap(), &Value::String("é → ✓".to_string()));
+    }
+
+    #[test]
+    fn parser_handles_whitespace_and_strings() {
+        let value = parse(" { \"a\" : [ 1 , 2.5 , true , null , \"x\\ny\" ] } ").unwrap();
+        let obj = value.as_object("test").unwrap();
+        let arr = obj.get("a").unwrap().as_array("a").unwrap();
+        assert_eq!(arr.len(), 5);
+        assert_eq!(arr[0].as_i64("n").unwrap(), 1);
+        assert!(arr[1].as_i64("n").is_err());
+        assert!(arr[2].as_bool("b").unwrap());
+        assert_eq!(arr[4], Value::String("x\ny".to_string()));
     }
 }

@@ -53,6 +53,9 @@ impl BlockAdjacency {
         let mut blocks = Vec::with_capacity(n_t);
         let mut active = vec![vec![false; n]; n_t];
 
+        // Indexed on purpose: `v` addresses a column inside a closure that
+        // selects the row by snapshot, so no single iterator owns the slot.
+        #[allow(clippy::needless_range_loop)]
         for v in 0..n {
             let v_id = NodeId::from_index(v);
             graph.for_each_active_time(v_id, &mut |t| {
@@ -206,11 +209,8 @@ impl BlockAdjacency {
     /// [`egraph_core::static_equiv::EquivalentStaticGraph`].
     pub fn to_dense_an(&self) -> (DenseMatrix, Vec<TemporalNode>) {
         let labels = self.active_temporal_nodes();
-        let index: std::collections::HashMap<TemporalNode, usize> = labels
-            .iter()
-            .enumerate()
-            .map(|(i, &tn)| (tn, i))
-            .collect();
+        let index: std::collections::HashMap<TemporalNode, usize> =
+            labels.iter().enumerate().map(|(i, &tn)| (tn, i)).collect();
         let mut m = DenseMatrix::zeros(labels.len(), labels.len());
         let n = self.num_nodes;
         let mn = self.to_dense_mn();
@@ -300,11 +300,8 @@ mod tests {
         let (an, labels) = blocks.to_dense_an();
         assert_eq!(an.rows(), 6);
         // The paper's A3 (Section III-C), in the same time-major ordering.
-        let expected = DenseMatrix::from_ones(
-            6,
-            6,
-            &[(0, 1), (0, 2), (2, 3), (1, 4), (3, 5), (4, 5)],
-        );
+        let expected =
+            DenseMatrix::from_ones(6, 6, &[(0, 1), (0, 2), (2, 3), (1, 4), (3, 5), (4, 5)]);
         assert_eq!(an, expected);
         // Cross-check against the Theorem 1 construction from egraph-core.
         let eq = EquivalentStaticGraph::build(&g);

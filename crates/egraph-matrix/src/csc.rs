@@ -127,8 +127,7 @@ impl CscMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
         let mut y = vec![0.0; self.rows];
-        for c in 0..self.cols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc == 0.0 {
                 continue;
             }
@@ -146,13 +145,13 @@ impl CscMatrix {
     pub fn transpose_matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "dimension mismatch in transpose_matvec");
         let mut y = vec![0.0; self.cols];
-        for c in 0..self.cols {
+        for (c, yc) in y.iter_mut().enumerate() {
             let (rows, vals) = self.col(c);
             let mut acc = 0.0;
             for (&r, &v) in rows.iter().zip(vals) {
                 acc += v * x[r as usize];
             }
-            y[c] = acc;
+            *yc = acc;
         }
         y
     }
@@ -188,7 +187,7 @@ mod tests {
         assert_eq!(a.get(0, 1), 1.0);
         assert_eq!(a.get(1, 2), 3.0);
         assert_eq!(a.get(2, 0), 0.0);
-        assert!(a.col_is_empty(1) == false);
+        assert!(!a.col_is_empty(1));
         assert!(a.row_is_empty(2));
         assert_eq!(a.nonempty_rows(), vec![true, true, false]);
         assert_eq!(a.nonempty_cols(), vec![true, true, true]);

@@ -96,13 +96,13 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut acc = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -111,8 +111,7 @@ impl CsrMatrix {
     pub fn transpose_matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "dimension mismatch in transpose_matvec");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }

@@ -29,7 +29,11 @@ use crate::naive_sum::snapshot_matrices;
 /// Gauss–Jordan inverse of a square dense matrix. Returns `None` if the
 /// matrix is (numerically) singular.
 pub fn invert(matrix: &DenseMatrix) -> Option<DenseMatrix> {
-    assert_eq!(matrix.rows(), matrix.cols(), "inverse requires a square matrix");
+    assert_eq!(
+        matrix.rows(),
+        matrix.cols(),
+        "inverse requires a square matrix"
+    );
     let n = matrix.rows();
     // Augmented [A | I] elimination.
     let mut a = matrix.clone();
@@ -233,8 +237,18 @@ mod tests {
         // A graph whose snapshot has spectral radius 1 (a 2-cycle): α = 1
         // makes I − αA singular.
         let mut g = egraph_core::adjacency::AdjacencyListGraph::directed_with_unit_times(2, 1);
-        g.add_edge(egraph_core::ids::NodeId(0), egraph_core::ids::NodeId(1), egraph_core::ids::TimeIndex(0)).unwrap();
-        g.add_edge(egraph_core::ids::NodeId(1), egraph_core::ids::NodeId(0), egraph_core::ids::TimeIndex(0)).unwrap();
+        g.add_edge(
+            egraph_core::ids::NodeId(0),
+            egraph_core::ids::NodeId(1),
+            egraph_core::ids::TimeIndex(0),
+        )
+        .unwrap();
+        g.add_edge(
+            egraph_core::ids::NodeId(1),
+            egraph_core::ids::NodeId(0),
+            egraph_core::ids::TimeIndex(0),
+        )
+        .unwrap();
         assert!(dynamic_communicability(&g, 1.0).is_none());
         assert!(dynamic_communicability(&g, safe_alpha(&g)).is_some());
     }

@@ -33,7 +33,10 @@ use crate::csc::CscMatrix;
 pub fn activeness_mask(block: &CscMatrix) -> Vec<bool> {
     let rows = block.nonempty_rows();
     let cols = block.nonempty_cols();
-    rows.iter().zip(cols.iter()).map(|(&r, &c)| r || c).collect()
+    rows.iter()
+        .zip(cols.iter())
+        .map(|(&r, &c)| r || c)
+        .collect()
 }
 
 /// The literal `⊙` product of the paper: returns `b` unchanged if `Aᵀ b ≠ 0`

@@ -49,11 +49,7 @@ pub fn iterate_sequence<G: EvolvingGraph>(
 /// temporal node, computed as `(A_nᵀ)^k e_root` and scattered back to the
 /// flat (time-major, all temporal nodes) indexing used by
 /// [`egraph_core::paths::walk_count_vector`].
-pub fn matrix_walk_counts<G: EvolvingGraph>(
-    graph: &G,
-    root: TemporalNode,
-    k: usize,
-) -> Vec<f64> {
+pub fn matrix_walk_counts<G: EvolvingGraph>(graph: &G, root: TemporalNode, k: usize) -> Vec<f64> {
     let (labels, iterates) = iterate_sequence(graph, root, k);
     let n = graph.num_nodes();
     let mut flat = vec![0.0; n * graph.num_timestamps()];

@@ -1,0 +1,568 @@
+//! The [`Search`] builder: a fluent, typed description of an evolving-graph
+//! search, independent of the engine that executes it.
+
+use egraph_core::bfs::{bfs, bfs_with_parents, Direction};
+use egraph_core::error::{GraphError, Result};
+use egraph_core::graph::EvolvingGraph;
+use egraph_core::ids::{TemporalNode, TimeIndex};
+use egraph_core::par_bfs::par_bfs;
+use egraph_core::reverse::ReversedView;
+use egraph_core::window::TimeWindowView;
+use egraph_matrix::algebraic_bfs::algebraic_bfs;
+
+use crate::result::SearchResult;
+use crate::view_map::ViewMap;
+
+/// Which engine executes the traversal. All strategies compute identical
+/// distances (Theorem 4 of the paper; checked by the workspace's
+/// strategy-equivalence suite); they differ only in execution profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// Algorithm 1: serial adjacency-list BFS, `O(|E| + |V|)` (Theorem 2).
+    /// The default, and the only engine that records BFS-tree parents.
+    #[default]
+    Serial,
+    /// Frontier-parallel Algorithm 1 (`egraph-core::par_bfs`): each BFS
+    /// level expands its frontier across the rayon pool.
+    Parallel,
+    /// Algorithm 2 (`egraph-matrix::algebraic_bfs`): BFS as power iteration
+    /// of the transposed block adjacency matrix of Section III-C.
+    Algebraic,
+}
+
+/// A snapshot-range restriction, produced from the range expressions accepted
+/// by [`Search::window`]. Bounds are in the *original* graph's snapshot
+/// indices and inclusive once resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSpec {
+    start: Option<u32>,
+    end_inclusive: Option<u32>,
+    empty: bool,
+}
+
+impl WindowSpec {
+    /// The whole graph (no restriction).
+    pub fn full() -> Self {
+        WindowSpec {
+            start: None,
+            end_inclusive: None,
+            empty: false,
+        }
+    }
+
+    fn new(start: Option<u32>, end_inclusive: Option<u32>) -> Self {
+        let empty = matches!((start, end_inclusive), (Some(s), Some(e)) if e < s);
+        WindowSpec {
+            start,
+            end_inclusive,
+            empty,
+        }
+    }
+
+    fn empty() -> Self {
+        WindowSpec {
+            start: None,
+            end_inclusive: None,
+            empty: true,
+        }
+    }
+
+    /// Resolves the spec against a graph with `num_timestamps` snapshots,
+    /// returning inclusive `(start, end)` indices.
+    fn resolve(&self, num_timestamps: usize) -> Result<(usize, usize)> {
+        if num_timestamps == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if self.empty {
+            return Err(GraphError::EmptyWindow);
+        }
+        let start = self.start.unwrap_or(0) as usize;
+        let end = self
+            .end_inclusive
+            .map(|e| e as usize)
+            .unwrap_or(num_timestamps - 1);
+        if end >= num_timestamps {
+            return Err(GraphError::TimeOutOfRange {
+                time: TimeIndex::from_index(end),
+                num_timestamps,
+            });
+        }
+        if start > end {
+            return Err(GraphError::EmptyWindow);
+        }
+        Ok((start, end))
+    }
+}
+
+macro_rules! impl_window_from_ranges {
+    ($t:ty, $get:expr) => {
+        impl From<core::ops::Range<$t>> for WindowSpec {
+            fn from(r: core::ops::Range<$t>) -> Self {
+                let (start, end) = ($get(r.start), $get(r.end));
+                match end.checked_sub(1) {
+                    Some(e) => WindowSpec::new(Some(start), Some(e)),
+                    None => WindowSpec::empty(),
+                }
+            }
+        }
+        impl From<core::ops::RangeInclusive<$t>> for WindowSpec {
+            fn from(r: core::ops::RangeInclusive<$t>) -> Self {
+                WindowSpec::new(Some($get(*r.start())), Some($get(*r.end())))
+            }
+        }
+        impl From<core::ops::RangeFrom<$t>> for WindowSpec {
+            fn from(r: core::ops::RangeFrom<$t>) -> Self {
+                WindowSpec::new(Some($get(r.start)), None)
+            }
+        }
+        impl From<core::ops::RangeTo<$t>> for WindowSpec {
+            fn from(r: core::ops::RangeTo<$t>) -> Self {
+                match $get(r.end).checked_sub(1) {
+                    Some(e) => WindowSpec::new(None, Some(e)),
+                    None => WindowSpec::empty(),
+                }
+            }
+        }
+        impl From<core::ops::RangeToInclusive<$t>> for WindowSpec {
+            fn from(r: core::ops::RangeToInclusive<$t>) -> Self {
+                WindowSpec::new(None, Some($get(r.end)))
+            }
+        }
+    };
+}
+
+impl_window_from_ranges!(TimeIndex, |t: TimeIndex| t.0);
+impl_window_from_ranges!(u32, |t: u32| t);
+
+impl From<core::ops::RangeFull> for WindowSpec {
+    fn from(_: core::ops::RangeFull) -> Self {
+        WindowSpec::full()
+    }
+}
+
+/// A fluent description of an evolving-graph search.
+///
+/// A `Search` is built from one or more source temporal nodes, optionally
+/// refined with a [`Direction`], a [`Strategy`], a time [window](Search::window)
+/// and/or [time reversal](Search::reverse), and then executed against any
+/// [`EvolvingGraph`] with [`Search::run`]. Sources and results are always in
+/// the coordinates of the graph handed to `run`, regardless of the views the
+/// builder composes internally.
+///
+/// See the [crate-level documentation](crate) for the correspondence with the
+/// legacy free functions.
+#[derive(Clone, Debug)]
+pub struct Search {
+    sources: Vec<TemporalNode>,
+    direction: Direction,
+    strategy: Strategy,
+    window: WindowSpec,
+    reversed: bool,
+    with_parents: bool,
+}
+
+impl Search {
+    /// Starts a single-source search from `source`.
+    #[allow(clippy::should_implement_trait)] // deliberate fluent entry point
+    pub fn from(source: impl Into<TemporalNode>) -> Self {
+        Search {
+            sources: vec![source.into()],
+            direction: Direction::Forward,
+            strategy: Strategy::Serial,
+            window: WindowSpec::full(),
+            reversed: false,
+            with_parents: false,
+        }
+    }
+
+    /// Starts a multi-source search: one independent traversal per source
+    /// (the citation-mining access pattern of Section V). The
+    /// [`SearchResult`] exposes both per-source maps and union views.
+    pub fn from_sources<I, T>(sources: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<TemporalNode>,
+    {
+        Search {
+            sources: sources.into_iter().map(Into::into).collect(),
+            direction: Direction::Forward,
+            strategy: Strategy::Serial,
+            window: WindowSpec::full(),
+            reversed: false,
+            with_parents: false,
+        }
+    }
+
+    /// Sets the traversal direction. [`Direction::Backward`] follows reversed
+    /// static edges and causal edges to *earlier* snapshots, computing the
+    /// influencer set `T⁻¹(a, t)` of Section V.
+    pub fn direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Shorthand for [`Search::direction`]`(Direction::Backward)`.
+    pub fn backward(self) -> Self {
+        self.direction(Direction::Backward)
+    }
+
+    /// Selects the execution engine. Defaults to [`Strategy::Serial`].
+    ///
+    /// If [`Search::with_parents`] is requested, the serial engine is used
+    /// regardless, because it is the only one that records BFS-tree parents;
+    /// distances are identical either way (Theorem 4).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Restricts the traversal to a contiguous snapshot range, given as any
+    /// standard range expression over [`TimeIndex`] or raw `u32` snapshot
+    /// indices — `t0..t1`, `t0..=t1`, `t0..`, `..t1`, `..` — in the
+    /// coordinates of the graph handed to [`Search::run`]. This folds the
+    /// `TimeWindowView` composition of Section II-C into the builder.
+    pub fn window(mut self, window: impl Into<WindowSpec>) -> Self {
+        self.window = window.into();
+        self
+    }
+
+    /// Runs the query on the time-reversed graph (the `t → −t`
+    /// transformation of Section V), composing with [`Search::window`] and
+    /// [`Search::direction`]. A reversed forward search equals a backward
+    /// search on the original graph, and vice versa; sources and results stay
+    /// in the original coordinates.
+    pub fn reverse(mut self) -> Self {
+        self.reversed = !self.reversed;
+        self
+    }
+
+    /// Records BFS-tree parents so shortest temporal paths can be
+    /// reconstructed with [`SearchResult::path_to`]. Forces the serial
+    /// engine (see [`Search::strategy`]).
+    pub fn with_parents(mut self) -> Self {
+        self.with_parents = true;
+        self
+    }
+
+    /// The configured sources.
+    pub fn sources(&self) -> &[TemporalNode] {
+        &self.sources
+    }
+
+    /// Executes the search against `graph`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NoSources`] if the builder holds no source;
+    /// * [`GraphError::EmptyGraph`] / [`GraphError::EmptyWindow`] /
+    ///   [`GraphError::TimeOutOfRange`] for degenerate windows;
+    /// * [`GraphError::OutsideWindow`] if a source's snapshot lies outside
+    ///   the window;
+    /// * the engine's own validation errors ([`GraphError::InactiveRoot`],
+    ///   [`GraphError::NodeOutOfRange`], …) for invalid sources.
+    pub fn run<G: EvolvingGraph + Sync>(&self, graph: &G) -> Result<SearchResult> {
+        if self.sources.is_empty() {
+            return Err(GraphError::NoSources);
+        }
+        let num_timestamps = graph.num_timestamps();
+        let (start, end) = self.window.resolve(num_timestamps)?;
+        // A backward traversal is a forward traversal on the time-reversed
+        // graph; composing with an explicit `.reverse()` toggles once more.
+        let effective_reverse = self.reversed ^ (self.direction == Direction::Backward);
+        let map = ViewMap {
+            window_start: start,
+            view_len: end - start + 1,
+            reversed: effective_reverse,
+        };
+        let windowed = start != 0 || end != num_timestamps - 1;
+        match (windowed, effective_reverse) {
+            (false, false) => self.run_on(graph, map, num_timestamps),
+            (true, false) => {
+                let view = TimeWindowView::new(
+                    graph,
+                    TimeIndex::from_index(start),
+                    TimeIndex::from_index(end),
+                )?;
+                self.run_on(&view, map, num_timestamps)
+            }
+            (false, true) => self.run_on(&ReversedView::new(graph), map, num_timestamps),
+            (true, true) => {
+                let view = TimeWindowView::new(
+                    graph,
+                    TimeIndex::from_index(start),
+                    TimeIndex::from_index(end),
+                )?;
+                self.run_on(&ReversedView::new(view), map, num_timestamps)
+            }
+        }
+    }
+
+    /// Runs every source on the composed `view` and maps results back into
+    /// original coordinates.
+    fn run_on<V: EvolvingGraph + Sync>(
+        &self,
+        view: &V,
+        map: ViewMap,
+        original_timestamps: usize,
+    ) -> Result<SearchResult> {
+        let num_nodes = view.num_nodes();
+        let strategy = if self.with_parents {
+            Strategy::Serial
+        } else {
+            self.strategy
+        };
+        let identity =
+            map.window_start == 0 && !map.reversed && map.view_len == original_timestamps;
+
+        let mut maps = Vec::with_capacity(self.sources.len());
+        for &source in &self.sources {
+            let view_source = map.node_to_view(source).ok_or(GraphError::OutsideWindow {
+                time: source.time,
+                start: TimeIndex::from_index(map.window_start),
+                end: TimeIndex::from_index(map.window_start + map.view_len - 1),
+            })?;
+            let view_result = match strategy {
+                Strategy::Serial => {
+                    if self.with_parents {
+                        bfs_with_parents(view, view_source)?
+                    } else {
+                        bfs(view, view_source)?
+                    }
+                }
+                Strategy::Parallel => par_bfs(view, view_source)?,
+                Strategy::Algebraic => algebraic_bfs(view, view_source)?,
+            };
+            maps.push(if identity {
+                view_result
+            } else if self.with_parents {
+                let entries: Vec<(TemporalNode, u32, Option<TemporalNode>)> = view_result
+                    .reached()
+                    .into_iter()
+                    .map(|(tn, d)| {
+                        let parent = view_result.parent(tn).map(|p| map.node_to_original(p));
+                        (map.node_to_original(tn), d, parent)
+                    })
+                    .collect();
+                egraph_core::distance::DistanceMap::from_reached_with_parents(
+                    num_nodes,
+                    original_timestamps,
+                    source,
+                    &entries,
+                )
+            } else {
+                let entries: Vec<(TemporalNode, u32)> = view_result
+                    .reached()
+                    .into_iter()
+                    .map(|(tn, d)| (map.node_to_original(tn), d))
+                    .collect();
+                egraph_core::distance::DistanceMap::from_reached(
+                    num_nodes,
+                    original_timestamps,
+                    source,
+                    &entries,
+                )
+            });
+        }
+        Ok(SearchResult::new(maps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph_core::bfs::backward_bfs;
+    use egraph_core::examples::paper_figure1;
+
+    #[test]
+    fn default_search_matches_algorithm_1() {
+        let g = paper_figure1();
+        for &root in &g.active_nodes() {
+            let legacy = bfs(&g, root).unwrap();
+            let result = Search::from(root).run(&g).unwrap();
+            assert_eq!(
+                result.distance_map().as_flat_slice(),
+                legacy.as_flat_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_the_paper_example() {
+        let g = paper_figure1();
+        for &root in &g.active_nodes() {
+            let serial = Search::from(root).run(&g).unwrap();
+            for strategy in [Strategy::Parallel, Strategy::Algebraic] {
+                let other = Search::from(root).strategy(strategy).run(&g).unwrap();
+                assert_eq!(
+                    serial.distance_map().as_flat_slice(),
+                    other.distance_map().as_flat_slice(),
+                    "strategy {strategy:?}, root {root:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_direction_matches_backward_bfs() {
+        let g = paper_figure1();
+        for &root in &g.active_nodes() {
+            let legacy = backward_bfs(&g, root).unwrap();
+            for strategy in [Strategy::Serial, Strategy::Parallel, Strategy::Algebraic] {
+                let result = Search::from(root)
+                    .direction(Direction::Backward)
+                    .strategy(strategy)
+                    .run(&g)
+                    .unwrap();
+                assert_eq!(
+                    result.distance_map().as_flat_slice(),
+                    legacy.as_flat_slice(),
+                    "strategy {strategy:?}, root {root:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_reversal_is_the_identity() {
+        let g = paper_figure1();
+        let root = TemporalNode::from_raw(0, 0);
+        let forward = Search::from(root).run(&g).unwrap();
+        let double = Search::from(root).backward().reverse().run(&g).unwrap();
+        assert_eq!(
+            forward.distance_map().as_flat_slice(),
+            double.distance_map().as_flat_slice()
+        );
+    }
+
+    #[test]
+    fn window_expressions_resolve_consistently() {
+        let g = paper_figure1();
+        let root = TemporalNode::from_raw(0, 1);
+        let half_open = Search::from(root).window(1u32..3).run(&g).unwrap();
+        let inclusive = Search::from(root).window(1u32..=2).run(&g).unwrap();
+        let suffix = Search::from(root).window(TimeIndex(1)..).run(&g).unwrap();
+        assert_eq!(
+            half_open.distance_map().as_flat_slice(),
+            inclusive.distance_map().as_flat_slice()
+        );
+        assert_eq!(
+            half_open.distance_map().as_flat_slice(),
+            suffix.distance_map().as_flat_slice()
+        );
+    }
+
+    #[test]
+    fn suffix_window_reproduces_the_full_search() {
+        // Section II-C: snapshots before the root are irrelevant.
+        let g = paper_figure1();
+        let root = TemporalNode::from_raw(0, 1);
+        let full = Search::from(root).run(&g).unwrap();
+        let windowed = Search::from(root).window(1u32..).run(&g).unwrap();
+        assert_eq!(
+            full.distance_map().as_flat_slice(),
+            windowed.distance_map().as_flat_slice()
+        );
+    }
+
+    #[test]
+    fn windowed_results_stay_in_original_coordinates() {
+        let g = paper_figure1();
+        let root = TemporalNode::from_raw(0, 1);
+        let windowed = Search::from(root).window(1u32..=2).run(&g).unwrap();
+        // (3, t3) = (2, 2) in original coordinates must be reported as such.
+        assert_eq!(windowed.distance(TemporalNode::from_raw(2, 2)), Some(2));
+        assert_eq!(windowed.distance_map().num_timestamps(), 3);
+    }
+
+    #[test]
+    fn sources_outside_the_window_are_rejected() {
+        let g = paper_figure1();
+        let err = Search::from(TemporalNode::from_raw(0, 0))
+            .window(1u32..=2)
+            .run(&g)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::OutsideWindow { .. }), "{err:?}");
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // deliberately empty windows
+    fn degenerate_windows_are_rejected() {
+        let g = paper_figure1();
+        let root = TemporalNode::from_raw(0, 0);
+        assert!(matches!(
+            Search::from(root).window(1u32..1).run(&g).unwrap_err(),
+            GraphError::EmptyWindow
+        ));
+        assert!(matches!(
+            Search::from(root).window(2u32..=1).run(&g).unwrap_err(),
+            GraphError::EmptyWindow
+        ));
+        assert!(matches!(
+            Search::from(root).window(0u32..=9).run(&g).unwrap_err(),
+            GraphError::TimeOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_source_lists_are_rejected() {
+        let g = paper_figure1();
+        let err = Search::from_sources(Vec::<TemporalNode>::new())
+            .run(&g)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::NoSources));
+    }
+
+    #[test]
+    fn invalid_sources_propagate_engine_errors() {
+        let g = paper_figure1();
+        assert!(matches!(
+            Search::from(TemporalNode::from_raw(2, 0))
+                .run(&g)
+                .unwrap_err(),
+            GraphError::InactiveRoot { .. }
+        ));
+        assert!(matches!(
+            Search::from(TemporalNode::from_raw(9, 0))
+                .run(&g)
+                .unwrap_err(),
+            GraphError::NodeOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn with_parents_reconstructs_paths_through_views() {
+        let g = paper_figure1();
+        // Windowed + parents: path must be a valid temporal path in original
+        // coordinates.
+        let result = Search::from(TemporalNode::from_raw(0, 1))
+            .window(1u32..=2)
+            .with_parents()
+            .strategy(Strategy::Algebraic) // ignored: parents force serial
+            .run(&g)
+            .unwrap();
+        let path = result.path_to(TemporalNode::from_raw(2, 2)).unwrap();
+        assert_eq!(path.first().copied(), Some(TemporalNode::from_raw(0, 1)));
+        assert_eq!(path.last().copied(), Some(TemporalNode::from_raw(2, 2)));
+        for w in path.windows(2) {
+            assert!(w[0].time <= w[1].time, "path moves backward: {path:?}");
+        }
+    }
+
+    #[test]
+    fn multi_source_unions_per_source_results() {
+        let g = paper_figure1();
+        let a = TemporalNode::from_raw(0, 1);
+        let b = TemporalNode::from_raw(1, 0);
+        let multi = Search::from_sources([a, b]).run(&g).unwrap();
+        assert_eq!(multi.distance_maps().len(), 2);
+        let single_a = Search::from(a).run(&g).unwrap();
+        let single_b = Search::from(b).run(&g).unwrap();
+        for tn in g.active_nodes() {
+            let expected = match (single_a.distance(tn), single_b.distance(tn)) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            };
+            assert_eq!(multi.distance(tn), expected, "at {tn:?}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! # egraph-query
+//!
+//! One entry point for every evolving-graph search.
+//!
+//! The paper's thesis is that searching an evolving graph is *one* problem
+//! with several equivalent execution strategies: the adjacency-list BFS of
+//! Algorithm 1, its frontier-parallel variant, and the algebraic block-matrix
+//! formulation of Algorithm 2 (equivalent by Theorem 4). This crate puts a
+//! single composable query layer — [`Search`] — in front of those
+//! interchangeable engines, instead of scattering the concept across a dozen
+//! free functions that each hard-code one strategy and one traversal
+//! direction.
+//!
+//! ```
+//! use egraph_core::examples::paper_figure1;
+//! use egraph_core::ids::TemporalNode;
+//! use egraph_query::{Direction, Search, Strategy};
+//!
+//! let g = paper_figure1();
+//!
+//! // Forward BFS from (1, t1), serial engine (the default).
+//! let result = Search::from(TemporalNode::from_raw(0, 0)).run(&g).unwrap();
+//! assert_eq!(result.distance(TemporalNode::from_raw(2, 2)), Some(3));
+//!
+//! // The same query on the algebraic engine gives identical distances.
+//! let algebraic = Search::from(TemporalNode::from_raw(0, 0))
+//!     .strategy(Strategy::Algebraic)
+//!     .run(&g)
+//!     .unwrap();
+//! assert_eq!(result.reached(), algebraic.reached());
+//!
+//! // Backward in time from (3, t3): who could have influenced it?
+//! let back = Search::from(TemporalNode::from_raw(2, 2))
+//!     .direction(Direction::Backward)
+//!     .run(&g)
+//!     .unwrap();
+//! assert!(back.is_reached(TemporalNode::from_raw(0, 0)));
+//! ```
+//!
+//! The builder folds view composition in as well: [`Search::window`]
+//! restricts the traversal to a contiguous snapshot range (the
+//! `TimeWindowView` of Section II-C) and [`Search::reverse`] runs the query
+//! on the time-reversed graph (Section V's `t → −t` transformation), with
+//! sources and results always expressed in the *original* graph's
+//! coordinates. Multi-source queries ([`Search::from_sources`]) run one
+//! traversal per source and expose both per-source and union views of the
+//! result.
+//!
+//! | legacy free function | builder equivalent |
+//! |---|---|
+//! | `bfs(&g, root)` | `Search::from(root).run(&g)` |
+//! | `backward_bfs(&g, root)` | `Search::from(root).direction(Direction::Backward).run(&g)` |
+//! | `par_bfs(&g, root)` | `Search::from(root).strategy(Strategy::Parallel).run(&g)` |
+//! | `algebraic_bfs(&g, root)` | `Search::from(root).strategy(Strategy::Algebraic).run(&g)` |
+//! | `multi_source_bfs(&g, roots)` | `Search::from_sources(roots).run(&g)` |
+//! | `reachable_set(&g, root)` | `Search::from(root).run(&g)?.reachable_set()` |
+//! | `is_reachable(&g, a, b)` | `Search::from(a).run(&g)?.is_reached(b)` |
+//! | `distance_between(&g, a, b)` | `Search::from(a).run(&g)?.distance(b)` |
+//! | `eccentricity(&g, root)` | `Search::from(root).run(&g)?.eccentricity()` |
+//! | `earliest_arrival(&g, root)` | `Search::from(root).run(&g)?.earliest_arrival(v)` |
+//! | `bfs(&TimeWindowView::new(&g, a, b)?, root)` | `Search::from(root).window(a..=b).run(&g)` |
+//! | `bfs(&ReversedView::new(&g), root)` | `Search::from(root).reverse().run(&g)` |
+//!
+//! The legacy functions remain available (the engines live in `egraph-core`
+//! and `egraph-matrix`; the builder dispatches to them), so existing code
+//! keeps working while new code gets a single coherent entry point.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod result;
+mod view_map;
+
+pub use builder::{Search, Strategy, WindowSpec};
+pub use egraph_core::bfs::Direction;
+pub use result::SearchResult;
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::builder::{Search, Strategy, WindowSpec};
+    pub use crate::result::SearchResult;
+    pub use egraph_core::bfs::Direction;
+}

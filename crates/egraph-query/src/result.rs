@@ -1,0 +1,303 @@
+//! [`SearchResult`]: the uniform result type of every [`Search`](crate::Search).
+//!
+//! A result holds one [`DistanceMap`] per source, always expressed in the
+//! coordinates of the graph the query ran against (window shifts and time
+//! reversal are undone by the builder). On top of the per-source maps it
+//! offers the union views that the legacy free functions used to return
+//! individually: reachable sets, eccentricities, earliest arrivals, distinct
+//! reached node identifiers and shortest-path reconstruction.
+
+use egraph_core::distance::DistanceMap;
+use egraph_core::ids::{NodeId, TemporalNode, TimeIndex};
+
+use std::collections::BTreeMap;
+
+/// The result of executing a [`Search`](crate::Search).
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    maps: Vec<DistanceMap>,
+}
+
+impl SearchResult {
+    pub(crate) fn new(maps: Vec<DistanceMap>) -> Self {
+        debug_assert!(!maps.is_empty(), "SearchResult requires at least one map");
+        SearchResult { maps }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-source access
+    // ------------------------------------------------------------------
+
+    /// The sources of the search, in the order they were configured.
+    pub fn sources(&self) -> Vec<TemporalNode> {
+        self.maps.iter().map(|m| m.root()).collect()
+    }
+
+    /// The first (for single-source searches: the only) source.
+    pub fn source(&self) -> TemporalNode {
+        self.maps[0].root()
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// The per-source distance maps, in source order.
+    pub fn distance_maps(&self) -> &[DistanceMap] {
+        &self.maps
+    }
+
+    /// The first source's distance map — the natural accessor for
+    /// single-source searches.
+    pub fn distance_map(&self) -> &DistanceMap {
+        &self.maps[0]
+    }
+
+    /// Consumes the result, returning the first source's distance map.
+    pub fn into_distance_map(self) -> DistanceMap {
+        self.maps.into_iter().next().expect("at least one map")
+    }
+
+    /// Consumes the result, returning every per-source distance map.
+    pub fn into_distance_maps(self) -> Vec<DistanceMap> {
+        self.maps
+    }
+
+    /// Distance from source number `index` to `tn`.
+    pub fn distance_from(&self, index: usize, tn: TemporalNode) -> Option<u32> {
+        self.maps.get(index).and_then(|m| m.distance(tn))
+    }
+
+    // ------------------------------------------------------------------
+    // Union views
+    // ------------------------------------------------------------------
+
+    /// Distance to `tn`: for single-source searches the source's distance;
+    /// for multi-source searches the minimum over sources.
+    pub fn distance(&self, tn: TemporalNode) -> Option<u32> {
+        self.maps.iter().filter_map(|m| m.distance(tn)).min()
+    }
+
+    /// Whether any source reaches `tn` (Definition 7 reachability).
+    pub fn is_reached(&self, tn: TemporalNode) -> bool {
+        self.maps.iter().any(|m| m.is_reached(tn))
+    }
+
+    /// All reached temporal nodes with their (minimum) distances, in
+    /// time-major order. For a single source this equals
+    /// `DistanceMap::reached`.
+    pub fn reached(&self) -> Vec<(TemporalNode, u32)> {
+        if self.maps.len() == 1 {
+            return self.maps[0].reached();
+        }
+        let num_nodes = self.maps[0].num_nodes();
+        let mut best: BTreeMap<usize, u32> = BTreeMap::new();
+        for map in &self.maps {
+            for (tn, d) in map.reached() {
+                best.entry(tn.flat_index(num_nodes))
+                    .and_modify(|x| *x = (*x).min(d))
+                    .or_insert(d);
+            }
+        }
+        best.into_iter()
+            .map(|(flat, d)| (TemporalNode::from_flat_index(flat, num_nodes), d))
+            .collect()
+    }
+
+    /// Number of distinct temporal nodes reached by any source (sources
+    /// included).
+    pub fn num_reached(&self) -> usize {
+        if self.maps.len() == 1 {
+            return self.maps[0].num_reached();
+        }
+        self.reached().len()
+    }
+
+    /// The temporal nodes reachable from the sources, *excluding* the
+    /// sources themselves — the return shape of the legacy `reachable_set`.
+    pub fn reachable_set(&self) -> Vec<TemporalNode> {
+        let sources = self.sources();
+        self.reached()
+            .into_iter()
+            .map(|(tn, _)| tn)
+            .filter(|tn| !sources.contains(tn))
+            .collect()
+    }
+
+    /// The largest finite distance — the temporal eccentricity of the source
+    /// (for multi-source searches: the maximum per-source eccentricity).
+    pub fn eccentricity(&self) -> u32 {
+        self.maps
+            .iter()
+            .map(|m| m.max_distance())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Alias for [`SearchResult::eccentricity`], mirroring
+    /// `DistanceMap::max_distance`.
+    pub fn max_distance(&self) -> u32 {
+        self.eccentricity()
+    }
+
+    /// The distinct *node* identifiers reached at any snapshot by any source
+    /// — the influence set `T(a, t)` of Section V for a forward search.
+    pub fn reached_node_ids(&self) -> Vec<NodeId> {
+        if self.maps.len() == 1 {
+            return self.maps[0].reached_node_ids();
+        }
+        let num_nodes = self.maps[0].num_nodes();
+        let mut seen = vec![false; num_nodes];
+        for map in &self.maps {
+            for node in map.reached_node_ids() {
+                seen[node.index()] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(v, _)| NodeId::from_index(v))
+            .collect()
+    }
+
+    /// The earliest snapshot at which `node` is reached by any source — the
+    /// "foremost" arrival time for forward searches. `None` if unreached.
+    ///
+    /// Scans only `node`'s time row of each map (`O(sources · snapshots)`),
+    /// so calling it per node stays linear overall.
+    pub fn earliest_arrival(&self, node: NodeId) -> Option<TimeIndex> {
+        if node.index() >= self.maps[0].num_nodes() {
+            return None;
+        }
+        let num_timestamps = self.maps[0].num_timestamps();
+        (0..num_timestamps).map(TimeIndex::from_index).find(|&t| {
+            self.maps
+                .iter()
+                .any(|m| m.is_reached(TemporalNode::new(node, t)))
+        })
+    }
+
+    /// Earliest arrival snapshots for every reached node, keyed by node.
+    pub fn arrival_times(&self) -> Vec<(NodeId, TimeIndex)> {
+        if self.maps.len() == 1 {
+            return self.maps[0].earliest_reach_times();
+        }
+        let num_nodes = self.maps[0].num_nodes();
+        let mut earliest: Vec<Option<TimeIndex>> = vec![None; num_nodes];
+        for map in &self.maps {
+            for (node, t) in map.earliest_reach_times() {
+                let slot = &mut earliest[node.index()];
+                if slot.map(|cur| t < cur).unwrap_or(true) {
+                    *slot = Some(t);
+                }
+            }
+        }
+        earliest
+            .iter()
+            .enumerate()
+            .filter_map(|(v, t)| t.map(|t| (NodeId::from_index(v), t)))
+            .collect()
+    }
+
+    /// Reconstructs a shortest temporal path to `tn` from the source that
+    /// reaches it at minimum distance. Requires the search to have been built
+    /// with [`Search::with_parents`](crate::Search::with_parents); returns
+    /// `None` otherwise or if `tn` is unreached.
+    pub fn path_to(&self, tn: TemporalNode) -> Option<Vec<TemporalNode>> {
+        self.maps
+            .iter()
+            .filter(|m| m.is_reached(tn))
+            .min_by_key(|m| m.distance(tn).unwrap_or(u32::MAX))
+            .and_then(|m| m.path_to(tn))
+    }
+
+    /// Histogram of (minimum) distances: entry `k` counts temporal nodes at
+    /// distance `k`. Entry 0 counts the sources.
+    pub fn distance_histogram(&self) -> Vec<usize> {
+        if self.maps.len() == 1 {
+            return self.maps[0].distance_histogram();
+        }
+        let reached = self.reached();
+        let depth = reached.iter().map(|&(_, d)| d).max().unwrap_or(0);
+        let mut hist = vec![0usize; depth as usize + 1];
+        for (_, d) in reached {
+            hist[d as usize] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Search;
+    use egraph_core::examples::paper_figure1;
+    use egraph_core::foremost::earliest_arrival;
+    use egraph_core::graph::EvolvingGraph as _;
+    use egraph_core::metrics::eccentricity;
+
+    #[test]
+    fn single_source_accessors_match_distance_map() {
+        let g = paper_figure1();
+        let root = TemporalNode::from_raw(0, 0);
+        let result = Search::from(root).run(&g).unwrap();
+        let map = result.distance_map().clone();
+        assert_eq!(result.source(), root);
+        assert_eq!(result.num_sources(), 1);
+        assert_eq!(result.num_reached(), map.num_reached());
+        assert_eq!(result.reached(), map.reached());
+        assert_eq!(result.reached_node_ids(), map.reached_node_ids());
+        assert_eq!(result.arrival_times(), map.earliest_reach_times());
+        assert_eq!(result.distance_histogram(), map.distance_histogram());
+        assert_eq!(result.max_distance(), map.max_distance());
+    }
+
+    #[test]
+    fn eccentricity_matches_the_legacy_metric() {
+        let g = paper_figure1();
+        for &root in &g.active_nodes() {
+            let result = Search::from(root).run(&g).unwrap();
+            assert_eq!(Some(result.eccentricity()), eccentricity(&g, root));
+        }
+    }
+
+    #[test]
+    fn earliest_arrival_matches_the_foremost_sweep() {
+        let g = paper_figure1();
+        for &root in &g.active_nodes() {
+            let result = Search::from(root).run(&g).unwrap();
+            let foremost = earliest_arrival(&g, root);
+            for v in 0..3u32 {
+                assert_eq!(
+                    result.earliest_arrival(NodeId(v)),
+                    foremost.arrival(NodeId(v)),
+                    "root {root:?}, node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_set_excludes_every_source() {
+        let g = paper_figure1();
+        let sources = [TemporalNode::from_raw(0, 0), TemporalNode::from_raw(0, 1)];
+        let result = Search::from_sources(sources).run(&g).unwrap();
+        let set = result.reachable_set();
+        for s in sources {
+            assert!(!set.contains(&s));
+        }
+        assert!(set.contains(&TemporalNode::from_raw(2, 2)));
+    }
+
+    #[test]
+    fn union_counts_deduplicate() {
+        let g = paper_figure1();
+        let a = TemporalNode::from_raw(0, 0);
+        let result = Search::from_sources([a, a]).run(&g).unwrap();
+        // The same source twice reaches exactly what one copy reaches.
+        let single = Search::from(a).run(&g).unwrap();
+        assert_eq!(result.num_reached(), single.num_reached());
+        assert_eq!(result.reached(), single.reached());
+    }
+}

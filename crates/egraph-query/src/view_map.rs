@@ -1,0 +1,117 @@
+//! Coordinate mapping between a composed view (time window and/or time
+//! reversal) and the underlying graph.
+//!
+//! The [`Search`](crate::Search) builder accepts sources in the *original*
+//! graph's coordinates, runs the chosen engine on a composed view, and maps
+//! every reached temporal node (and BFS-tree parent) back. This module holds
+//! the tiny bijection that makes that round trip exact.
+
+use egraph_core::ids::{TemporalNode, TimeIndex};
+
+/// An affine snapshot-index bijection `original ↔ view`: drop the snapshots
+/// before `window_start`, keep `view_len` of them, and optionally flip the
+/// order (time reversal).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ViewMap {
+    /// First original snapshot index inside the window.
+    pub window_start: usize,
+    /// Number of snapshots in the view.
+    pub view_len: usize,
+    /// Whether the view runs backwards in time.
+    pub reversed: bool,
+}
+
+impl ViewMap {
+    /// Maps an original snapshot index into the view, if it lies inside the
+    /// window.
+    pub fn time_to_view(&self, t: TimeIndex) -> Option<TimeIndex> {
+        let t = t.index();
+        if t < self.window_start || t >= self.window_start + self.view_len {
+            return None;
+        }
+        let rel = t - self.window_start;
+        let rel = if self.reversed {
+            self.view_len - 1 - rel
+        } else {
+            rel
+        };
+        Some(TimeIndex::from_index(rel))
+    }
+
+    /// Maps a view snapshot index back to the original graph.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `t` is outside the view.
+    pub fn time_to_original(&self, t: TimeIndex) -> TimeIndex {
+        let rel = t.index();
+        debug_assert!(rel < self.view_len, "view time {rel} out of range");
+        let rel = if self.reversed {
+            self.view_len - 1 - rel
+        } else {
+            rel
+        };
+        TimeIndex::from_index(self.window_start + rel)
+    }
+
+    /// Maps an original temporal node into the view.
+    pub fn node_to_view(&self, tn: TemporalNode) -> Option<TemporalNode> {
+        self.time_to_view(tn.time)
+            .map(|t| TemporalNode::new(tn.node, t))
+    }
+
+    /// Maps a view temporal node back to the original graph.
+    pub fn node_to_original(&self, tn: TemporalNode) -> TemporalNode {
+        TemporalNode::new(tn.node, self.time_to_original(tn.time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trips() {
+        let m = ViewMap {
+            window_start: 0,
+            view_len: 5,
+            reversed: false,
+        };
+        for t in 0..5u32 {
+            let t = TimeIndex(t);
+            assert_eq!(m.time_to_view(t), Some(t));
+            assert_eq!(m.time_to_original(t), t);
+        }
+    }
+
+    #[test]
+    fn window_shifts_indices() {
+        let m = ViewMap {
+            window_start: 2,
+            view_len: 3,
+            reversed: false,
+        };
+        assert_eq!(m.time_to_view(TimeIndex(2)), Some(TimeIndex(0)));
+        assert_eq!(m.time_to_view(TimeIndex(4)), Some(TimeIndex(2)));
+        assert_eq!(m.time_to_view(TimeIndex(1)), None);
+        assert_eq!(m.time_to_view(TimeIndex(5)), None);
+        assert_eq!(m.time_to_original(TimeIndex(1)), TimeIndex(3));
+    }
+
+    #[test]
+    fn reversal_flips_inside_the_window() {
+        let m = ViewMap {
+            window_start: 1,
+            view_len: 4,
+            reversed: true,
+        };
+        // original 1..=4 maps to view 3,2,1,0.
+        assert_eq!(m.time_to_view(TimeIndex(1)), Some(TimeIndex(3)));
+        assert_eq!(m.time_to_view(TimeIndex(4)), Some(TimeIndex(0)));
+        // The mapping is an involution on the window.
+        for t in 1..5u32 {
+            let t = TimeIndex(t);
+            let v = m.time_to_view(t).unwrap();
+            assert_eq!(m.time_to_original(v), t);
+        }
+    }
+}

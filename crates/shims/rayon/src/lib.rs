@@ -1,0 +1,231 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this crate mirrors
+//! the subset of rayon's parallel-iterator API that the workspace uses —
+//! `par_iter()` / `into_par_iter()` with `map`, `filter`, `filter_map`,
+//! `fold`, `reduce`, `for_each`, `sum` and `collect` — executing everything
+//! *sequentially* on the calling thread.
+//!
+//! All algorithms in this workspace are written so their results are
+//! identical regardless of execution order (discoveries within a BFS level
+//! are order-independent, per-root searches are independent, matrix rows are
+//! independent reductions), so sequential execution is observationally
+//! equivalent; only wall-clock parallel speed-ups are lost. Swapping the real
+//! rayon back in is a one-line change in each `Cargo.toml` once a registry
+//! is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A "parallel" iterator: a thin wrapper around a sequential iterator that
+/// exposes rayon's combinator names.
+pub struct ParIter<I: Iterator> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Applies `f` to every element (rayon: `ParallelIterator::map`).
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Keeps elements satisfying `f` (rayon: `ParallelIterator::filter`).
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// Filter-and-map in one pass (rayon: `ParallelIterator::filter_map`).
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        ParIter {
+            inner: self.inner.filter_map(f),
+        }
+    }
+
+    /// Rayon's split-wise fold: produces one accumulator per split. The
+    /// sequential stand-in has exactly one split, so this yields a
+    /// single-element iterator holding the full fold.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: FnOnce() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        let acc = self.inner.fold(identity(), fold_op);
+        ParIter {
+            inner: std::iter::once(acc),
+        }
+    }
+
+    /// Reduces all elements with `op`, starting from `identity()` (rayon:
+    /// `ParallelIterator::reduce`).
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: FnOnce() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Runs `f` on every element (rayon: `ParallelIterator::for_each`).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(f)
+    }
+
+    /// Sums the elements (rayon: `ParallelIterator::sum`).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    /// Collects into any `FromIterator` container (rayon:
+    /// `ParallelIterator::collect`, including the `FromParallelIterator`
+    /// impls for `Vec<T>` and `Vec<Result<T, E>>`).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+
+    /// Returns the number of elements (rayon: `ParallelIterator::count`).
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+}
+
+/// Conversion of owned collections into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    type Iter = std::ops::Range<u32>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+/// Borrowing conversion (`par_iter`) for slice-like collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed element type.
+    type Item: 'data;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// The usual glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn fold_then_reduce() {
+        let v: Vec<usize> = (0..100).collect();
+        let sum = v
+            .par_iter()
+            .fold(Vec::new, |mut acc, &x| {
+                acc.push(x);
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(sum.len(), 100);
+        assert_eq!(sum.iter().sum::<usize>(), 4950);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let v = vec![3usize, 5, 7];
+        assert_eq!(v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b), 15);
+        let empty: Vec<usize> = Vec::new();
+        assert_eq!(empty.par_iter().map(|&x| x).reduce(|| 9, |a, b| a + b), 9);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0usize..5).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn collect_results() {
+        let v = vec![1i32, -2, 3];
+        let res: Vec<Result<i32, String>> = v
+            .par_iter()
+            .map(|&x| if x > 0 { Ok(x) } else { Err("neg".to_string()) })
+            .collect();
+        assert!(res[0].is_ok() && res[1].is_err() && res[2].is_ok());
+    }
+}

@@ -70,10 +70,7 @@ fn main() {
     // authors, as (author, epoch) hops.
     if let Some(&target) = influenced.last() {
         if let Ok(Some(chain)) = influence_chain(&network, star, debut, target) {
-            let pretty: Vec<String> = chain
-                .iter()
-                .map(|(a, e)| format!("{}@{}", a, e))
-                .collect();
+            let pretty: Vec<String> = chain.iter().map(|(a, e)| format!("{}@{}", a, e)).collect();
             println!(
                 "\nexample influence chain from {star} to {target}: {}",
                 pretty.join(" → ")

@@ -22,7 +22,7 @@ fn describe(label: &str, graph: &AdjacencyListGraph) {
 
     match start {
         Some(root) => {
-            let reached = bfs(graph, root).expect("player 1 is active");
+            let reached = Search::from(root).run(graph).expect("player 1 is active");
             let holders: Vec<String> = reached
                 .reached_node_ids()
                 .iter()
@@ -32,7 +32,11 @@ fn describe(label: &str, graph: &AdjacencyListGraph) {
             let got_it = reached.reached_node_ids().contains(&NodeId(2));
             println!(
                 "  player 3 {} message a",
-                if got_it { "receives" } else { "can NEVER receive" }
+                if got_it {
+                    "receives"
+                } else {
+                    "can NEVER receive"
+                }
             );
         }
         None => println!("  player 1 never talks to anyone"),
@@ -43,7 +47,10 @@ fn describe(label: &str, graph: &AdjacencyListGraph) {
     if wrong.is_empty() {
         println!("  (static flattening agrees here)");
     } else {
-        let names: Vec<String> = wrong.iter().map(|v| format!("player {}", v.0 + 1)).collect();
+        let names: Vec<String> = wrong
+            .iter()
+            .map(|v| format!("player {}", v.0 + 1))
+            .collect();
         println!(
             "  (a static union-graph BFS would wrongly claim {} can get it)",
             names.join(", ")

@@ -1,5 +1,6 @@
-//! Quickstart: build the paper's Figure 1 graph by hand, search it with
-//! Algorithm 1, and cross-check the algebraic formulation (Algorithm 2).
+//! Quickstart: build the paper's Figure 1 graph by hand, search it with the
+//! unified `Search` builder, and cross-check every execution strategy
+//! (Algorithm 1 serial and parallel, Algorithm 2 algebraic).
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -24,41 +25,72 @@ fn main() -> Result<()> {
     );
 
     // ------------------------------------------------------------------
-    // 2. Breadth-first search over temporal paths (Algorithm 1).
+    // 2. One query, one entry point: the Search builder.
     // ------------------------------------------------------------------
     let root = TemporalNode::from_raw(0, 0); // (1, t1)
-    let reached = bfs(&graph, root)?;
-    println!("\nBFS from (1, t1):");
-    for (tn, dist) in reached.reached() {
-        println!("  ({}, t{})  distance {}", tn.node.0 + 1, tn.time.0 + 1, dist);
+    let result = Search::from(root).run(&graph)?;
+    println!("\nSearch from (1, t1):");
+    for (tn, dist) in result.reached() {
+        println!(
+            "  ({}, t{})  distance {}",
+            tn.node.0 + 1,
+            tn.time.0 + 1,
+            dist
+        );
     }
 
     // Shortest temporal path to (3, t3), reconstructed from BFS parents.
-    let with_parents = bfs_with_parents(&graph, root)?;
     let target = TemporalNode::from_raw(2, 2);
+    let with_parents = Search::from(root).with_parents().run(&graph)?;
     let path = with_parents.path_to(target).expect("target is reachable");
     let pretty: Vec<String> = path
         .iter()
         .map(|tn| format!("({}, t{})", tn.node.0 + 1, tn.time.0 + 1))
         .collect();
-    println!("\nshortest temporal path to (3, t3): {}", pretty.join(" → "));
+    println!(
+        "\nshortest temporal path to (3, t3): {}",
+        pretty.join(" → ")
+    );
 
     // All temporal paths of length 4 (the two dashed paths of Figure 2).
     let paths = enumerate_paths(&graph, root, target, 4);
     println!("temporal paths of length 4 to (3, t3): {}", paths.len());
 
     // ------------------------------------------------------------------
-    // 3. The algebraic formulation (Algorithm 2) gives identical results.
+    // 3. Swap the execution strategy without touching the query: the
+    //    parallel frontier engine and the algebraic formulation
+    //    (Algorithm 2) give identical results.
     // ------------------------------------------------------------------
-    let algebraic = algebraic_bfs(&graph, root)?;
-    assert_eq!(reached.as_flat_slice(), algebraic.as_flat_slice());
-    println!("\nAlgorithm 2 (block power iteration) agrees with Algorithm 1 ✓");
+    for strategy in [Strategy::Parallel, Strategy::Algebraic] {
+        let other = Search::from(root).strategy(strategy).run(&graph)?;
+        assert_eq!(result.reached(), other.reached());
+        println!("\n{strategy:?} strategy agrees with the serial engine ✓");
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Compose views inside the query: backward in time, or windowed.
+    // ------------------------------------------------------------------
+    let influencers = Search::from(target)
+        .direction(Direction::Backward)
+        .run(&graph)?;
+    println!(
+        "\n(3, t3) is backward-reachable from {} temporal nodes",
+        influencers.num_reached() - 1
+    );
+
+    let late = Search::from(TemporalNode::from_raw(0, 1))
+        .window(TimeIndex(1)..) // drop the irrelevant first snapshot (Sec. II-C)
+        .run(&graph)?;
+    println!(
+        "windowed search from (1, t2) over [t2, t3] reaches {} temporal nodes",
+        late.num_reached()
+    );
 
     // The naïve adjacency-product sum, by contrast, miscounts: it sees only
     // one of the two temporal paths from (1, t1) to (3, t3).
     let naive = naive_path_sum(&graph);
     println!(
-        "naive Eq.(2) count for 1 → 3: {}   correct count: {}",
+        "\nnaive Eq.(2) count for 1 → 3: {}   correct count: {}",
         naive.get(0, 2),
         total_path_count(&graph, root, target)
     );

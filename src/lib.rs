@@ -4,10 +4,12 @@
 //! Evolving Graphs"* (Chen & Zhang, IPPS 2016). It re-exports the workspace
 //! crates under one roof so applications can depend on a single crate:
 //!
+//! * [`query`] (`egraph-query`) — the unified [`Search`](egraph_query::Search)
+//!   query builder: **the recommended entry point** for every traversal;
 //! * [`core`] (`egraph-core`) — evolving-graph data structures, temporal
-//!   paths, Algorithm 1 BFS (serial and rayon-parallel);
+//!   paths, Algorithm 1 BFS (serial and frontier-parallel engines);
 //! * [`matrix`] (`egraph-matrix`) — sparse/dense linear algebra, the block
-//!   adjacency matrix, the `⊙` product and Algorithm 2;
+//!   adjacency matrix, the `⊙` product and Algorithm 2 (algebraic engine);
 //! * [`gen`] (`egraph-gen`) — reproducible workload generators;
 //! * [`citation`] (`egraph-citation`) — the Section V citation-mining
 //!   application;
@@ -15,13 +17,39 @@
 //!   the paper argues against;
 //! * [`io`] (`egraph-io`) — edge lists, JSON and benchmark report tables.
 //!
+//! ## Quickstart
+//!
+//! Build a graph, then describe the traversal once with [`Search`] and pick
+//! the execution strategy independently:
+//!
 //! ```
 //! use evolving_graphs::prelude::*;
 //!
 //! let g = evolving_graphs::core::examples::paper_figure1();
-//! let reached = bfs(&g, TemporalNode::from_raw(0, 0)).unwrap();
-//! assert_eq!(reached.num_reached(), 6);
+//! let root = TemporalNode::from_raw(0, 0);
+//!
+//! // Forward BFS from (1, t1) — serial Algorithm 1 under the hood.
+//! let result = Search::from(root).run(&g)?;
+//! assert_eq!(result.num_reached(), 6);
+//!
+//! // The algebraic engine (Algorithm 2) computes identical distances.
+//! let algebraic = Search::from(root).strategy(Strategy::Algebraic).run(&g)?;
+//! assert_eq!(result.reached(), algebraic.reached());
+//!
+//! // Backward in time, restricted to the last two snapshots.
+//! let influencers = Search::from(TemporalNode::from_raw(2, 2))
+//!     .direction(Direction::Backward)
+//!     .window(1u32..=2)
+//!     .run(&g)?;
+//! assert!(influencers.is_reached(TemporalNode::from_raw(0, 1)));
+//! # Ok::<(), GraphError>(())
 //! ```
+//!
+//! The legacy free functions (`bfs`, `backward_bfs`, `par_bfs`,
+//! `multi_source_bfs`, `reachable_set`, `eccentricity`, …) remain exported
+//! and continue to work; the builder dispatches to the same engines.
+//!
+//! [`Search`]: egraph_query::Search
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +60,7 @@ pub use egraph_core as core;
 pub use egraph_gen as gen;
 pub use egraph_io as io;
 pub use egraph_matrix as matrix;
+pub use egraph_query as query;
 
 /// Commonly used items from every sub-crate.
 pub mod prelude {
@@ -39,4 +68,5 @@ pub mod prelude {
     pub use egraph_core::prelude::*;
     pub use egraph_gen::prelude::*;
     pub use egraph_matrix::prelude::*;
+    pub use egraph_query::prelude::*;
 }

@@ -1,26 +1,31 @@
-//! Property-based tests of Theorems 1 and 4: on arbitrary evolving graphs,
-//! Algorithm 1, Algorithm 2 (blocked and dense), the rayon-parallel BFS and
-//! classical BFS on the Theorem 1 equivalent static graph all compute the
-//! same distances.
+//! Property-style tests of Theorems 1 and 4: on arbitrary evolving graphs,
+//! Algorithm 1, Algorithm 2 (blocked and dense), the frontier-parallel BFS
+//! and classical BFS on the Theorem 1 equivalent static graph all compute
+//! the same distances.
+//!
+//! The build environment has no proptest, so the suite drives the same
+//! properties with a deterministic seeded generator: every case is
+//! reproducible from its trial index.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use evolving_graphs::prelude::*;
 
-/// Strategy: a random directed evolving graph given as
-/// `(num_nodes, num_timestamps, edges)` with 2–14 nodes, 1–5 snapshots and up
-/// to 60 edges (self-loops filtered out later).
-fn graph_strategy() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, u32)>)> {
-    (2usize..14, 1usize..5).prop_flat_map(|(n, t)| {
-        let edge = (0..n as u32, 0..n as u32, 0..t as u32);
-        proptest::collection::vec(edge, 0..60).prop_map(move |edges| (n, t, edges))
-    })
-}
+const TRIALS: u64 = 64;
 
-/// Builds the graph, dropping self-loops.
-fn build(n: usize, t: usize, edges: &[(u32, u32, u32)]) -> AdjacencyListGraph {
+/// Deterministic random instance for one trial: 2–13 nodes, 1–4 snapshots,
+/// up to 60 directed edges with self-loops dropped.
+fn random_graph(seed: u64) -> AdjacencyListGraph {
+    let mut rng = SmallRng::seed_from_u64(0xA1B2_0000 ^ seed);
+    let n = rng.gen_range(2usize..14);
+    let t = rng.gen_range(1usize..5);
+    let num_edges = rng.gen_range(0usize..60);
     let mut g = AdjacencyListGraph::directed_with_unit_times(n, t);
-    for &(u, v, time) in edges {
+    for _ in 0..num_edges {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        let time = rng.gen_range(0..t as u32);
         if u != v {
             g.add_edge(NodeId(u), NodeId(v), TimeIndex(time)).unwrap();
         }
@@ -28,59 +33,72 @@ fn build(n: usize, t: usize, edges: &[(u32, u32, u32)]) -> AdjacencyListGraph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Theorem 4 + the parallel variant: all four BFS engines agree.
-    #[test]
-    fn all_bfs_engines_agree((n, t, edges) in graph_strategy()) {
-        let g = build(n, t, &edges);
+/// Theorem 4 + the parallel variant: all four BFS engines agree.
+#[test]
+fn all_bfs_engines_agree() {
+    for trial in 0..TRIALS {
+        let g = random_graph(trial);
         for &root in &g.active_nodes() {
             let alg1 = bfs(&g, root).unwrap();
             let alg2 = algebraic_bfs(&g, root).unwrap();
             let dense = algebraic_bfs_dense(&g, root).unwrap();
             let parallel = par_bfs(&g, root).unwrap();
-            prop_assert_eq!(alg1.as_flat_slice(), alg2.as_flat_slice());
-            prop_assert_eq!(alg1.as_flat_slice(), dense.as_flat_slice());
-            prop_assert_eq!(alg1.as_flat_slice(), parallel.as_flat_slice());
+            assert_eq!(alg1.as_flat_slice(), alg2.as_flat_slice(), "trial {trial}");
+            assert_eq!(alg1.as_flat_slice(), dense.as_flat_slice(), "trial {trial}");
+            assert_eq!(
+                alg1.as_flat_slice(),
+                parallel.as_flat_slice(),
+                "trial {trial}"
+            );
         }
     }
+}
 
-    /// Theorem 1: BFS on the evolving graph equals classical BFS on the
-    /// equivalent static graph, for every active root.
-    #[test]
-    fn evolving_bfs_equals_static_bfs((n, t, edges) in graph_strategy()) {
-        let g = build(n, t, &edges);
+/// Theorem 1: BFS on the evolving graph equals classical BFS on the
+/// equivalent static graph, for every active root.
+#[test]
+fn evolving_bfs_equals_static_bfs() {
+    for trial in 0..TRIALS {
+        let g = random_graph(trial);
         let eq = EquivalentStaticGraph::build(&g);
         for &root in &g.active_nodes() {
             let evolving = bfs(&g, root).unwrap();
             let on_static = eq.bfs_distances_from(root).unwrap();
-            prop_assert_eq!(on_static.len(), evolving.num_reached());
+            assert_eq!(on_static.len(), evolving.num_reached(), "trial {trial}");
             for (tn, d) in on_static {
-                prop_assert_eq!(evolving.distance(tn), Some(d));
+                assert_eq!(evolving.distance(tn), Some(d), "trial {trial}, {tn:?}");
             }
         }
     }
+}
 
-    /// The dense A_n built by the matrix crate has exactly the edges of the
-    /// Theorem 1 static graph.
-    #[test]
-    fn block_matrix_matches_equivalent_graph((n, t, edges) in graph_strategy()) {
-        let g = build(n, t, &edges);
+/// The dense A_n built by the matrix crate has exactly the edges of the
+/// Theorem 1 static graph.
+#[test]
+fn block_matrix_matches_equivalent_graph() {
+    for trial in 0..TRIALS {
+        let g = random_graph(trial);
         let eq = EquivalentStaticGraph::build(&g);
         let (an, labels) = BlockAdjacency::from_graph(&g).to_dense_an();
-        prop_assert_eq!(labels.as_slice(), eq.temporal_nodes());
+        assert_eq!(labels.as_slice(), eq.temporal_nodes(), "trial {trial}");
         for i in 0..labels.len() {
             for j in 0..labels.len() {
-                prop_assert_eq!(an.get(i, j) != 0.0, eq.static_graph().has_edge(i, j));
+                assert_eq!(
+                    an.get(i, j) != 0.0,
+                    eq.static_graph().has_edge(i, j),
+                    "trial {trial}, entry ({i}, {j})"
+                );
             }
         }
     }
+}
 
-    /// Matrix-power walk counts equal the graph-side dynamic program.
-    #[test]
-    fn walk_counts_agree((n, t, edges) in graph_strategy(), hops in 0usize..4) {
-        let g = build(n, t, &edges);
+/// Matrix-power walk counts equal the graph-side dynamic program.
+#[test]
+fn walk_counts_agree() {
+    for trial in 0..TRIALS {
+        let g = random_graph(trial);
+        let hops = (trial % 4) as usize;
         let actives = g.active_nodes();
         if let Some(&root) = actives.first() {
             let via_matrix = matrix_walk_counts(&g, root, hops);
@@ -88,40 +106,51 @@ proptest! {
                 .iter()
                 .map(|&x| x as f64)
                 .collect();
-            prop_assert_eq!(via_matrix, via_dp);
+            assert_eq!(via_matrix, via_dp, "trial {trial}, hops {hops}");
         }
     }
+}
 
-    /// The backward BFS from b reaches a iff the forward BFS from a reaches b,
-    /// with the same distance.
-    #[test]
-    fn forward_backward_duality((n, t, edges) in graph_strategy()) {
-        let g = build(n, t, &edges);
+/// The backward BFS from b reaches a iff the forward BFS from a reaches b,
+/// with the same distance.
+#[test]
+fn forward_backward_duality() {
+    for trial in 0..TRIALS {
+        let g = random_graph(trial);
         let actives = g.active_nodes();
         for &a in actives.iter().take(4) {
             let fwd = bfs(&g, a).unwrap();
             for &b in actives.iter().take(4) {
                 let bwd = backward_bfs(&g, b).unwrap();
-                prop_assert_eq!(fwd.distance(b), bwd.distance(a),
-                    "a = {:?}, b = {:?}", a, b);
+                assert_eq!(
+                    fwd.distance(b),
+                    bwd.distance(a),
+                    "trial {trial}, a = {a:?}, b = {b:?}"
+                );
             }
         }
     }
+}
 
-    /// A forward BFS on the time-reversed view equals a backward BFS on the
-    /// original graph.
-    #[test]
-    fn reversed_view_duality((n, t, edges) in graph_strategy()) {
-        let g = build(n, t, &edges);
+/// A forward BFS on the time-reversed view equals a backward BFS on the
+/// original graph.
+#[test]
+fn reversed_view_duality() {
+    for trial in 0..TRIALS {
+        let g = random_graph(trial);
         let view = ReversedView::new(&g);
         let actives = g.active_nodes();
         for &root in actives.iter().take(4) {
             let bwd = backward_bfs(&g, root).unwrap();
             let mapped_root = view.map_temporal(root);
             let fwd = bfs(&view, mapped_root).unwrap();
-            prop_assert_eq!(bwd.num_reached(), fwd.num_reached());
+            assert_eq!(bwd.num_reached(), fwd.num_reached(), "trial {trial}");
             for (tn, d) in bwd.reached() {
-                prop_assert_eq!(fwd.distance(view.map_temporal(tn)), Some(d));
+                assert_eq!(
+                    fwd.distance(view.map_temporal(tn)),
+                    Some(d),
+                    "trial {trial}, {tn:?}"
+                );
             }
         }
     }

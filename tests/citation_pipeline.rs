@@ -37,7 +37,10 @@ fn influence_and_influencer_sets_are_dual() {
     let net = small_corpus(21);
     let ranking = rank_by_influence(&net);
     let star = ranking[0];
-    assert!(star.influenced > 0, "the corpus should have influence chains");
+    assert!(
+        star.influenced > 0,
+        "the corpus should have influence chains"
+    );
 
     // Every author b in T(star) must list star in T⁻¹(b, some epoch at which
     // the influence arrived). Use the forward map's earliest reach times for

@@ -1,10 +1,15 @@
-//! Property-based tests of the structural invariants behind the paper's
+//! Property-style tests of the structural invariants behind the paper's
 //! definitions: every BFS distance is witnessed by a valid temporal path,
 //! activeness gates reachability, acyclic snapshots give nilpotent block
 //! matrices, incremental construction equals batch construction, and the
 //! serialisation formats round-trip.
+//!
+//! The build environment has no proptest, so the suite drives the same
+//! properties with a deterministic seeded generator: every case is
+//! reproducible from its trial index.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use evolving_graphs::io::{
     bfs_result_from_json, bfs_result_to_json, graph_from_json, graph_to_json, read_edge_list,
@@ -12,172 +17,209 @@ use evolving_graphs::io::{
 };
 use evolving_graphs::prelude::*;
 
-fn graph_strategy() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, u32)>)> {
-    (2usize..12, 1usize..5).prop_flat_map(|(n, t)| {
-        let edge = (0..n as u32, 0..n as u32, 0..t as u32);
-        proptest::collection::vec(edge, 0..50).prop_map(move |edges| (n, t, edges))
-    })
+const TRIALS: u64 = 64;
+
+/// Deterministic random edge set for one trial: 2–11 nodes, 1–4 snapshots,
+/// up to 50 directed edges (self-loops excluded).
+fn random_edges(seed: u64) -> (usize, usize, Vec<(u32, u32, u32)>) {
+    let mut rng = SmallRng::seed_from_u64(0x1A7B_4000 ^ seed);
+    let n = rng.gen_range(2usize..12);
+    let t = rng.gen_range(1usize..5);
+    let num_edges = rng.gen_range(0usize..50);
+    let mut edges = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        let time = rng.gen_range(0..t as u32);
+        if u != v {
+            edges.push((u, v, time));
+        }
+    }
+    (n, t, edges)
 }
 
 fn build(n: usize, t: usize, edges: &[(u32, u32, u32)]) -> AdjacencyListGraph {
-    let mut g = AdjacencyListGraph::directed_with_unit_times(n, t);
-    for &(u, v, time) in edges {
-        if u != v {
-            g.add_edge(NodeId(u), NodeId(v), TimeIndex(time)).unwrap();
-        }
-    }
-    g
+    AdjacencyListGraph::from_indexed_edges(n, t, edges).unwrap()
 }
 
-/// DAG-snapshot strategy: edges always point from a lower to a higher node
-/// id, so every snapshot is acyclic (the hypothesis of Lemma 1).
-fn acyclic_graph_strategy() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, u32)>)> {
-    graph_strategy().prop_map(|(n, t, edges)| {
-        let dag_edges = edges
-            .into_iter()
-            .map(|(u, v, time)| if u < v { (u, v, time) } else { (v, u, time) })
-            .collect();
-        (n, t, dag_edges)
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every reached temporal node has a BFS-tree path that (a) is a valid
-    /// temporal path per Definition 4 and (b) has exactly `distance + 1`
-    /// nodes; and distance-1 nodes are exactly the root's forward neighbors.
-    #[test]
-    fn bfs_distances_are_witnessed_by_temporal_paths((n, t, edges) in graph_strategy()) {
+/// Every reached temporal node has a BFS-tree path that (a) is a valid
+/// temporal path per Definition 4 and (b) has exactly `distance + 1` nodes;
+/// and distance-1 nodes are exactly the root's forward neighbors.
+#[test]
+fn bfs_distances_are_witnessed_by_temporal_paths() {
+    for trial in 0..TRIALS {
+        let (n, t, edges) = random_edges(trial);
         let g = build(n, t, &edges);
         if let Some(&root) = g.active_nodes().first() {
             let map = bfs_with_parents(&g, root).unwrap();
             for (tn, d) in map.reached() {
                 let path = map.path_to(tn).unwrap();
-                prop_assert_eq!(path.len() as u32, d + 1);
-                prop_assert!(is_temporal_path(&g, &path), "invalid path {:?}", path);
+                assert_eq!(path.len() as u32, d + 1, "trial {trial}");
+                assert!(
+                    is_temporal_path(&g, &path),
+                    "trial {trial}: invalid path {path:?}"
+                );
             }
             let mut layer1 = map.layer(1);
             layer1.sort();
             let mut fwd: Vec<TemporalNode> = g.forward_neighbors(root);
             fwd.sort();
             fwd.dedup();
-            prop_assert_eq!(layer1, fwd);
+            assert_eq!(layer1, fwd, "trial {trial}");
         }
     }
+}
 
-    /// Reachability respects activeness and time ordering: nothing strictly
-    /// earlier than the root is ever reached, and inactive temporal nodes are
-    /// never reached.
-    #[test]
-    fn reached_nodes_are_active_and_not_earlier((n, t, edges) in graph_strategy()) {
+/// Reachability respects activeness and time ordering: nothing strictly
+/// earlier than the root is ever reached, and inactive temporal nodes are
+/// never reached.
+#[test]
+fn reached_nodes_are_active_and_not_earlier() {
+    for trial in 0..TRIALS {
+        let (n, t, edges) = random_edges(trial);
         let g = build(n, t, &edges);
         for &root in g.active_nodes().iter().take(4) {
             let map = bfs(&g, root).unwrap();
             for (tn, _) in map.reached() {
-                prop_assert!(g.is_active(tn.node, tn.time));
-                prop_assert!(tn.time >= root.time);
+                assert!(g.is_active(tn.node, tn.time), "trial {trial}, {tn:?}");
+                assert!(tn.time >= root.time, "trial {trial}, {tn:?}");
             }
         }
     }
+}
 
-    /// BFS layers are monotone: a node at distance k+1 has some in-neighbor
-    /// (in the forward-neighbor relation) at distance k.
-    #[test]
-    fn bfs_layers_are_consistent((n, t, edges) in graph_strategy()) {
+/// BFS layers are monotone: a node at distance k+1 has some in-neighbor (in
+/// the forward-neighbor relation) at distance k.
+#[test]
+fn bfs_layers_are_consistent() {
+    for trial in 0..TRIALS {
+        let (n, t, edges) = random_edges(trial);
         let g = build(n, t, &edges);
         if let Some(&root) = g.active_nodes().first() {
             let map = bfs(&g, root).unwrap();
             for (tn, d) in map.reached() {
-                if d == 0 { continue; }
+                if d == 0 {
+                    continue;
+                }
                 let found = g
                     .backward_neighbors(tn)
                     .iter()
                     .any(|&p| map.distance(p) == Some(d - 1));
-                prop_assert!(found, "node {:?} at distance {} has no predecessor", tn, d);
+                assert!(
+                    found,
+                    "trial {trial}: node {tn:?} at distance {d} has no predecessor"
+                );
             }
         }
     }
+}
 
-    /// Lemma 1: acyclic snapshots ⇒ nilpotent block adjacency matrix; and the
-    /// algebraic BFS terminates with the same result as Algorithm 1.
-    #[test]
-    fn lemma1_nilpotency_on_acyclic_graphs((n, t, edges) in acyclic_graph_strategy()) {
-        let g = build(n, t, &edges);
+/// Lemma 1: acyclic snapshots ⇒ nilpotent block adjacency matrix; and the
+/// algebraic BFS terminates with the same result as Algorithm 1.
+#[test]
+fn lemma1_nilpotency_on_acyclic_graphs() {
+    for trial in 0..TRIALS {
+        let (n, t, edges) = random_edges(trial);
+        // Orient every edge from the lower to the higher node id, so every
+        // snapshot is a DAG (the hypothesis of Lemma 1).
+        let dag_edges: Vec<(u32, u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v, time)| if u < v { (u, v, time) } else { (v, u, time) })
+            .collect();
+        let g = build(n, t, &dag_edges);
         let (acyclic, nilpotent) = lemma1_check(&g);
-        prop_assert!(acyclic);
-        prop_assert!(nilpotent);
+        assert!(acyclic, "trial {trial}");
+        assert!(nilpotent, "trial {trial}");
     }
+}
 
-    /// Incremental insertion and batch construction produce identical graphs
-    /// (same activeness, edges and BFS results).
-    #[test]
-    fn incremental_equals_batch_construction((n, t, edges) in graph_strategy()) {
-        let filtered: Vec<(u32, u32, u32)> =
-            edges.iter().copied().filter(|&(u, v, _)| u != v).collect();
-        let batch = AdjacencyListGraph::from_indexed_edges(n, t, &filtered).unwrap();
-        let incremental = build(n, t, &edges);
-        prop_assert_eq!(batch.edge_triples(), incremental.edge_triples());
-        prop_assert_eq!(batch.active_nodes(), incremental.active_nodes());
+/// Incremental insertion and batch construction produce identical graphs
+/// (same activeness, edges and BFS results).
+#[test]
+fn incremental_equals_batch_construction() {
+    for trial in 0..TRIALS {
+        let (n, t, edges) = random_edges(trial);
+        let batch = AdjacencyListGraph::from_indexed_edges(n, t, &edges).unwrap();
+        let mut incremental = AdjacencyListGraph::directed_with_unit_times(n, t);
+        for &(u, v, time) in &edges {
+            incremental
+                .add_edge(NodeId(u), NodeId(v), TimeIndex(time))
+                .unwrap();
+        }
+        assert_eq!(batch.edge_triples(), incremental.edge_triples());
+        assert_eq!(batch.active_nodes(), incremental.active_nodes());
         if let Some(&root) = incremental.active_nodes().first() {
             let a = bfs(&batch, root).unwrap();
             let b = bfs(&incremental, root).unwrap();
-            prop_assert_eq!(a.as_flat_slice(), b.as_flat_slice());
+            assert_eq!(a.as_flat_slice(), b.as_flat_slice(), "trial {trial}");
         }
     }
+}
 
-    /// The adjacency-list and snapshot-sequence representations agree.
-    #[test]
-    fn representations_agree((n, t, edges) in graph_strategy()) {
-        let filtered: Vec<(u32, u32, u32)> =
-            edges.iter().copied().filter(|&(u, v, _)| u != v).collect();
-        let adj = AdjacencyListGraph::from_indexed_edges(n, t, &filtered).unwrap();
-        let snap = SnapshotSequence::from_indexed_edges(n, t, &filtered).unwrap();
-        prop_assert_eq!(adj.num_static_edges(), snap.num_static_edges());
-        prop_assert_eq!(adj.active_nodes(), snap.active_nodes());
+/// The adjacency-list and snapshot-sequence representations agree.
+#[test]
+fn representations_agree() {
+    for trial in 0..TRIALS {
+        let (n, t, edges) = random_edges(trial);
+        let adj = AdjacencyListGraph::from_indexed_edges(n, t, &edges).unwrap();
+        let snap = SnapshotSequence::from_indexed_edges(n, t, &edges).unwrap();
+        assert_eq!(adj.num_static_edges(), snap.num_static_edges());
+        assert_eq!(adj.active_nodes(), snap.active_nodes());
         if let Some(&root) = adj.active_nodes().first() {
             let a = bfs(&adj, root).unwrap();
             let b = bfs(&snap, root).unwrap();
-            prop_assert_eq!(a.as_flat_slice(), b.as_flat_slice());
+            assert_eq!(a.as_flat_slice(), b.as_flat_slice(), "trial {trial}");
         }
     }
+}
 
-    /// Edge-list and JSON serialisation round-trip graphs and BFS results.
-    #[test]
-    fn serialisation_round_trips((n, t, edges) in graph_strategy()) {
+/// Edge-list and JSON serialisation round-trip graphs and BFS results.
+#[test]
+fn serialisation_round_trips() {
+    for trial in 0..TRIALS {
+        let (n, t, edges) = random_edges(trial);
         let g = build(n, t, &edges);
-        // Drop graphs with no edges: the inferred universe of an empty edge
+        // Skip graphs with no edges: the inferred universe of an empty edge
         // list is legitimately empty.
-        prop_assume!(g.num_static_edges() > 0);
+        if g.num_static_edges() == 0 {
+            continue;
+        }
 
         let text = to_edge_list_string(&g);
         let from_text = read_edge_list(text.as_bytes()).unwrap();
-        prop_assert_eq!(from_text.num_static_edges(), g.num_static_edges());
+        assert_eq!(from_text.num_static_edges(), g.num_static_edges());
 
         let json = graph_to_json(&g).unwrap();
         let from_json = graph_from_json(&json).unwrap();
-        prop_assert_eq!(from_json.edge_triples(), g.edge_triples());
+        assert_eq!(from_json.edge_triples(), g.edge_triples(), "trial {trial}");
 
         if let Some(&root) = g.active_nodes().first() {
             let map = bfs(&g, root).unwrap();
             let round = bfs_result_from_json(&bfs_result_to_json(&map).unwrap()).unwrap();
-            prop_assert_eq!(round.as_flat_slice(), map.as_flat_slice());
+            assert_eq!(round.as_flat_slice(), map.as_flat_slice(), "trial {trial}");
         }
     }
+}
 
-    /// The time-window view starting at the root's snapshot reproduces the
-    /// full BFS (Section II-C's "earlier snapshots are irrelevant").
-    #[test]
-    fn suffix_window_is_equivalent((n, t, edges) in graph_strategy()) {
+/// The time-window view starting at the root's snapshot reproduces the full
+/// BFS (Section II-C's "earlier snapshots are irrelevant").
+#[test]
+fn suffix_window_is_equivalent() {
+    for trial in 0..TRIALS {
+        let (n, t, edges) = random_edges(trial);
         let g = build(n, t, &edges);
         for &root in g.active_nodes().iter().take(3) {
             let full = bfs(&g, root).unwrap();
             let w = TimeWindowView::from_start(&g, root.time).unwrap();
             let wroot = w.to_window_temporal(root).unwrap();
             let windowed = bfs(&w, wroot).unwrap();
-            prop_assert_eq!(full.num_reached(), windowed.num_reached());
+            assert_eq!(full.num_reached(), windowed.num_reached(), "trial {trial}");
             for (tn, d) in windowed.reached() {
-                prop_assert_eq!(full.distance(w.to_inner_temporal(tn)), Some(d));
+                assert_eq!(
+                    full.distance(w.to_inner_temporal(tn)),
+                    Some(d),
+                    "trial {trial}"
+                );
             }
         }
     }

@@ -103,8 +103,7 @@ fn figure4_block_matrices_and_power_iteration() {
 
     // A3 as printed in the paper (time-major active-node ordering).
     let (an, labels) = blocks.to_dense_an();
-    let expected =
-        DenseMatrix::from_ones(6, 6, &[(0, 1), (0, 2), (2, 3), (1, 4), (3, 5), (4, 5)]);
+    let expected = DenseMatrix::from_ones(6, 6, &[(0, 1), (0, 2), (2, 3), (1, 4), (3, 5), (4, 5)]);
     assert_eq!(an, expected);
     assert_eq!(labels.len(), 6);
 
