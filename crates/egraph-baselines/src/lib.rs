@@ -9,8 +9,8 @@
 //!   paths (Section III-A);
 //! * [`flat_bfs`] — BFS on the time-flattened union graph, which ignores
 //!   causality and over-approximates reachability;
-//! * [`snapshot_bfs`] — per-snapshot static BFS, which drops causal edges and
-//!   under-approximates reachability.
+//! * [`mod@snapshot_bfs`] — per-snapshot static BFS, which drops causal edges
+//!   and under-approximates reachability.
 //!
 //! The `naive_vs_correct` benchmark and several integration/property tests
 //! are built on these.

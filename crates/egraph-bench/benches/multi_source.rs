@@ -1,0 +1,109 @@
+//! MSS — per-source multi-source BFS vs the shared-frontier engine.
+//!
+//! The per-source loop (`multi_source_bfs`, and the hop strategies of the
+//! `Search` builder) costs `O(|E| + |V|)` *per source*; the shared-frontier
+//! engine pays it once for the whole source set. Because the in-tree `rayon`
+//! shim is sequential, the bench reports node-expansion counters alongside
+//! wall clock: the shared frontier's work stays flat as the source count
+//! grows while the per-source loop's grows linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egraph_core::bfs::multi_source_shared;
+use egraph_core::graph::EvolvingGraph;
+use egraph_core::ids::TemporalNode;
+use egraph_core::instrument::CountingView;
+use egraph_core::par_bfs::{multi_source_bfs, par_multi_source_shared};
+use egraph_gen::random::figure5_workload;
+use egraph_query::{Search, Strategy};
+
+const SOURCE_COUNTS: [usize; 3] = [4, 16, 64];
+
+fn multi_source(c: &mut Criterion) {
+    let graph = figure5_workload(2_000, 8, 20_000, 0x3155);
+    let actives = graph.active_nodes();
+
+    let mut group = c.benchmark_group("multi_source");
+    group.sample_size(10);
+
+    for count in SOURCE_COUNTS {
+        let step = (actives.len() / count).max(1);
+        let sources: Vec<TemporalNode> =
+            actives.iter().copied().step_by(step).take(count).collect();
+
+        // --- Work counters. ------------------------------------------------
+        let loop_view = CountingView::new(&graph);
+        let per_source = multi_source_bfs(&loop_view, &sources);
+        assert!(per_source.iter().all(|r| r.is_ok()));
+        let loop_work = loop_view.counters();
+
+        let shared_view = CountingView::new(&graph);
+        let shared = multi_source_shared(&shared_view, &sources).unwrap();
+        let shared_work = shared_view.counters();
+
+        // The shared frontier visits each temporal node once overall, the
+        // loop once per source that reaches it.
+        assert!(
+            shared_work.total() <= loop_work.total(),
+            "shared frontier must not do more work than the per-source loop"
+        );
+        println!(
+            "multi_source/k{}: node expansions — per-source loop: {}, shared frontier: {} \
+             ({:.2}x less work), {} temporal nodes reached",
+            sources.len(),
+            loop_work.total(),
+            shared_work.total(),
+            loop_work.total() as f64 / shared_work.total() as f64,
+            shared.num_reached(),
+        );
+
+        // --- Wall clock. ---------------------------------------------------
+        group.bench_with_input(
+            BenchmarkId::new("per_source_loop", count),
+            &sources,
+            |b, sources| {
+                b.iter(|| {
+                    let maps = multi_source_bfs(&graph, sources);
+                    std::hint::black_box(maps.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shared_frontier", count),
+            &sources,
+            |b, sources| {
+                b.iter(|| {
+                    let map = multi_source_shared(&graph, sources).unwrap();
+                    std::hint::black_box(map.num_reached())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shared_frontier_par", count),
+            &sources,
+            |b, sources| {
+                b.iter(|| {
+                    let map = par_multi_source_shared(&graph, sources).unwrap();
+                    std::hint::black_box(map.num_reached())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("builder_shared", count),
+            &sources,
+            |b, sources| {
+                b.iter(|| {
+                    let result = Search::from_sources(sources.iter().copied())
+                        .strategy(Strategy::SharedFrontier)
+                        .run(&graph)
+                        .unwrap();
+                    std::hint::black_box(result.num_reached())
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, multi_source);
+criterion_main!(benches);

@@ -232,7 +232,7 @@ impl AdjacencyListGraph {
     }
 
     /// Out-neighbors of `v` at snapshot `t` as a slice (no allocation) — the
-    /// fast path used by [`crate::bfs`].
+    /// fast path used by [`crate::bfs::bfs`].
     #[inline]
     pub fn out_slice(&self, v: NodeId, t: TimeIndex) -> &[NodeId] {
         &self.out_adj[t.index()][v.index()]

@@ -15,9 +15,9 @@
 //!
 //! Backward-in-time traversal (Section V's `T⁻¹`) lives in
 //! [`crate::reverse`], and the frontier-parallel variant in
-//! [`crate::par_bfs`].
+//! [`mod@crate::par_bfs`].
 
-use crate::distance::DistanceMap;
+use crate::distance::{DistanceMap, MultiSourceMap};
 use crate::error::{GraphError, Result};
 use crate::graph::EvolvingGraph;
 use crate::ids::{NodeId, TemporalNode, TimeIndex};
@@ -125,6 +125,81 @@ fn bfs_impl<G: EvolvingGraph>(
         k += 1;
     }
     Ok(reached)
+}
+
+/// Runs a *shared-frontier* multi-source BFS: one traversal seeded with every
+/// source at distance 0, instead of one traversal per source.
+///
+/// For every temporal node the result records the distance to the *nearest*
+/// source (`min_s d_s(v, t)`) together with which source that is; ties are
+/// broken toward the smallest source index, deterministically, so the result
+/// equals the per-source-minimum oracle built from independent single-source
+/// runs. Total work is one BFS over the union of the per-source search
+/// regions — `O(|E| + |V|)` regardless of the number of sources — where the
+/// per-source loop costs `O(k · (|E| + |V|))` for `k` sources.
+///
+/// Duplicate sources are allowed (the earliest occurrence claims the node).
+///
+/// # Errors
+/// Returns [`GraphError::NoSources`] for an empty source list and the usual
+/// [`check_root`] errors for any invalid source.
+pub fn multi_source_shared<G: EvolvingGraph>(
+    graph: &G,
+    sources: &[TemporalNode],
+) -> Result<MultiSourceMap> {
+    if sources.is_empty() {
+        return Err(GraphError::NoSources);
+    }
+    for &s in sources {
+        check_root(graph, s)?;
+    }
+    let num_nodes = graph.num_nodes();
+    let size = num_nodes * graph.num_timestamps();
+
+    // Packed claim keys: (distance << 32) | source_index, u64::MAX =
+    // unreached. Taking the minimum key implements "nearest source, ties to
+    // the smallest source index" in a single comparison.
+    let mut key: Vec<u64> = vec![u64::MAX; size];
+    let mut frontier: Vec<TemporalNode> = Vec::new();
+    for (i, &s) in sources.iter().enumerate() {
+        let slot = &mut key[s.flat_index(num_nodes)];
+        if *slot == u64::MAX {
+            frontier.push(s);
+        }
+        *slot = (*slot).min(i as u64);
+    }
+
+    let mut next: Vec<TemporalNode> = Vec::new();
+    let mut level: u32 = 1;
+    while !frontier.is_empty() {
+        next.clear();
+        for &tn in &frontier {
+            // The attribution of `tn` settled while the previous level was
+            // expanded, so children inherit the final (minimal) source index.
+            let src = key[tn.flat_index(num_nodes)] & 0xFFFF_FFFF;
+            let claim = (u64::from(level) << 32) | src;
+            graph.for_each_forward_neighbor(tn, &mut |nbr| {
+                let slot = &mut key[nbr.flat_index(num_nodes)];
+                if *slot == u64::MAX {
+                    *slot = claim;
+                    next.push(nbr);
+                } else if claim < *slot {
+                    // Same level (levels are non-decreasing in discovery
+                    // order), smaller source index: update the attribution
+                    // without re-enqueueing.
+                    *slot = claim;
+                }
+            });
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        level += 1;
+    }
+    Ok(MultiSourceMap::from_keys(
+        num_nodes,
+        graph.num_timestamps(),
+        sources.to_vec(),
+        &key,
+    ))
 }
 
 /// Distance (Definition 6) from `from` to `to`, or `None` if `to` is not
@@ -323,6 +398,57 @@ mod tests {
         let g = crate::examples::cyclic_example();
         let map = bfs(&g, TemporalNode::from_raw(0, 0)).unwrap();
         assert!(map.num_reached() >= 3);
+    }
+
+    #[test]
+    fn shared_frontier_matches_per_source_minimum_on_paper_example() {
+        let g = paper_figure1();
+        let sources = g.active_nodes();
+        let shared = multi_source_shared(&g, &sources).unwrap();
+        let per_source: Vec<_> = sources.iter().map(|&s| bfs(&g, s).unwrap()).collect();
+        for tn in g.active_nodes() {
+            let oracle = per_source
+                .iter()
+                .enumerate()
+                .filter_map(|(i, m)| m.distance(tn).map(|d| (d, i)))
+                .min();
+            assert_eq!(
+                shared.distance(tn),
+                oracle.map(|(d, _)| d),
+                "distance at {tn:?}"
+            );
+            assert_eq!(
+                shared.nearest_source_index(tn),
+                oracle.map(|(_, i)| i),
+                "attribution at {tn:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_frontier_handles_duplicate_sources() {
+        let g = paper_figure1();
+        let a = TemporalNode::from_raw(0, 0);
+        let shared = multi_source_shared(&g, &[a, a]).unwrap();
+        let single = bfs(&g, a).unwrap();
+        assert_eq!(shared.num_reached(), single.num_reached());
+        // The first occurrence wins the attribution everywhere.
+        for (tn, _, src) in shared.reached_with_sources() {
+            assert_eq!(src, 0, "at {tn:?}");
+        }
+    }
+
+    #[test]
+    fn shared_frontier_rejects_bad_inputs() {
+        let g = paper_figure1();
+        assert!(matches!(
+            multi_source_shared(&g, &[]).unwrap_err(),
+            GraphError::NoSources
+        ));
+        assert!(matches!(
+            multi_source_shared(&g, &[TemporalNode::from_raw(2, 0)]).unwrap_err(),
+            GraphError::InactiveRoot { .. }
+        ));
     }
 
     #[test]

@@ -292,6 +292,235 @@ impl DistanceMap {
     }
 }
 
+/// Sentinel source index for unreached temporal nodes.
+const NO_SOURCE: u32 = u32::MAX;
+
+/// The result of a *shared-frontier* multi-source traversal
+/// ([`crate::bfs::multi_source_shared`] and its parallel twin): for every
+/// reached temporal node, the distance to its *nearest* source and the
+/// identity of that source.
+///
+/// Distances are `min_s d_s(v, t)` over the per-source distances; ties are
+/// broken deterministically toward the smallest source index, so the serial
+/// and parallel engines (and any oracle built from per-source maps) agree
+/// exactly.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MultiSourceMap {
+    num_nodes: usize,
+    num_timestamps: usize,
+    sources: Vec<TemporalNode>,
+    dist: Vec<u32>,
+    source_idx: Vec<u32>,
+    reached_count: usize,
+    max_distance: u32,
+}
+
+impl MultiSourceMap {
+    /// Builds a map from the packed `(distance << 32) | source_index` keys the
+    /// shared-frontier engines maintain (`u64::MAX` = unreached).
+    pub(crate) fn from_keys(
+        num_nodes: usize,
+        num_timestamps: usize,
+        sources: Vec<TemporalNode>,
+        keys: &[u64],
+    ) -> Self {
+        debug_assert_eq!(keys.len(), num_nodes * num_timestamps);
+        let mut dist = vec![UNREACHED; keys.len()];
+        let mut source_idx = vec![NO_SOURCE; keys.len()];
+        let mut reached_count = 0usize;
+        let mut max_distance = 0u32;
+        for (i, &key) in keys.iter().enumerate() {
+            if key == u64::MAX {
+                continue;
+            }
+            let d = (key >> 32) as u32;
+            dist[i] = d;
+            source_idx[i] = (key & 0xFFFF_FFFF) as u32;
+            reached_count += 1;
+            max_distance = max_distance.max(d);
+        }
+        MultiSourceMap {
+            num_nodes,
+            num_timestamps,
+            sources,
+            dist,
+            source_idx,
+            reached_count,
+            max_distance,
+        }
+    }
+
+    /// Builds a map from explicit `(temporal node, distance, source index)`
+    /// entries — the constructor query layers use to re-express a
+    /// shared-frontier result computed on a view (time window, reversed time)
+    /// in the coordinates of the underlying graph. Entries must include the
+    /// sources themselves at distance 0.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if an entry's source index is out of range.
+    pub fn from_entries(
+        num_nodes: usize,
+        num_timestamps: usize,
+        sources: Vec<TemporalNode>,
+        entries: &[(TemporalNode, u32, usize)],
+    ) -> Self {
+        let size = num_nodes * num_timestamps;
+        let mut dist = vec![UNREACHED; size];
+        let mut source_idx = vec![NO_SOURCE; size];
+        for &(tn, d, s) in entries {
+            debug_assert!(s < sources.len(), "source index {s} out of range");
+            let i = tn.flat_index(num_nodes);
+            dist[i] = d;
+            source_idx[i] = s as u32;
+        }
+        // Counters from the *final* arrays, so duplicate entries (last one
+        // wins) cannot leave a max_distance no stored slot has.
+        let mut reached_count = 0usize;
+        let mut max_distance = 0u32;
+        for &d in &dist {
+            if d != UNREACHED {
+                reached_count += 1;
+                max_distance = max_distance.max(d);
+            }
+        }
+        MultiSourceMap {
+            num_nodes,
+            num_timestamps,
+            sources,
+            dist,
+            source_idx,
+            reached_count,
+            max_distance,
+        }
+    }
+
+    #[inline]
+    fn flat(&self, tn: TemporalNode) -> usize {
+        tn.flat_index(self.num_nodes)
+    }
+
+    /// The sources the shared frontier was seeded with, in seed order.
+    pub fn sources(&self) -> &[TemporalNode] {
+        &self.sources
+    }
+
+    /// Number of sources (duplicates included).
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Size of the node universe of the traversed graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of snapshots of the traversed graph.
+    pub fn num_timestamps(&self) -> usize {
+        self.num_timestamps
+    }
+
+    /// Distance from the nearest source to `tn`, or `None` if unreached.
+    #[inline]
+    pub fn distance(&self, tn: TemporalNode) -> Option<u32> {
+        let d = self.dist[self.flat(tn)];
+        if d == UNREACHED {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Whether any source reaches `tn`.
+    #[inline]
+    pub fn is_reached(&self, tn: TemporalNode) -> bool {
+        self.dist[self.flat(tn)] != UNREACHED
+    }
+
+    /// Index (into [`MultiSourceMap::sources`]) of the nearest source of
+    /// `tn`: the smallest index among the sources at minimum distance.
+    #[inline]
+    pub fn nearest_source_index(&self, tn: TemporalNode) -> Option<usize> {
+        let s = self.source_idx[self.flat(tn)];
+        if s == NO_SOURCE {
+            None
+        } else {
+            Some(s as usize)
+        }
+    }
+
+    /// The nearest source of `tn` together with the distance from it.
+    pub fn nearest_source(&self, tn: TemporalNode) -> Option<(TemporalNode, u32)> {
+        let i = self.flat(tn);
+        let s = self.source_idx[i];
+        if s == NO_SOURCE {
+            None
+        } else {
+            Some((self.sources[s as usize], self.dist[i]))
+        }
+    }
+
+    /// Number of reached temporal nodes, sources included.
+    pub fn num_reached(&self) -> usize {
+        self.reached_count
+    }
+
+    /// The largest nearest-source distance — the eccentricity of the source
+    /// *set* (not the maximum per-source eccentricity, which a shared
+    /// frontier cannot observe).
+    pub fn max_distance(&self) -> u32 {
+        self.max_distance
+    }
+
+    /// All reached temporal nodes with their nearest-source distances, in
+    /// flat-index (time-major) order.
+    pub fn reached(&self) -> Vec<(TemporalNode, u32)> {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != UNREACHED)
+            .map(|(i, &d)| (TemporalNode::from_flat_index(i, self.num_nodes), d))
+            .collect()
+    }
+
+    /// All reached temporal nodes with their nearest-source distance and
+    /// nearest-source index, in flat-index order.
+    pub fn reached_with_sources(&self) -> Vec<(TemporalNode, u32, usize)> {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != UNREACHED)
+            .map(|(i, &d)| {
+                (
+                    TemporalNode::from_flat_index(i, self.num_nodes),
+                    d,
+                    self.source_idx[i] as usize,
+                )
+            })
+            .collect()
+    }
+
+    /// The distinct node identifiers reached at any snapshot by any source.
+    pub fn reached_node_ids(&self) -> Vec<NodeId> {
+        let mut seen = vec![false; self.num_nodes];
+        for (i, &d) in self.dist.iter().enumerate() {
+            if d != UNREACHED {
+                seen[i % self.num_nodes] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(v, _)| NodeId::from_index(v))
+            .collect()
+    }
+
+    /// Raw flat distance slice (time-major), `u32::MAX` = unreached.
+    pub fn as_flat_slice(&self) -> &[u32] {
+        &self.dist
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,5 +607,54 @@ mod tests {
     fn parent_of_root_is_none() {
         let m = toy_map();
         assert_eq!(m.parent(TemporalNode::from_raw(0, 0)), None);
+    }
+
+    #[test]
+    fn multi_source_map_constructors_agree() {
+        // 3 nodes × 2 snapshots; sources n0@t0 (idx 0) and n2@t0 (idx 1).
+        let sources = vec![TemporalNode::from_raw(0, 0), TemporalNode::from_raw(2, 0)];
+        let mut keys = vec![u64::MAX; 6];
+        keys[TemporalNode::from_raw(0, 0).flat_index(3)] = 0;
+        keys[TemporalNode::from_raw(2, 0).flat_index(3)] = 1;
+        keys[TemporalNode::from_raw(1, 0).flat_index(3)] = 1u64 << 32; // d=1 from src 0
+        keys[TemporalNode::from_raw(1, 1).flat_index(3)] = (2u64 << 32) | 1; // d=2 from src 1
+        let from_keys = MultiSourceMap::from_keys(3, 2, sources.clone(), &keys);
+        let from_entries =
+            MultiSourceMap::from_entries(3, 2, sources, &from_keys.reached_with_sources());
+
+        for m in [&from_keys, &from_entries] {
+            assert_eq!(m.num_reached(), 4);
+            assert_eq!(m.max_distance(), 2);
+            assert_eq!(m.distance(TemporalNode::from_raw(1, 0)), Some(1));
+            assert_eq!(
+                m.nearest_source_index(TemporalNode::from_raw(1, 0)),
+                Some(0)
+            );
+            assert_eq!(
+                m.nearest_source(TemporalNode::from_raw(1, 1)),
+                Some((TemporalNode::from_raw(2, 0), 2))
+            );
+            assert_eq!(m.distance(TemporalNode::from_raw(0, 1)), None);
+            assert_eq!(m.nearest_source(TemporalNode::from_raw(0, 1)), None);
+            assert_eq!(m.reached_node_ids(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        }
+        assert_eq!(from_keys.as_flat_slice(), from_entries.as_flat_slice());
+    }
+
+    #[test]
+    fn from_entries_duplicate_entries_keep_counters_consistent() {
+        // Last entry wins the slot; counters must describe the final arrays,
+        // not the overwritten ones.
+        let sources = vec![TemporalNode::from_raw(0, 0)];
+        let tn = TemporalNode::from_raw(1, 0);
+        let m = MultiSourceMap::from_entries(
+            2,
+            1,
+            sources,
+            &[(TemporalNode::from_raw(0, 0), 0, 0), (tn, 5, 0), (tn, 2, 0)],
+        );
+        assert_eq!(m.distance(tn), Some(2));
+        assert_eq!(m.max_distance(), 2);
+        assert_eq!(m.num_reached(), 2);
     }
 }

@@ -32,6 +32,16 @@ pub struct ForemostResult {
 }
 
 impl ForemostResult {
+    /// Builds a result from an explicit per-node arrival vector (`arrival[v]`
+    /// = arrival snapshot of node `v`, `None` if unreachable). Used by query
+    /// layers that run the sweep on a composed view (time window, reversed
+    /// time) and re-express the arrivals in the coordinates of the underlying
+    /// graph — in which case an arrival may legitimately *precede* the root's
+    /// snapshot (a reversed sweep reports latest departures).
+    pub fn from_arrivals(root: TemporalNode, arrival: Vec<Option<TimeIndex>>) -> Self {
+        ForemostResult { root, arrival }
+    }
+
     /// The root of the sweep.
     pub fn root(&self) -> TemporalNode {
         self.root
@@ -42,12 +52,24 @@ impl ForemostResult {
         self.arrival.get(v.index()).copied().flatten()
     }
 
+    /// The raw per-node arrival vector (`arrivals()[v]` = arrival snapshot of
+    /// node `v`, `None` if unreachable), indexed by node identifier.
+    pub fn arrivals(&self) -> &[Option<TimeIndex>] {
+        &self.arrival
+    }
+
     /// Tang-style temporal distance to `v`: the number of time steps from the
     /// root's snapshot to the earliest arrival, inclusive. The root itself
     /// has distance 1 (one time step), matching the "inclusive" convention.
+    ///
+    /// Returns `None` if `v` is unreachable, and also if its arrival
+    /// *precedes* the root's snapshot — possible for results built with
+    /// [`ForemostResult::from_arrivals`] from a time-reversed sweep, where
+    /// Tang's forward step count is undefined (previously this underflowed).
     pub fn temporal_distance_steps(&self, v: NodeId) -> Option<u32> {
         self.arrival(v)
-            .map(|t| (t.index() - self.root.time.index()) as u32 + 1)
+            .and_then(|t| t.index().checked_sub(self.root.time.index()))
+            .map(|steps| steps as u32 + 1)
     }
 
     /// All reachable nodes with their arrival snapshots.
@@ -203,5 +225,32 @@ mod tests {
         let g = paper_figure1();
         let res = earliest_arrival(&g, TemporalNode::from_raw(9, 0));
         assert_eq!(res.num_reachable(), 0);
+    }
+
+    #[test]
+    fn arrivals_before_the_root_snapshot_yield_no_step_count() {
+        // Regression: with an arrival earlier than the root's snapshot (as a
+        // reversed sweep produces once mapped back to original coordinates),
+        // `t.index() - root.time.index()` used to underflow — panicking in
+        // debug builds and wrapping to a huge step count in release builds.
+        let root = TemporalNode::from_raw(0, 2);
+        let res =
+            ForemostResult::from_arrivals(root, vec![Some(TimeIndex(2)), Some(TimeIndex(0)), None]);
+        assert_eq!(res.temporal_distance_steps(NodeId(0)), Some(1));
+        assert_eq!(res.temporal_distance_steps(NodeId(1)), None);
+        assert_eq!(res.temporal_distance_steps(NodeId(2)), None);
+    }
+
+    #[test]
+    fn from_arrivals_round_trips_the_sweep() {
+        let g = paper_figure1();
+        let root = TemporalNode::from_raw(0, 0);
+        let swept = earliest_arrival(&g, root);
+        let arrivals: Vec<Option<TimeIndex>> = (0..g.num_nodes())
+            .map(|v| swept.arrival(NodeId::from_index(v)))
+            .collect();
+        let rebuilt = ForemostResult::from_arrivals(root, arrivals);
+        assert_eq!(rebuilt.reachable(), swept.reachable());
+        assert_eq!(rebuilt.num_reachable(), swept.num_reachable());
     }
 }

@@ -53,12 +53,12 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`ids`] | [`NodeId`](ids::NodeId), [`TimeIndex`](ids::TimeIndex), [`TemporalNode`](ids::TemporalNode), edge types |
-//! | [`graph`] | the [`EvolvingGraph`](graph::EvolvingGraph) trait |
+//! | [`ids`] | [`ids::NodeId`], [`ids::TimeIndex`], [`ids::TemporalNode`], edge types |
+//! | [`graph`] | the [`graph::EvolvingGraph`] trait |
 //! | [`adjacency`] | adjacency-list representation (incremental) |
 //! | [`snapshots`] | snapshot-sequence representation |
-//! | [`bfs`] | Algorithm 1 (serial), backward BFS, reachability |
-//! | [`par_bfs`] | frontier-parallel BFS and multi-source BFS (rayon) |
+//! | [`mod@bfs`] | Algorithm 1 (serial), backward BFS, shared-frontier multi-source, reachability |
+//! | [`mod@par_bfs`] | frontier-parallel BFS and multi-source BFS (rayon) |
 //! | [`paths`] | temporal-path validation, enumeration, walk counting |
 //! | [`static_equiv`] | the equivalent static graph of Theorem 1 |
 //! | [`reverse`], [`window`] | time-reversed and time-windowed views |
@@ -76,6 +76,7 @@ pub mod examples;
 pub mod foremost;
 pub mod graph;
 pub mod ids;
+pub mod instrument;
 pub mod metrics;
 pub mod par_bfs;
 pub mod paths;
@@ -90,16 +91,17 @@ pub mod prelude {
     pub use crate::adjacency::AdjacencyListGraph;
     pub use crate::bfs::{
         backward_bfs, backward_bfs_with_parents, bfs, bfs_with_parents, distance_between,
-        is_reachable, reachable_set, Direction,
+        is_reachable, multi_source_shared, reachable_set, Direction,
     };
     pub use crate::components::{in_component, out_component, weak_components, WeakComponents};
-    pub use crate::distance::DistanceMap;
+    pub use crate::distance::{DistanceMap, MultiSourceMap};
     pub use crate::error::{GraphError, Result};
     pub use crate::foremost::{earliest_arrival, temporal_distance_steps, ForemostResult};
     pub use crate::graph::EvolvingGraph;
     pub use crate::ids::{CausalEdge, NodeId, StaticEdge, TemporalNode, TimeIndex, Timestamp};
+    pub use crate::instrument::{CountingView, TraversalCounters};
     pub use crate::metrics::{eccentricity, reach_counts, GraphMetrics};
-    pub use crate::par_bfs::{multi_source_bfs, par_bfs};
+    pub use crate::par_bfs::{multi_source_bfs, par_bfs, par_multi_source_shared};
     pub use crate::paths::{enumerate_paths, is_temporal_path, walk_count_vector};
     pub use crate::reverse::ReversedView;
     pub use crate::snapshots::{Snapshot, SnapshotSequence};
@@ -109,8 +111,8 @@ pub mod prelude {
 }
 
 pub use adjacency::AdjacencyListGraph;
-pub use bfs::{backward_bfs, bfs, bfs_with_parents};
-pub use distance::DistanceMap;
+pub use bfs::{backward_bfs, bfs, bfs_with_parents, multi_source_shared};
+pub use distance::{DistanceMap, MultiSourceMap};
 pub use error::{GraphError, Result};
 pub use graph::EvolvingGraph;
 pub use ids::{NodeId, TemporalNode, TimeIndex, Timestamp};

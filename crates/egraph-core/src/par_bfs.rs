@@ -10,10 +10,10 @@
 //! ablation benchmark both check.
 
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-use crate::distance::{DistanceMap, UNREACHED};
-use crate::error::Result;
+use crate::distance::{DistanceMap, MultiSourceMap, UNREACHED};
+use crate::error::{GraphError, Result};
 use crate::graph::EvolvingGraph;
 use crate::ids::TemporalNode;
 
@@ -94,6 +94,92 @@ fn expand<G: EvolvingGraph>(
     });
 }
 
+/// Frontier-parallel twin of [`crate::bfs::multi_source_shared`]: one shared
+/// frontier seeded with every source, levels expanded across the rayon pool.
+///
+/// Claims are packed `(distance << 32) | source_index` keys resolved with an
+/// atomic `fetch_min`, so the nearest-source distance *and* the
+/// smallest-index tie-break are schedule-independent: the result is
+/// bit-for-bit identical to the serial engine no matter how the pool
+/// interleaves, which the workspace's multi-source oracle suite checks.
+pub fn par_multi_source_shared<G>(graph: &G, sources: &[TemporalNode]) -> Result<MultiSourceMap>
+where
+    G: EvolvingGraph + Sync,
+{
+    if sources.is_empty() {
+        return Err(GraphError::NoSources);
+    }
+    for &s in sources {
+        crate::bfs::check_root(graph, s)?;
+    }
+    let num_nodes = graph.num_nodes();
+    let size = num_nodes * graph.num_timestamps();
+
+    let key: Vec<AtomicU64> = (0..size).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let mut frontier: Vec<TemporalNode> = Vec::new();
+    for (i, &s) in sources.iter().enumerate() {
+        let prev = key[s.flat_index(num_nodes)].fetch_min(i as u64, Ordering::Relaxed);
+        if prev == u64::MAX {
+            frontier.push(s);
+        }
+    }
+
+    let mut level: u32 = 1;
+    while !frontier.is_empty() {
+        let next: Vec<TemporalNode> = if frontier.len() >= PARALLEL_FRONTIER_THRESHOLD {
+            frontier
+                .par_iter()
+                .fold(Vec::new, |mut acc, &tn| {
+                    expand_shared(graph, tn, level, num_nodes, &key, &mut acc);
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                })
+        } else {
+            let mut acc = Vec::new();
+            for &tn in &frontier {
+                expand_shared(graph, tn, level, num_nodes, &key, &mut acc);
+            }
+            acc
+        };
+        frontier = next;
+        level += 1;
+    }
+
+    let keys: Vec<u64> = key.iter().map(|k| k.load(Ordering::Relaxed)).collect();
+    Ok(MultiSourceMap::from_keys(
+        num_nodes,
+        graph.num_timestamps(),
+        sources.to_vec(),
+        &keys,
+    ))
+}
+
+#[inline]
+fn expand_shared<G: EvolvingGraph>(
+    graph: &G,
+    tn: TemporalNode,
+    level: u32,
+    num_nodes: usize,
+    key: &[AtomicU64],
+    acc: &mut Vec<TemporalNode>,
+) {
+    // `tn`'s attribution settled when the previous level finished (the
+    // level-synchronous barrier orders all claims before any expansion).
+    let src = key[tn.flat_index(num_nodes)].load(Ordering::Relaxed) & 0xFFFF_FFFF;
+    let claim = (u64::from(level) << 32) | src;
+    graph.for_each_forward_neighbor(tn, &mut |nbr| {
+        let prev = key[nbr.flat_index(num_nodes)].fetch_min(claim, Ordering::Relaxed);
+        // Exactly one claimant observes "unreached" and enqueues; same-level
+        // rivals only lower the source index.
+        if prev == u64::MAX {
+            acc.push(nbr);
+        }
+    });
+}
+
 /// Runs BFS from many roots in parallel (one serial BFS per root, roots
 /// distributed over the rayon pool). This is the access pattern of the
 /// citation-mining workload of Section V, where an influence set is wanted
@@ -162,6 +248,71 @@ mod tests {
         let parallel = par_bfs(&g, root).unwrap();
         assert_eq!(serial.num_reached(), parallel.num_reached());
         assert_eq!(serial.as_flat_slice(), parallel.as_flat_slice());
+    }
+
+    #[test]
+    fn shared_frontier_twins_agree_on_paper_example() {
+        let g = paper_figure1();
+        let sources = g.active_nodes();
+        let serial = crate::bfs::multi_source_shared(&g, &sources).unwrap();
+        let parallel = par_multi_source_shared(&g, &sources).unwrap();
+        assert_eq!(serial.as_flat_slice(), parallel.as_flat_slice());
+        for tn in g.active_nodes() {
+            assert_eq!(
+                serial.nearest_source_index(tn),
+                parallel.nearest_source_index(tn),
+                "attribution at {tn:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_frontier_twins_agree_on_a_dense_random_graph() {
+        // Wide frontiers cross PARALLEL_FRONTIER_THRESHOLD.
+        let n = 400usize;
+        let n_t = 4usize;
+        let mut g = AdjacencyListGraph::directed_with_unit_times(n, n_t);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..6000 {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            let t = (next() % n_t as u64) as u32;
+            if u != v {
+                g.add_edge(NodeId(u), NodeId(v), TimeIndex(t)).unwrap();
+            }
+        }
+        let actives = g.active_nodes();
+        let sources: Vec<TemporalNode> = actives.iter().copied().step_by(97).collect();
+        let serial = crate::bfs::multi_source_shared(&g, &sources).unwrap();
+        let parallel = par_multi_source_shared(&g, &sources).unwrap();
+        assert_eq!(serial.num_reached(), parallel.num_reached());
+        assert_eq!(serial.as_flat_slice(), parallel.as_flat_slice());
+        for &tn in &actives {
+            assert_eq!(
+                serial.nearest_source_index(tn),
+                parallel.nearest_source_index(tn),
+                "attribution at {tn:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_shared_frontier_rejects_bad_inputs() {
+        let g = paper_figure1();
+        assert!(matches!(
+            par_multi_source_shared(&g, &[]).unwrap_err(),
+            GraphError::NoSources
+        ));
+        assert!(matches!(
+            par_multi_source_shared(&g, &[TemporalNode::from_raw(2, 0)]).unwrap_err(),
+            GraphError::InactiveRoot { .. }
+        ));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! block per snapshot plus per-snapshot activeness masks — and can expand
 //! the dense `M_n` / `A_n` on demand for tests and small examples. The block
 //! matrices "need never be instantiated for practical computations"
-//! (Section III-C), and indeed [`crate::algebraic_bfs`] works directly on
+//! (Section III-C), and indeed [`crate::algebraic_bfs()`] works directly on
 //! this implicit form.
 
 use egraph_core::graph::EvolvingGraph;

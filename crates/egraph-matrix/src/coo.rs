@@ -125,6 +125,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)] // debug_assert! is compiled out in release tests
     fn debug_assert_catches_out_of_range() {
         let mut coo = CooMatrix::new(1, 1);
         coo.push(3, 0, 1.0);

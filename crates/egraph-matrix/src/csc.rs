@@ -2,7 +2,7 @@
 //!
 //! The complexity analysis of the algebraic BFS (Theorem 6) is stated for a
 //! "collection of compressed sparse column matrices for each diagonal block
-//! A[t]". CSC is convenient there because the transposed product `Aᵀ b`
+//! A\[t\]". CSC is convenient there because the transposed product `Aᵀ b`
 //! gathers along columns, and because checking "is column `i` empty" — which
 //! is how the `⊙` activeness test is evaluated — is a constant-time pointer
 //! comparison.

@@ -1,7 +1,7 @@
 //! Dynamic-walk communicability (Grindrod, Parsons, Higham & Estrada).
 //!
 //! The paper's Definition 4 explicitly contrasts its temporal paths with the
-//! *dynamic walks* of Grindrod, Higham and coworkers (references [9] and [10]
+//! *dynamic walks* of Grindrod, Higham and coworkers (references \[9\] and \[10\]
 //! of the paper), where waiting on a node between snapshots is allowed
 //! implicitly and does not count toward the walk length. The standard summary
 //! of that model is the dynamic communicability matrix

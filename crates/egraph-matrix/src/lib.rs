@@ -12,7 +12,7 @@
 //!   ([`block::BlockAdjacency`]) and the `⊙` product of Section III-B
 //!   ([`odot`]);
 //! * **Algorithm 2** — BFS as power iteration of `A_nᵀ`
-//!   ([`algebraic_bfs`]), in dense (Theorem 5) and blocked-sparse
+//!   ([`algebraic_bfs()`]), in dense (Theorem 5) and blocked-sparse
 //!   (Theorem 6) forms, both returning the same [`DistanceMap`] type as
 //!   Algorithm 1 so the equivalence of Theorem 4 is directly testable;
 //! * temporal walk counting via matrix powers ([`path_count`]), the naïve

@@ -1,10 +1,12 @@
 //! The [`Search`] builder: a fluent, typed description of an evolving-graph
 //! search, independent of the engine that executes it.
 
-use egraph_core::bfs::{bfs, bfs_with_parents, Direction};
+use egraph_core::bfs::{bfs, bfs_with_parents, check_root, multi_source_shared, Direction};
+use egraph_core::distance::MultiSourceMap;
 use egraph_core::error::{GraphError, Result};
+use egraph_core::foremost::{earliest_arrival, ForemostResult};
 use egraph_core::graph::EvolvingGraph;
-use egraph_core::ids::{TemporalNode, TimeIndex};
+use egraph_core::ids::{NodeId, TemporalNode, TimeIndex};
 use egraph_core::par_bfs::par_bfs;
 use egraph_core::reverse::ReversedView;
 use egraph_core::window::TimeWindowView;
@@ -13,9 +15,17 @@ use egraph_matrix::algebraic_bfs::algebraic_bfs;
 use crate::result::SearchResult;
 use crate::view_map::ViewMap;
 
-/// Which engine executes the traversal. All strategies compute identical
-/// distances (Theorem 4 of the paper; checked by the workspace's
-/// strategy-equivalence suite); they differ only in execution profile.
+/// Which engine executes the traversal.
+///
+/// The hop-distance strategies (`Serial`, `Parallel`, `Algebraic`) compute
+/// identical distances (Theorem 4 of the paper; checked by the workspace's
+/// strategy-equivalence suite) and differ only in execution profile. The
+/// query-shaped strategies (`Foremost`, `SharedFrontier`) answer a
+/// *restriction* of the query natively — arrival times only, or
+/// nearest-source distances only — with strictly less work than deriving the
+/// same answers from full per-source hop maps; dedicated differential suites
+/// pin them to the hop engines. See the crate-level "choosing a strategy"
+/// table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Strategy {
     /// Algorithm 1: serial adjacency-list BFS, `O(|E| + |V|)` (Theorem 2).
@@ -28,6 +38,19 @@ pub enum Strategy {
     /// Algorithm 2 (`egraph-matrix::algebraic_bfs`): BFS as power iteration
     /// of the transposed block adjacency matrix of Section III-C.
     Algebraic,
+    /// The earliest-arrival sweep (`egraph-core::foremost`): a time-ordered
+    /// pass in `O(|Ẽ| + N·n)` that never expands the temporal-node product
+    /// space. The result carries arrival snapshots, not hop distances;
+    /// composed with `Backward` direction or [`Search::reverse`], the sweep
+    /// runs on the reversed view and reports *latest departures*.
+    Foremost,
+    /// Shared-frontier multi-source BFS (`egraph-core::bfs::
+    /// multi_source_shared`): one traversal seeded with every source,
+    /// recording per temporal node the nearest source and its distance —
+    /// `O(|E| + |V|)` total regardless of the number of sources, where the
+    /// per-source strategies cost that *per source*. The result carries a
+    /// single nearest-source map instead of per-source maps.
+    SharedFrontier,
 }
 
 /// A snapshot-range restriction, produced from the range expressions accepted
@@ -175,9 +198,12 @@ impl Search {
         }
     }
 
-    /// Starts a multi-source search: one independent traversal per source
-    /// (the citation-mining access pattern of Section V). The
-    /// [`SearchResult`] exposes both per-source maps and union views.
+    /// Starts a multi-source search (the citation-mining access pattern of
+    /// Section V). The hop-distance strategies run one independent traversal
+    /// per source and the [`SearchResult`] exposes both per-source maps and
+    /// union views; [`Strategy::SharedFrontier`] instead runs a single
+    /// traversal seeded with every source and records nearest-source
+    /// distances.
     pub fn from_sources<I, T>(sources: I) -> Self
     where
         I: IntoIterator<Item = T>,
@@ -297,30 +323,53 @@ impl Search {
         }
     }
 
-    /// Runs every source on the composed `view` and maps results back into
-    /// original coordinates.
+    /// Maps `source` into the view's coordinates, or reports it outside the
+    /// window.
+    fn source_to_view(&self, source: TemporalNode, map: ViewMap) -> Result<TemporalNode> {
+        map.node_to_view(source).ok_or(GraphError::OutsideWindow {
+            time: source.time,
+            start: TimeIndex::from_index(map.window_start),
+            end: TimeIndex::from_index(map.window_start + map.view_len - 1),
+        })
+    }
+
+    /// Runs the configured engine on the composed `view` and maps results
+    /// back into original coordinates.
     fn run_on<V: EvolvingGraph + Sync>(
         &self,
         view: &V,
         map: ViewMap,
         original_timestamps: usize,
     ) -> Result<SearchResult> {
-        let num_nodes = view.num_nodes();
         let strategy = if self.with_parents {
+            // Parents require the serial hop engine (see `with_parents`).
             Strategy::Serial
         } else {
             self.strategy
         };
+        match strategy {
+            Strategy::Foremost => self.run_foremost_on(view, map),
+            Strategy::SharedFrontier => self.run_shared_on(view, map, original_timestamps),
+            _ => self.run_hops_on(view, map, original_timestamps, strategy),
+        }
+    }
+
+    /// The per-source hop-distance path (`Serial` / `Parallel` /
+    /// `Algebraic`): one traversal per source.
+    fn run_hops_on<V: EvolvingGraph + Sync>(
+        &self,
+        view: &V,
+        map: ViewMap,
+        original_timestamps: usize,
+        strategy: Strategy,
+    ) -> Result<SearchResult> {
+        let num_nodes = view.num_nodes();
         let identity =
             map.window_start == 0 && !map.reversed && map.view_len == original_timestamps;
 
         let mut maps = Vec::with_capacity(self.sources.len());
         for &source in &self.sources {
-            let view_source = map.node_to_view(source).ok_or(GraphError::OutsideWindow {
-                time: source.time,
-                start: TimeIndex::from_index(map.window_start),
-                end: TimeIndex::from_index(map.window_start + map.view_len - 1),
-            })?;
+            let view_source = self.source_to_view(source, map)?;
             let view_result = match strategy {
                 Strategy::Serial => {
                     if self.with_parents {
@@ -331,6 +380,9 @@ impl Search {
                 }
                 Strategy::Parallel => par_bfs(view, view_source)?,
                 Strategy::Algebraic => algebraic_bfs(view, view_source)?,
+                Strategy::Foremost | Strategy::SharedFrontier => {
+                    unreachable!("dispatched in run_on")
+                }
             };
             maps.push(if identity {
                 view_result
@@ -363,7 +415,72 @@ impl Search {
                 )
             });
         }
-        Ok(SearchResult::new(maps))
+        Ok(SearchResult::from_maps(maps, map.reversed))
+    }
+
+    /// The arrival-only path (`Strategy::Foremost`): one time-ordered sweep
+    /// per source, `O(|Ẽ| + N·n)` each, with arrivals re-expressed in
+    /// original snapshot indices. On a reversed view the sweep's "earliest
+    /// arrival" is the original graph's *latest departure*.
+    fn run_foremost_on<V: EvolvingGraph + Sync>(
+        &self,
+        view: &V,
+        map: ViewMap,
+    ) -> Result<SearchResult> {
+        let num_nodes = view.num_nodes();
+        let mut tables = Vec::with_capacity(self.sources.len());
+        for &source in &self.sources {
+            let view_source = self.source_to_view(source, map)?;
+            // The sweep itself tolerates inactive roots; validate like every
+            // other engine so strategies agree on errors too.
+            check_root(view, view_source)?;
+            let swept = earliest_arrival(view, view_source);
+            let arrivals: Vec<Option<TimeIndex>> = (0..num_nodes)
+                .map(|v| {
+                    swept
+                        .arrival(NodeId::from_index(v))
+                        .map(|t| map.time_to_original(t))
+                })
+                .collect();
+            tables.push(ForemostResult::from_arrivals(source, arrivals));
+        }
+        Ok(SearchResult::from_arrivals(tables, map.reversed))
+    }
+
+    /// The shared-frontier path (`Strategy::SharedFrontier`): one traversal
+    /// seeded with every source, nearest-source distances re-expressed in
+    /// original coordinates.
+    fn run_shared_on<V: EvolvingGraph + Sync>(
+        &self,
+        view: &V,
+        map: ViewMap,
+        original_timestamps: usize,
+    ) -> Result<SearchResult> {
+        let num_nodes = view.num_nodes();
+        let identity =
+            map.window_start == 0 && !map.reversed && map.view_len == original_timestamps;
+        let view_sources = self
+            .sources
+            .iter()
+            .map(|&s| self.source_to_view(s, map))
+            .collect::<Result<Vec<TemporalNode>>>()?;
+        let shared = multi_source_shared(view, &view_sources)?;
+        let shared = if identity {
+            shared
+        } else {
+            let entries: Vec<(TemporalNode, u32, usize)> = shared
+                .reached_with_sources()
+                .into_iter()
+                .map(|(tn, d, s)| (map.node_to_original(tn), d, s))
+                .collect();
+            MultiSourceMap::from_entries(
+                num_nodes,
+                original_timestamps,
+                self.sources.clone(),
+                &entries,
+            )
+        };
+        Ok(SearchResult::from_shared(shared, map.reversed))
     }
 }
 

@@ -43,8 +43,28 @@
 //! on the time-reversed graph (Section V's `t → −t` transformation), with
 //! sources and results always expressed in the *original* graph's
 //! coordinates. Multi-source queries ([`Search::from_sources`]) run one
-//! traversal per source and expose both per-source and union views of the
-//! result.
+//! traversal per source under the hop-distance strategies and expose both
+//! per-source and union views of the result, or a single shared-frontier
+//! traversal under [`Strategy::SharedFrontier`].
+//!
+//! ## Choosing a strategy
+//!
+//! | strategy | engine | cost model | answers | use when |
+//! |---|---|---|---|---|
+//! | [`Strategy::Serial`] (default) | Algorithm 1 adjacency-list BFS | `O(\|E\| + \|V\|)` per source | hop distances, BFS-tree parents | general queries; the only engine that records parents for [`SearchResult::path_to`] |
+//! | [`Strategy::Parallel`] | frontier-parallel Algorithm 1 | `O(\|E\| + \|V\|)` work per source, levels expanded across the rayon pool | hop distances | wide frontiers on multi-core hosts (identical results to `Serial`) |
+//! | [`Strategy::Algebraic`] | Algorithm 2 block-matrix power iteration | `O(d · \|E\|)` for BFS depth `d` | hop distances | linear-algebra backends / ablations; dense small graphs |
+//! | [`Strategy::Foremost`] | time-ordered earliest-arrival sweep | `O(\|Ẽ\| + N·n)` per source — no temporal-node expansion | arrival snapshots only (latest departures when time-reversed) | arrival-only queries ("when is `v` first reached?"); strictly less work than deriving arrivals from a full hop-BFS |
+//! | [`Strategy::SharedFrontier`] | multi-source BFS, one shared frontier | `O(\|E\| + \|V\|)` **total**, independent of source count | nearest-source distance + source id per temporal node | many sources where only the nearest one matters (facility-location / coverage queries); the per-source loop costs the same *per source* |
+//!
+//! Here `\|Ẽ\|` counts static edges, `\|V\|`/`\|E\|` the active temporal
+//! nodes and equivalent-static-graph edges (causal edges included), `N` the
+//! node universe and `n` the snapshot count. All five strategies are pinned
+//! against each other by the workspace's differential suites
+//! (`tests/search_equivalence.rs`, `tests/foremost_equivalence.rs`,
+//! `tests/multi_source_equivalence.rs`): on every generated workload the
+//! answers a strategy produces must equal the hop engines' answers for the
+//! same query.
 //!
 //! | legacy free function | builder equivalent |
 //! |---|---|
@@ -53,6 +73,8 @@
 //! | `par_bfs(&g, root)` | `Search::from(root).strategy(Strategy::Parallel).run(&g)` |
 //! | `algebraic_bfs(&g, root)` | `Search::from(root).strategy(Strategy::Algebraic).run(&g)` |
 //! | `multi_source_bfs(&g, roots)` | `Search::from_sources(roots).run(&g)` |
+//! | `multi_source_shared(&g, roots)` | `Search::from_sources(roots).strategy(Strategy::SharedFrontier).run(&g)` |
+//! | `earliest_arrival(&g, root)` (dedicated sweep) | `Search::from(root).strategy(Strategy::Foremost).run(&g)?.arrival(v)` |
 //! | `reachable_set(&g, root)` | `Search::from(root).run(&g)?.reachable_set()` |
 //! | `is_reachable(&g, a, b)` | `Search::from(a).run(&g)?.is_reached(b)` |
 //! | `distance_between(&g, a, b)` | `Search::from(a).run(&g)?.distance(b)` |

@@ -1,0 +1,211 @@
+//! Differential equivalence suite for `Strategy::Foremost`: on seeded
+//! Erdős–Rényi, preferential-attachment and citation workloads, the dedicated
+//! time-ordered sweep must report exactly the arrivals that the hop-BFS
+//! engines derive from their full temporal-node expansion — for every
+//! combination of direction × window × reverse the builder accepts. Mirrors
+//! `tests/search_equivalence.rs`, which pins the hop engines to each other.
+
+use evolving_graphs::citation::CitationNetwork;
+use evolving_graphs::prelude::*;
+
+/// The generated workloads the suite sweeps.
+fn workloads() -> Vec<(&'static str, AdjacencyListGraph)> {
+    let mut out = Vec::new();
+    for seed in [11u64, 12] {
+        out.push((
+            "erdos_renyi",
+            erdos_renyi_evolving(&ErConfig {
+                num_nodes: 36,
+                num_timestamps: 5,
+                edge_probability: 0.06,
+                directed: true,
+                seed,
+            }),
+        ));
+    }
+    out.push((
+        "preferential",
+        preferential_attachment(&PreferentialConfig {
+            num_nodes: 50,
+            num_timestamps: 6,
+            edges_per_timestamp: 40,
+            seed: 21,
+        }),
+    ));
+    let corpus = synthetic_citation_corpus(&CitationConfig {
+        num_authors: 60,
+        num_epochs: 8,
+        papers_per_epoch: 12,
+        citations_per_paper: 3,
+        preferential_bias: 1.0,
+        seed: 31,
+    });
+    out.push((
+        "citation",
+        CitationNetwork::from_corpus(&corpus).graph().clone(),
+    ));
+    out
+}
+
+/// A few active roots spread across the graph, deterministically.
+fn sample_roots(g: &AdjacencyListGraph) -> Vec<TemporalNode> {
+    let actives = g.active_nodes();
+    let step = (actives.len() / 5).max(1);
+    actives.into_iter().step_by(step).take(5).collect()
+}
+
+/// The windows swept per workload: full, suffix, prefix, and (when the graph
+/// is deep enough) a proper interior slice.
+fn windows(num_timestamps: usize) -> Vec<(u32, u32)> {
+    let last = (num_timestamps - 1) as u32;
+    let mut out = vec![(0, last)];
+    if last >= 1 {
+        out.push((1, last));
+        out.push((0, last - 1));
+    }
+    if last >= 2 {
+        out.push((1, last - 1));
+    }
+    out
+}
+
+/// Applies one direction × window × reverse combination to a fresh builder.
+fn configure(
+    root: TemporalNode,
+    direction: Direction,
+    window: (u32, u32),
+    reversed: bool,
+) -> Search {
+    let mut search = Search::from(root)
+        .direction(direction)
+        .window(window.0..=window.1);
+    if reversed {
+        search = search.reverse();
+    }
+    search
+}
+
+#[test]
+fn foremost_arrivals_match_hop_bfs_derivation_everywhere() {
+    for (name, g) in workloads() {
+        let n = g.num_nodes();
+        for root in sample_roots(&g) {
+            for direction in [Direction::Forward, Direction::Backward] {
+                for window in windows(g.num_timestamps()) {
+                    for reversed in [false, true] {
+                        let label = format!(
+                            "{name}: root {root:?}, {direction:?}, window {window:?}, \
+                             reversed {reversed}"
+                        );
+                        let hops = configure(root, direction, window, reversed).run(&g);
+                        let sweep = configure(root, direction, window, reversed)
+                            .strategy(Strategy::Foremost)
+                            .run(&g);
+                        match (hops, sweep) {
+                            (Ok(hops), Ok(sweep)) => {
+                                for v in 0..n {
+                                    let v = NodeId::from_index(v);
+                                    assert_eq!(
+                                        sweep.arrival(v),
+                                        hops.arrival(v),
+                                        "{label}, node {v:?}"
+                                    );
+                                    assert_eq!(
+                                        sweep.reaches_node(v),
+                                        hops.reaches_node(v),
+                                        "{label}, node {v:?}"
+                                    );
+                                }
+                                assert_eq!(
+                                    sweep.reached_node_ids(),
+                                    hops.reached_node_ids(),
+                                    "{label}"
+                                );
+                            }
+                            // Both engines must agree on rejection too
+                            // (source outside the window, inactive in the
+                            // windowed view, …).
+                            (Err(h), Err(s)) => assert_eq!(h, s, "{label}"),
+                            (hops, sweep) => panic!(
+                                "{label}: engines disagree on validity: \
+                                 hops {hops:?}, sweep {sweep:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn foremost_multi_source_unions_per_source_arrivals() {
+    for (name, g) in workloads() {
+        let roots = sample_roots(&g);
+        let multi = Search::from_sources(roots.iter().copied())
+            .strategy(Strategy::Foremost)
+            .run(&g)
+            .unwrap();
+        let singles: Vec<SearchResult> = roots
+            .iter()
+            .map(|&r| {
+                Search::from(r)
+                    .strategy(Strategy::Foremost)
+                    .run(&g)
+                    .unwrap()
+            })
+            .collect();
+        for v in 0..g.num_nodes() {
+            let v = NodeId::from_index(v);
+            let expected = singles.iter().filter_map(|s| s.arrival(v)).min();
+            assert_eq!(multi.arrival(v), expected, "{name}, node {v:?}");
+        }
+    }
+}
+
+#[test]
+fn foremost_matches_the_engine_sweep_on_the_identity_query() {
+    // Without window/reverse/backward the builder must hand back exactly the
+    // engine's arrivals in original coordinates.
+    for (name, g) in workloads() {
+        for root in sample_roots(&g) {
+            let via_builder = Search::from(root)
+                .strategy(Strategy::Foremost)
+                .run(&g)
+                .unwrap();
+            let via_engine = earliest_arrival(&g, root);
+            for v in 0..g.num_nodes() {
+                let v = NodeId::from_index(v);
+                assert_eq!(
+                    via_builder.arrival(v),
+                    via_engine.arrival(v),
+                    "{name}, root {root:?}, node {v:?}"
+                );
+            }
+            assert_eq!(
+                via_builder.foremost_results()[0].reachable(),
+                via_engine.reachable(),
+                "{name}, root {root:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn backward_foremost_reports_latest_departures() {
+    // A hand-checkable case on the paper example: backward from (3, t3), the
+    // latest snapshot from which each node can still reach the root.
+    let g = evolving_graphs::core::examples::paper_figure1();
+    let root = TemporalNode::from_raw(2, 2);
+    let sweep = Search::from(root)
+        .backward()
+        .strategy(Strategy::Foremost)
+        .run(&g)
+        .unwrap();
+    assert!(sweep.is_time_reversed());
+    // Node 1 (paper 2) can depart for (3, t3) as late as t3 itself.
+    assert_eq!(sweep.arrival(NodeId(1)), Some(TimeIndex(2)));
+    // Node 0 (paper 1) must depart by t2 (1 → 3 at t2, then wait).
+    assert_eq!(sweep.arrival(NodeId(0)), Some(TimeIndex(1)));
+    assert_eq!(sweep.arrival(NodeId(2)), Some(TimeIndex(2)));
+}
