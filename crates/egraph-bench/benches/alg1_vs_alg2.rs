@@ -6,12 +6,17 @@
 //! the iteration count `k`, and the dense engine pays `O(k |V|²)`. The bench
 //! sweeps the node count so the separation (and the dense engine's quadratic
 //! blow-up) is visible in the series.
+//!
+//! Both production-shaped contestants go through the `Search` builder —
+//! `Strategy::Serial` and `Strategy::Algebraic` — with the prebuilt variant
+//! using `Prepared` to separate block-assembly cost from iteration cost; the
+//! dense engine stays on its free function, as it exists only for this
+//! ablation and has no strategy surface.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use egraph_bench::alg_comparison_workload;
-use egraph_core::bfs::bfs;
-use egraph_matrix::algebraic_bfs::{algebraic_bfs_blocked, algebraic_bfs_dense};
-use egraph_matrix::block::BlockAdjacency;
+use egraph_matrix::algebraic_bfs::algebraic_bfs_dense;
+use egraph_query::{Prepared, Search, Strategy};
 
 fn alg1_vs_alg2(c: &mut Criterion) {
     let sizes = [100usize, 200, 400, 800];
@@ -22,7 +27,10 @@ fn alg1_vs_alg2(c: &mut Criterion) {
         let (graph, root) = alg_comparison_workload(n, 0xAB1A + n as u64);
 
         group.bench_with_input(BenchmarkId::new("alg1_adjacency", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(bfs(&graph, root).unwrap().num_reached()))
+            b.iter(|| {
+                let result = Search::from(root).run(&graph).unwrap();
+                std::hint::black_box(result.num_reached())
+            })
         });
 
         // The blocked engine is benchmarked both with and without the block
@@ -32,15 +40,24 @@ fn alg1_vs_alg2(c: &mut Criterion) {
             &n,
             |b, _| {
                 b.iter(|| {
-                    let blocks = BlockAdjacency::from_graph(&graph);
-                    std::hint::black_box(algebraic_bfs_blocked(&blocks, root).num_reached())
+                    let result = Search::from(root)
+                        .strategy(Strategy::Algebraic)
+                        .run(&graph)
+                        .unwrap();
+                    std::hint::black_box(result.num_reached())
                 })
             },
         );
 
-        let blocks = BlockAdjacency::from_graph(&graph);
+        let prepared = Prepared::new(&graph);
         group.bench_with_input(BenchmarkId::new("alg2_blocked_prebuilt", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(algebraic_bfs_blocked(&blocks, root).num_reached()))
+            b.iter(|| {
+                let result = Search::from(root)
+                    .strategy(Strategy::Algebraic)
+                    .run_prepared(&prepared)
+                    .unwrap();
+                std::hint::black_box(result.num_reached())
+            })
         });
 
         // The dense engine is only feasible for the smaller sizes.

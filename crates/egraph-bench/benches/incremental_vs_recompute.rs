@@ -1,0 +1,242 @@
+//! INC — incremental re-search versus recomputation on a live graph.
+//!
+//! The `egraph-stream` subsystem claims that after sealing one new snapshot,
+//! extending a cached forward search costs work proportional to the *delta*
+//! (the new snapshot's edges and touched nodes), while recomputing costs
+//! work proportional to the *whole history*. Wall clock alone would
+//! under-report the gap on small workloads, so this bench measures graph
+//! work with `CountingView` counters, **asserts** the asymptotic claim —
+//! extension work must stay flat as the history grows while recompute work
+//! grows with it — and emits a machine-readable `BENCH_incremental.json`
+//! summary (work counters + speedups per history length) for the perf
+//! trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egraph_bench::first_active_node;
+use egraph_core::bfs::bfs;
+use egraph_core::foremost::earliest_arrival;
+use egraph_core::instrument::CountingView;
+use egraph_core::resume::{ResumableBfs, ResumableForemost};
+use egraph_query::Search;
+use egraph_stream::{EdgeEvent, LiveGraph, QueryCache};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Node universe and per-snapshot edge budget are fixed; only the history
+/// length varies, so any growth in the "extend" series would falsify the
+/// delta-proportionality claim.
+const NUM_NODES: usize = 1_500;
+const EDGES_PER_SNAPSHOT: usize = 4_000;
+const HISTORIES: [usize; 3] = [8, 16, 32];
+
+struct SizeReport {
+    history: usize,
+    hop_extend_work: u64,
+    hop_recompute_work: u64,
+    foremost_extend_work: u64,
+    foremost_recompute_work: u64,
+}
+
+fn build_live(history: usize, seed: u64) -> LiveGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut live = LiveGraph::directed(NUM_NODES);
+    for t in 0..history {
+        seal_random_snapshot(&mut rng, &mut live, t as i64);
+    }
+    live
+}
+
+fn seal_random_snapshot(rng: &mut SmallRng, live: &mut LiveGraph, label: i64) {
+    let mut added = 0usize;
+    while added < EDGES_PER_SNAPSHOT {
+        let u = rng.gen_range(0..NUM_NODES) as u32;
+        let v = rng.gen_range(0..NUM_NODES) as u32;
+        if u == v {
+            continue;
+        }
+        live.apply(EdgeEvent::insert(u, v)).unwrap();
+        added += 1;
+    }
+    live.seal_snapshot(label).unwrap();
+}
+
+fn incremental_vs_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_vs_recompute");
+    group.sample_size(10);
+
+    let mut reports: Vec<SizeReport> = Vec::new();
+
+    for history in HISTORIES {
+        // History with `history` sealed snapshots, then one sealed delta.
+        let mut live = build_live(history, 0x1ACE + history as u64);
+        let root = first_active_node(live.graph());
+        let mut hop_state = ResumableBfs::start(live.graph(), root).unwrap();
+        let mut foremost_state = ResumableForemost::start(live.graph(), root);
+
+        let mut rng = SmallRng::seed_from_u64(0xDE17A + history as u64);
+        seal_random_snapshot(&mut rng, &mut live, history as i64);
+        let t_new = egraph_core::ids::TimeIndex::from_index(history);
+        let touched = live.touched_at(t_new).to_vec();
+
+        // --- Work counters: the acceptance check of this bench. -----------
+        let extend_view = CountingView::new(live.graph());
+        hop_state.extend_snapshot(&extend_view, &touched).unwrap();
+        let hop_extend_work = extend_view.counters().total();
+
+        let recompute_view = CountingView::new(live.graph());
+        let scratch = bfs(&recompute_view, root).unwrap();
+        let hop_recompute_work = recompute_view.counters().total();
+
+        assert_eq!(
+            hop_state.to_distance_map().as_flat_slice(),
+            scratch.as_flat_slice(),
+            "extension must equal recomputation (history {history})"
+        );
+        assert!(
+            hop_extend_work * 4 < hop_recompute_work,
+            "history {history}: extension ({hop_extend_work}) must do far less graph \
+             work than recomputation ({hop_recompute_work})"
+        );
+
+        let extend_view = CountingView::new(live.graph());
+        foremost_state
+            .extend_snapshot(&extend_view, &touched)
+            .unwrap();
+        let foremost_extend_work = extend_view.counters().total();
+
+        let recompute_view = CountingView::new(live.graph());
+        let swept = earliest_arrival(&recompute_view, root);
+        let foremost_recompute_work = recompute_view.counters().total();
+
+        assert_eq!(
+            foremost_state.to_result().arrivals(),
+            swept.arrivals(),
+            "foremost extension must equal recomputation (history {history})"
+        );
+        assert!(
+            foremost_extend_work * 4 < foremost_recompute_work,
+            "history {history}: foremost extension ({foremost_extend_work}) vs \
+             recomputation ({foremost_recompute_work})"
+        );
+
+        println!(
+            "incremental_vs_recompute/h{history}: hop extend {hop_extend_work} vs \
+             recompute {hop_recompute_work} ({:.1}x), foremost extend \
+             {foremost_extend_work} vs recompute {foremost_recompute_work} ({:.1}x)",
+            hop_recompute_work as f64 / hop_extend_work as f64,
+            foremost_recompute_work as f64 / foremost_extend_work as f64,
+        );
+        reports.push(SizeReport {
+            history,
+            hop_extend_work,
+            hop_recompute_work,
+            foremost_extend_work,
+            foremost_recompute_work,
+        });
+
+        // --- Wall clock: extend-after-seal vs full recompute. -------------
+        group.bench_with_input(
+            BenchmarkId::new("extend_one_snapshot", history),
+            &history,
+            |b, _| {
+                b.iter_batched(
+                    || prefix_state(live.graph(), root, history),
+                    |mut state| {
+                        state.extend_snapshot(live.graph(), &touched).unwrap();
+                        std::hint::black_box(state.covered_timestamps())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute_full", history),
+            &history,
+            |b, _| b.iter(|| std::hint::black_box(bfs(live.graph(), root).unwrap().num_reached())),
+        );
+
+        // --- The full subsystem path: cached query across a seal. ---------
+        let mut warm_cache = QueryCache::new();
+        let query = Search::from(root);
+        warm_cache.execute(&live, &query).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("cache_hit_after_extension", history),
+            &history,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(warm_cache.execute(&live, &query).unwrap().num_reached())
+                })
+            },
+        );
+    }
+
+    group.finish();
+    write_json_summary(&reports);
+}
+
+/// Builds a state covering only the first `prefix` snapshots (the pre-delta
+/// coverage) — bench setup only, cost excluded from the measurement.
+fn prefix_state(
+    graph: &egraph_core::adjacency::AdjacencyListGraph,
+    root: egraph_core::ids::TemporalNode,
+    prefix: usize,
+) -> ResumableBfs {
+    let windowed = egraph_core::window::TimeWindowView::new(
+        graph,
+        egraph_core::ids::TimeIndex(0),
+        egraph_core::ids::TimeIndex::from_index(prefix - 1),
+    )
+    .unwrap();
+    ResumableBfs::start(&windowed, root).unwrap()
+}
+
+fn write_json_summary(reports: &[SizeReport]) {
+    let mut rows = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"history_snapshots\": {}, \"delta_edges\": {}, \
+             \"hop_extend_work\": {}, \"hop_recompute_work\": {}, \"hop_speedup\": {:.2}, \
+             \"foremost_extend_work\": {}, \"foremost_recompute_work\": {}, \
+             \"foremost_speedup\": {:.2}}}",
+            r.history,
+            EDGES_PER_SNAPSHOT,
+            r.hop_extend_work,
+            r.hop_recompute_work,
+            r.hop_recompute_work as f64 / r.hop_extend_work as f64,
+            r.foremost_extend_work,
+            r.foremost_recompute_work,
+            r.foremost_recompute_work as f64 / r.foremost_extend_work as f64,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"incremental_vs_recompute\",\n  \"num_nodes\": {NUM_NODES},\n  \
+         \"work_metric\": \"CountingView total (enumeration calls + delivered neighbors)\",\n  \
+         \"sizes\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = "BENCH_incremental.json";
+    std::fs::write(path, &json).expect("write bench summary");
+    println!("wrote {path}");
+
+    // The asymptotic shape itself: extension work stays flat across a 4x
+    // history growth while recompute work must grow.
+    let first = &reports[0];
+    let last = &reports[reports.len() - 1];
+    assert!(
+        last.hop_extend_work <= first.hop_extend_work * 2,
+        "extension work must stay flat as history grows: {} -> {}",
+        first.hop_extend_work,
+        last.hop_extend_work
+    );
+    assert!(
+        last.hop_recompute_work >= first.hop_recompute_work * 2,
+        "recompute work must grow with history: {} -> {}",
+        first.hop_recompute_work,
+        last.hop_recompute_work
+    );
+}
+
+criterion_group!(benches, incremental_vs_recompute);
+criterion_main!(benches);

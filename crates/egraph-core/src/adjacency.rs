@@ -118,6 +118,19 @@ impl AdjacencyListGraph {
 
     /// Appends a new snapshot with label `label`, which must be strictly later
     /// than every existing label. Returns the new snapshot's index.
+    ///
+    /// The snapshot sequence is append-only in time: a label **equal to** the
+    /// last one (a duplicate snapshot) is rejected exactly like an earlier
+    /// one, preserving the strict ordering invariant of Definition 1 that
+    /// every traversal and the incremental re-search layer rely on. Labels
+    /// cannot be inserted between existing snapshots retroactively; on an
+    /// empty sequence any label (including negative ones) starts the
+    /// sequence.
+    ///
+    /// # Errors
+    /// [`GraphError::UnsortedTimestamps`] (with `position` = the would-be
+    /// index of the rejected snapshot) if `label` is not strictly later than
+    /// the last label. The graph is left unchanged.
     pub fn push_timestamp(&mut self, label: Timestamp) -> Result<TimeIndex> {
         if let Some(&last) = self.timestamps.last() {
             if label <= last {
@@ -216,6 +229,16 @@ impl AdjacencyListGraph {
     }
 
     /// Inserts an edge given a timestamp *label* rather than an index.
+    ///
+    /// The label must resolve to an **existing** snapshot: this method never
+    /// creates snapshots implicitly, so a label that falls between existing
+    /// labels (or after the last one) is rejected rather than silently
+    /// rounded to a neighboring snapshot — append new snapshots explicitly
+    /// with [`AdjacencyListGraph::push_timestamp`] first.
+    ///
+    /// # Errors
+    /// [`GraphError::UnknownTimestamp`] if no snapshot carries `label`, plus
+    /// the [`AdjacencyListGraph::add_edge`] errors.
     pub fn add_edge_at(&mut self, u: NodeId, v: NodeId, label: Timestamp) -> Result<()> {
         let t = self
             .time_index_of(label)
@@ -440,6 +463,47 @@ mod tests {
         assert!(g.push_timestamp(15).is_err());
         g.add_edge(NodeId(0), NodeId(1), t).unwrap();
         assert!(g.is_active(NodeId(0), t));
+    }
+
+    #[test]
+    fn push_timestamp_rejects_duplicate_labels() {
+        // The live append path stresses exactly this: a duplicate label must
+        // be rejected like a non-monotonic one, with the would-be position.
+        let mut g = AdjacencyListGraph::directed(2, vec![10, 20]).unwrap();
+        assert_eq!(
+            g.push_timestamp(20).unwrap_err(),
+            GraphError::UnsortedTimestamps { position: 2 }
+        );
+        // The failed push leaves the graph unchanged.
+        assert_eq!(g.num_timestamps(), 2);
+        assert_eq!(g.push_timestamp(21).unwrap(), TimeIndex(2));
+    }
+
+    #[test]
+    fn push_timestamp_starts_empty_sequences_with_any_label() {
+        let mut g = AdjacencyListGraph::directed(2, Vec::new()).unwrap();
+        assert_eq!(g.push_timestamp(-5).unwrap(), TimeIndex(0));
+        assert_eq!(g.push_timestamp(-4).unwrap(), TimeIndex(1));
+        assert_eq!(g.timestamps(), vec![-5, -4]);
+    }
+
+    #[test]
+    fn add_edge_at_rejects_labels_between_and_beyond_snapshots() {
+        let mut g = AdjacencyListGraph::directed(3, vec![10, 30]).unwrap();
+        // Between existing labels: no implicit snapshot creation.
+        assert_eq!(
+            g.add_edge_at(NodeId(0), NodeId(1), 20).unwrap_err(),
+            GraphError::UnknownTimestamp { timestamp: 20 }
+        );
+        // Beyond the last label: same.
+        assert_eq!(
+            g.add_edge_at(NodeId(0), NodeId(1), 40).unwrap_err(),
+            GraphError::UnknownTimestamp { timestamp: 40 }
+        );
+        assert_eq!(g.num_static_edges(), 0);
+        // Exact labels resolve.
+        g.add_edge_at(NodeId(0), NodeId(1), 30).unwrap();
+        assert!(g.has_static_edge(NodeId(0), NodeId(1), TimeIndex(1)));
     }
 
     #[test]

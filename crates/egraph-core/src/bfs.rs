@@ -23,7 +23,7 @@ use crate::graph::EvolvingGraph;
 use crate::ids::{NodeId, TemporalNode, TimeIndex};
 
 /// Direction of a temporal traversal.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Follow forward neighbors: static edges plus causal edges to later
     /// snapshots. Computes the influence set `T(a, t)` of Section V.

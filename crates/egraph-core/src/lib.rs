@@ -60,6 +60,7 @@
 //! | [`mod@bfs`] | Algorithm 1 (serial), backward BFS, shared-frontier multi-source, reachability |
 //! | [`mod@par_bfs`] | frontier-parallel BFS and multi-source BFS (rayon) |
 //! | [`paths`] | temporal-path validation, enumeration, walk counting |
+//! | [`resume`] | resumable BFS/foremost state for incremental re-search |
 //! | [`static_equiv`] | the equivalent static graph of Theorem 1 |
 //! | [`reverse`], [`window`] | time-reversed and time-windowed views |
 //! | [`examples`] | the paper's worked examples |
@@ -80,6 +81,7 @@ pub mod instrument;
 pub mod metrics;
 pub mod par_bfs;
 pub mod paths;
+pub mod resume;
 pub mod reverse;
 pub mod snapshots;
 pub mod static_equiv;
@@ -103,6 +105,7 @@ pub mod prelude {
     pub use crate::metrics::{eccentricity, reach_counts, GraphMetrics};
     pub use crate::par_bfs::{multi_source_bfs, par_bfs, par_multi_source_shared};
     pub use crate::paths::{enumerate_paths, is_temporal_path, walk_count_vector};
+    pub use crate::resume::{ResumableBfs, ResumableForemost};
     pub use crate::reverse::ReversedView;
     pub use crate::snapshots::{Snapshot, SnapshotSequence};
     pub use crate::static_equiv::EquivalentStaticGraph;

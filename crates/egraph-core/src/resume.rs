@@ -1,0 +1,555 @@
+//! Resumable traversal state for *incremental re-search* over a growing
+//! evolving graph.
+//!
+//! The evolving-graph model is append-only in time: a new snapshot's label is
+//! strictly later than every existing one, so every new causal edge points
+//! *into* the new snapshot and every new static edge lives *inside* it. A
+//! forward traversal therefore only ever **gains** reachability as the graph
+//! grows — the distances (and arrivals) of previously covered temporal nodes
+//! are final the moment they are computed. This module captures exactly the
+//! state needed to exploit that:
+//!
+//! * [`ResumableBfs`] — the flat distance table of Algorithm 1 plus a
+//!   per-node *frontier snapshot* (`node_best`: the minimum distance at which
+//!   each node was ever reached). Appending snapshot `t_new` seeds each node
+//!   active at `t_new` with `node_best + 1` (its cheapest causal entry) and
+//!   relaxes static edges inside `t_new` with a bucket BFS — work
+//!   proportional to the new snapshot, not the history.
+//! * [`ResumableForemost`] — the earliest-arrival table of the foremost
+//!   sweep. Appending `t_new` can only create arrivals *at* `t_new`, found by
+//!   one static BFS inside the new snapshot seeded from already-reached
+//!   nodes.
+//!
+//! Both are pinned to their from-scratch engines by the unit tests below and
+//! by the workspace's `live_stream_differential` suite; the
+//! `incremental_vs_recompute` bench asserts the delta-proportional work claim
+//! with [`crate::instrument::CountingView`] counters.
+//!
+//! Backward or time-reversed traversals do **not** admit this extension (a
+//! new snapshot changes which temporal nodes can reach a *later* source), so
+//! query layers fall back to recomputation for those shapes — see the
+//! cache-invalidation matrix in the workspace ROADMAP.
+
+use std::collections::BTreeMap;
+
+use crate::bfs::bfs;
+use crate::distance::{DistanceMap, UNREACHED};
+use crate::error::{GraphError, Result};
+use crate::foremost::{earliest_arrival, ForemostResult};
+use crate::graph::EvolvingGraph;
+use crate::ids::{NodeId, TemporalNode, TimeIndex};
+
+/// Resumable state of a forward hop-distance BFS (Algorithm 1).
+///
+/// The state covers a prefix of the graph's snapshots. [`ResumableBfs::extend_snapshot`]
+/// advances the covered prefix by one snapshot in time proportional to that
+/// snapshot's contents; [`ResumableBfs::to_distance_map`] materialises the
+/// ordinary [`DistanceMap`] a from-scratch [`bfs`] over the covered prefix
+/// would produce.
+#[derive(Clone, Debug)]
+pub struct ResumableBfs {
+    root: TemporalNode,
+    num_nodes: usize,
+    /// Snapshots covered so far; `dist` has `num_nodes * num_timestamps`
+    /// entries in time-major layout.
+    num_timestamps: usize,
+    dist: Vec<u32>,
+    /// The frontier snapshot: `node_best[v]` = minimum distance at which `v`
+    /// was reached at any covered snapshot (`UNREACHED` if never).
+    node_best: Vec<u32>,
+}
+
+impl ResumableBfs {
+    /// Runs a full forward BFS from `root` and captures resumable state.
+    ///
+    /// # Errors
+    /// The same root-validation errors as [`bfs`].
+    pub fn start<G: EvolvingGraph>(graph: &G, root: TemporalNode) -> Result<Self> {
+        Ok(Self::from_map(&bfs(graph, root)?))
+    }
+
+    /// Captures resumable state from an already-computed forward distance
+    /// map (e.g. one produced through a query layer). The map must be a
+    /// *forward* full- or suffix-window result in the coordinates of the
+    /// graph that will later be extended; backward or time-reversed maps
+    /// cannot be resumed (see the module docs).
+    pub fn from_map(map: &DistanceMap) -> Self {
+        let num_nodes = map.num_nodes();
+        let num_timestamps = map.num_timestamps();
+        let dist = map.as_flat_slice().to_vec();
+        let mut node_best = vec![UNREACHED; num_nodes];
+        for (i, &d) in dist.iter().enumerate() {
+            let v = i % num_nodes;
+            if d < node_best[v] {
+                node_best[v] = d;
+            }
+        }
+        ResumableBfs {
+            root: map.root(),
+            num_nodes,
+            num_timestamps,
+            dist,
+            node_best,
+        }
+    }
+
+    /// The root the traversal started from.
+    pub fn root(&self) -> TemporalNode {
+        self.root
+    }
+
+    /// Number of snapshots covered so far.
+    pub fn covered_timestamps(&self) -> usize {
+        self.num_timestamps
+    }
+
+    /// Size of the node universe the state is laid out for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The frontier snapshot: minimum distance at which `v` was ever
+    /// reached, or `None`.
+    pub fn best_distance(&self, v: NodeId) -> Option<u32> {
+        match self.node_best.get(v.index()) {
+            Some(&d) if d != UNREACHED => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Distance of a covered temporal node, or `None` if unreached (or not
+    /// yet covered).
+    pub fn distance(&self, tn: TemporalNode) -> Option<u32> {
+        if tn.node.index() >= self.num_nodes || tn.time.index() >= self.num_timestamps {
+            return None;
+        }
+        match self.dist[tn.flat_index(self.num_nodes)] {
+            UNREACHED => None,
+            d => Some(d),
+        }
+    }
+
+    /// Re-lays the state out for a grown node universe. New nodes start
+    /// unreached everywhere. Shrinking is not supported (no-op).
+    pub fn grow_nodes(&mut self, num_nodes: usize) {
+        if num_nodes <= self.num_nodes {
+            return;
+        }
+        let mut dist = vec![UNREACHED; num_nodes * self.num_timestamps];
+        for t in 0..self.num_timestamps {
+            let src = &self.dist[t * self.num_nodes..(t + 1) * self.num_nodes];
+            dist[t * num_nodes..t * num_nodes + self.num_nodes].copy_from_slice(src);
+        }
+        self.dist = dist;
+        self.node_best.resize(num_nodes, UNREACHED);
+        self.num_nodes = num_nodes;
+    }
+
+    /// Extends coverage by one snapshot — the next uncovered index,
+    /// `self.covered_timestamps()` — doing work proportional to that
+    /// snapshot's contents.
+    ///
+    /// `touched` must be exactly the nodes active at the new snapshot (the
+    /// end points of its static edges); the live-graph layer records this
+    /// per seal. Because all causal edges into the new snapshot come from
+    /// the same node at an earlier active time, each touched node's cheapest
+    /// entry costs `node_best + 1`; static edges inside the snapshot then
+    /// relax those seeds with a bucket (Dial) BFS.
+    ///
+    /// # Errors
+    /// [`GraphError::TimeOutOfRange`] if the graph does not contain the next
+    /// snapshot yet, [`GraphError::NodeOutOfRange`] if the graph's node
+    /// universe outgrew the state (call [`ResumableBfs::grow_nodes`] first).
+    pub fn extend_snapshot<G: EvolvingGraph>(
+        &mut self,
+        graph: &G,
+        touched: &[NodeId],
+    ) -> Result<()> {
+        let t_new = TimeIndex::from_index(self.num_timestamps);
+        if t_new.index() >= graph.num_timestamps() {
+            return Err(GraphError::TimeOutOfRange {
+                time: t_new,
+                num_timestamps: graph.num_timestamps(),
+            });
+        }
+        if graph.num_nodes() > self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: NodeId::from_index(self.num_nodes),
+                num_nodes: graph.num_nodes(),
+            });
+        }
+        debug_assert!(
+            touched.iter().all(|&v| graph.is_active(v, t_new)),
+            "touched list must contain only nodes active at the new snapshot"
+        );
+
+        // Seed every touched node with its cheapest causal entry, then relax
+        // static edges inside the new snapshot in increasing-distance order.
+        let mut buckets: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+        for &v in touched {
+            let best = self.node_best[v.index()];
+            if best != UNREACHED {
+                buckets.entry(best + 1).or_default().push(v);
+            }
+        }
+        let mut new_row = vec![UNREACHED; self.num_nodes];
+        while let Some((&d, _)) = buckets.iter().next() {
+            let nodes = buckets.remove(&d).expect("key taken from the map");
+            for v in nodes {
+                if new_row[v.index()] <= d {
+                    continue; // settled earlier at an equal or smaller distance
+                }
+                new_row[v.index()] = d;
+                graph.for_each_static_out(v, t_new, &mut |w| {
+                    if new_row[w.index()] > d + 1 {
+                        buckets.entry(d + 1).or_default().push(w);
+                    }
+                });
+            }
+        }
+
+        for (v, &d) in new_row.iter().enumerate() {
+            if d < self.node_best[v] {
+                self.node_best[v] = d;
+            }
+        }
+        self.dist.extend_from_slice(&new_row);
+        self.num_timestamps += 1;
+        Ok(())
+    }
+
+    /// Materialises the covered prefix as an ordinary [`DistanceMap`] —
+    /// byte-for-byte what a from-scratch [`bfs`] over that prefix produces.
+    pub fn to_distance_map(&self) -> DistanceMap {
+        let reached: Vec<(TemporalNode, u32)> = self
+            .dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != UNREACHED)
+            .map(|(i, &d)| (TemporalNode::from_flat_index(i, self.num_nodes), d))
+            .collect();
+        DistanceMap::from_reached(self.num_nodes, self.num_timestamps, self.root, &reached)
+    }
+}
+
+/// Resumable state of a forward earliest-arrival ("foremost") sweep.
+///
+/// Mirrors [`ResumableBfs`] for [`earliest_arrival`]: arrivals of
+/// already-reached nodes are final (a new snapshot is strictly later), so
+/// extending by one snapshot is a single static BFS inside it, seeded from
+/// the reached nodes that are active there.
+#[derive(Clone, Debug)]
+pub struct ResumableForemost {
+    root: TemporalNode,
+    num_timestamps: usize,
+    arrival: Vec<Option<TimeIndex>>,
+}
+
+impl ResumableForemost {
+    /// Runs a full sweep from `root` and captures resumable state. Like
+    /// [`earliest_arrival`], inactive or out-of-range roots are tolerated
+    /// (they reach nothing); query layers validate separately.
+    pub fn start<G: EvolvingGraph>(graph: &G, root: TemporalNode) -> Self {
+        Self::from_result(&earliest_arrival(graph, root), graph.num_timestamps())
+    }
+
+    /// Captures resumable state from an already-computed *forward* arrival
+    /// table covering `num_timestamps` snapshots of the graph that will
+    /// later be extended. Reversed (latest-departure) tables cannot be
+    /// resumed.
+    pub fn from_result(result: &ForemostResult, num_timestamps: usize) -> Self {
+        ResumableForemost {
+            root: result.root(),
+            num_timestamps,
+            arrival: result.arrivals().to_vec(),
+        }
+    }
+
+    /// The root of the sweep.
+    pub fn root(&self) -> TemporalNode {
+        self.root
+    }
+
+    /// Number of snapshots covered so far.
+    pub fn covered_timestamps(&self) -> usize {
+        self.num_timestamps
+    }
+
+    /// Size of the node universe the state is laid out for.
+    pub fn num_nodes(&self) -> usize {
+        self.arrival.len()
+    }
+
+    /// The covered arrival of `v`, if reached.
+    pub fn arrival(&self, v: NodeId) -> Option<TimeIndex> {
+        self.arrival.get(v.index()).copied().flatten()
+    }
+
+    /// Extends the state for a grown node universe; new nodes start
+    /// unreached.
+    pub fn grow_nodes(&mut self, num_nodes: usize) {
+        if num_nodes > self.arrival.len() {
+            self.arrival.resize(num_nodes, None);
+        }
+    }
+
+    /// Extends coverage by one snapshot (the next uncovered index). New
+    /// arrivals can only happen *at* the new snapshot: one static BFS inside
+    /// it, seeded from the already-reached `touched` nodes, finds them all.
+    /// `touched` must be exactly the nodes active at the new snapshot.
+    ///
+    /// # Errors
+    /// [`GraphError::TimeOutOfRange`] / [`GraphError::NodeOutOfRange`] as
+    /// for [`ResumableBfs::extend_snapshot`].
+    pub fn extend_snapshot<G: EvolvingGraph>(
+        &mut self,
+        graph: &G,
+        touched: &[NodeId],
+    ) -> Result<()> {
+        let t_new = TimeIndex::from_index(self.num_timestamps);
+        if t_new.index() >= graph.num_timestamps() {
+            return Err(GraphError::TimeOutOfRange {
+                time: t_new,
+                num_timestamps: graph.num_timestamps(),
+            });
+        }
+        if graph.num_nodes() > self.arrival.len() {
+            return Err(GraphError::NodeOutOfRange {
+                node: NodeId::from_index(self.arrival.len()),
+                num_nodes: graph.num_nodes(),
+            });
+        }
+        debug_assert!(
+            touched.iter().all(|&v| graph.is_active(v, t_new)),
+            "touched list must contain only nodes active at the new snapshot"
+        );
+
+        let mut frontier: Vec<NodeId> = touched
+            .iter()
+            .copied()
+            .filter(|&v| self.arrival[v.index()].is_some())
+            .collect();
+        while let Some(u) = frontier.pop() {
+            graph.for_each_static_out(u, t_new, &mut |w| {
+                let slot = &mut self.arrival[w.index()];
+                if slot.is_none() {
+                    *slot = Some(t_new);
+                    frontier.push(w);
+                }
+            });
+        }
+        self.num_timestamps += 1;
+        Ok(())
+    }
+
+    /// Materialises the covered prefix as an ordinary [`ForemostResult`].
+    pub fn to_result(&self) -> ForemostResult {
+        ForemostResult::from_arrivals(self.root, self.arrival.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyListGraph;
+    use crate::examples::paper_figure1;
+
+    /// A deterministic xorshift stream for the randomized pinning tests.
+    struct Xs(u64);
+    impl Xs {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    fn touched_at(g: &AdjacencyListGraph, t: TimeIndex) -> Vec<NodeId> {
+        g.active_at(t).into_iter().map(|tn| tn.node).collect()
+    }
+
+    fn random_growth_trace(seed: u64, n: usize, steps: usize) -> Vec<Vec<(u32, u32)>> {
+        let mut rng = Xs(seed | 1);
+        (0..steps)
+            .map(|_| {
+                let edges = 1 + (rng.next() % (2 * n as u64)) as usize;
+                (0..edges)
+                    .filter_map(|_| {
+                        let u = (rng.next() % n as u64) as u32;
+                        let v = (rng.next() % n as u64) as u32;
+                        (u != v).then_some((u, v))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extension_matches_from_scratch_bfs_on_random_growth() {
+        for seed in [3u64, 17, 99, 0xBEEF] {
+            let n = 24;
+            let batches = random_growth_trace(seed, n, 6);
+            let mut g = AdjacencyListGraph::directed_with_unit_times(n, 1);
+            for &(u, v) in &batches[0] {
+                g.add_edge(NodeId(u), NodeId(v), TimeIndex(0)).unwrap();
+            }
+            let Some(&root) = g.active_nodes().first() else {
+                continue;
+            };
+            let mut state = ResumableBfs::start(&g, root).unwrap();
+            for batch in &batches[1..] {
+                let t = g.push_timestamp(g.num_timestamps() as i64).unwrap();
+                for &(u, v) in batch {
+                    g.add_edge(NodeId(u), NodeId(v), t).unwrap();
+                }
+                state.extend_snapshot(&g, &touched_at(&g, t)).unwrap();
+                let scratch = bfs(&g, root).unwrap();
+                assert_eq!(
+                    state.to_distance_map().as_flat_slice(),
+                    scratch.as_flat_slice(),
+                    "seed {seed}, snapshot {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foremost_extension_matches_from_scratch_sweep_on_random_growth() {
+        for seed in [5u64, 21, 0xACE] {
+            let n = 20;
+            let batches = random_growth_trace(seed, n, 5);
+            let mut g = AdjacencyListGraph::directed_with_unit_times(n, 1);
+            for &(u, v) in &batches[0] {
+                g.add_edge(NodeId(u), NodeId(v), TimeIndex(0)).unwrap();
+            }
+            let Some(&root) = g.active_nodes().first() else {
+                continue;
+            };
+            let mut state = ResumableForemost::start(&g, root);
+            for batch in &batches[1..] {
+                let t = g.push_timestamp(g.num_timestamps() as i64).unwrap();
+                for &(u, v) in batch {
+                    g.add_edge(NodeId(u), NodeId(v), t).unwrap();
+                }
+                state.extend_snapshot(&g, &touched_at(&g, t)).unwrap();
+                let scratch = earliest_arrival(&g, root);
+                assert_eq!(
+                    state.to_result().arrivals(),
+                    scratch.arrivals(),
+                    "seed {seed}, snapshot {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extension_covers_multi_hop_within_the_new_snapshot() {
+        // Appended snapshot holds a chain 0 → 1 → 2 → 3; only node 0 has a
+        // past. All of it must be discovered by in-snapshot relaxation.
+        let mut g = AdjacencyListGraph::directed_with_unit_times(4, 1);
+        g.add_edge(NodeId(0), NodeId(1), TimeIndex(0)).unwrap();
+        let root = TemporalNode::from_raw(0, 0);
+        let mut state = ResumableBfs::start(&g, root).unwrap();
+        let t = g.push_timestamp(1).unwrap();
+        for (u, v) in [(0, 1), (1, 2), (2, 3)] {
+            g.add_edge(NodeId(u), NodeId(v), t).unwrap();
+        }
+        state.extend_snapshot(&g, &touched_at(&g, t)).unwrap();
+        let map = state.to_distance_map();
+        // (0, t1) via causal hop = 1, then static hops 2, 3, 4.
+        assert_eq!(map.distance(TemporalNode::from_raw(0, 1)), Some(1));
+        assert_eq!(map.distance(TemporalNode::from_raw(3, 1)), Some(4));
+        assert_eq!(map.as_flat_slice(), bfs(&g, root).unwrap().as_flat_slice());
+    }
+
+    #[test]
+    fn extension_prefers_the_cheaper_of_causal_and_static_entries() {
+        // Node 2's causal entry would cost best+1 = 4, but a static hop from
+        // node 0 (causal entry 1) inside the new snapshot costs 2.
+        let mut g = AdjacencyListGraph::directed_with_unit_times(3, 2);
+        g.add_edge(NodeId(0), NodeId(1), TimeIndex(0)).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), TimeIndex(1)).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), TimeIndex(1)).unwrap();
+        let root = TemporalNode::from_raw(0, 0);
+        let mut state = ResumableBfs::start(&g, root).unwrap();
+        let t = g.push_timestamp(2).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), t).unwrap();
+        state.extend_snapshot(&g, &touched_at(&g, t)).unwrap();
+        assert_eq!(
+            state.to_distance_map().as_flat_slice(),
+            bfs(&g, root).unwrap().as_flat_slice()
+        );
+    }
+
+    #[test]
+    fn grow_nodes_relayouts_state_and_matches_scratch() {
+        let mut g = paper_figure1();
+        let root = TemporalNode::from_raw(0, 0);
+        let mut state = ResumableBfs::start(&g, root).unwrap();
+        let mut foremost = ResumableForemost::start(&g, root);
+        g.grow_nodes(6);
+        state.grow_nodes(6);
+        foremost.grow_nodes(6);
+        let t = g.push_timestamp(100).unwrap();
+        g.add_edge(NodeId(2), NodeId(5), t).unwrap();
+        g.add_edge(NodeId(5), NodeId(4), t).unwrap();
+        let touched = touched_at(&g, t);
+        state.extend_snapshot(&g, &touched).unwrap();
+        foremost.extend_snapshot(&g, &touched).unwrap();
+        assert_eq!(
+            state.to_distance_map().as_flat_slice(),
+            bfs(&g, root).unwrap().as_flat_slice()
+        );
+        assert_eq!(
+            foremost.to_result().arrivals(),
+            earliest_arrival(&g, root).arrivals()
+        );
+        // The brand-new node is reached only through the appended snapshot.
+        assert_eq!(
+            state.best_distance(NodeId(5)),
+            state.distance(TemporalNode::new(NodeId(5), t))
+        );
+    }
+
+    #[test]
+    fn extension_without_a_new_snapshot_is_rejected() {
+        let g = paper_figure1();
+        let mut state = ResumableBfs::start(&g, TemporalNode::from_raw(0, 0)).unwrap();
+        // All three snapshots are already covered.
+        assert!(matches!(
+            state.extend_snapshot(&g, &[]),
+            Err(GraphError::TimeOutOfRange { .. })
+        ));
+        let mut foremost = ResumableForemost::start(&g, TemporalNode::from_raw(0, 0));
+        assert!(matches!(
+            foremost.extend_snapshot(&g, &[]),
+            Err(GraphError::TimeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn ungrown_state_rejects_a_grown_graph() {
+        let mut g = paper_figure1();
+        let mut state = ResumableBfs::start(&g, TemporalNode::from_raw(0, 0)).unwrap();
+        g.grow_nodes(10);
+        let t = g.push_timestamp(50).unwrap();
+        g.add_edge(NodeId(0), NodeId(9), t).unwrap();
+        assert!(matches!(
+            state.extend_snapshot(&g, &touched_at(&g, t)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_map_round_trips_through_to_distance_map() {
+        let g = paper_figure1();
+        for &root in &g.active_nodes() {
+            let map = bfs(&g, root).unwrap();
+            let state = ResumableBfs::from_map(&map);
+            assert_eq!(state.to_distance_map().as_flat_slice(), map.as_flat_slice());
+            assert_eq!(state.root(), root);
+            assert_eq!(state.covered_timestamps(), g.num_timestamps());
+        }
+    }
+}

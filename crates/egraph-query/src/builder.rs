@@ -12,6 +12,7 @@ use egraph_core::reverse::ReversedView;
 use egraph_core::window::TimeWindowView;
 use egraph_matrix::algebraic_bfs::algebraic_bfs;
 
+use crate::descriptor::{QueryDescriptor, QueryExecutor};
 use crate::result::SearchResult;
 use crate::view_map::ViewMap;
 
@@ -56,7 +57,7 @@ pub enum Strategy {
 /// A snapshot-range restriction, produced from the range expressions accepted
 /// by [`Search::window`]. Bounds are in the *original* graph's snapshot
 /// indices and inclusive once resolved.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct WindowSpec {
     start: Option<u32>,
     end_inclusive: Option<u32>,
@@ -74,6 +75,11 @@ impl WindowSpec {
     }
 
     fn new(start: Option<u32>, end_inclusive: Option<u32>) -> Self {
+        // Canonicalise: a start bound of 0 restricts nothing, so `0..x` and
+        // `..x` (and `0..` and `..`) are the *same* window and must compare,
+        // hash and cache identically. End bounds cannot be canonicalised
+        // without a graph (`..=last` equals `..` only for one length).
+        let start = start.filter(|&s| s != 0);
         let empty = matches!((start, end_inclusive), (Some(s), Some(e)) if e < s);
         WindowSpec {
             start,
@@ -88,6 +94,24 @@ impl WindowSpec {
             end_inclusive: None,
             empty: true,
         }
+    }
+
+    /// The inclusive start bound, if one was given.
+    pub fn start_bound(&self) -> Option<u32> {
+        self.start
+    }
+
+    /// The inclusive end bound, if one was given. A spec without an end
+    /// bound keeps covering snapshots appended after the query was built —
+    /// the property the incremental re-search layer keys on.
+    pub fn end_bound(&self) -> Option<u32> {
+        self.end_inclusive
+    }
+
+    /// Whether the spec was built from a statically empty range (e.g.
+    /// `3..3`) and will always resolve to [`GraphError::EmptyWindow`].
+    pub fn is_empty_spec(&self) -> bool {
+        self.empty
     }
 
     /// Resolves the spec against a graph with `num_timestamps` snapshots,
@@ -275,6 +299,45 @@ impl Search {
         &self.sources
     }
 
+    /// Whether the traversal executes on time-reversed coordinates: a
+    /// backward traversal is a forward traversal on the time-reversed
+    /// graph, and composing with an explicit [`Search::reverse`] toggles
+    /// once more. The single source of truth for [`Search::run`],
+    /// [`Search::run_prepared`] and [`Search::descriptor`] alike — the
+    /// cache key must never desynchronise from actual execution.
+    fn effective_reverse(&self) -> bool {
+        self.reversed ^ (self.direction == Direction::Backward)
+    }
+
+    /// The canonical identity of this query — root(s) × strategy ×
+    /// direction × window × reverse, with the builder's dispatch rules
+    /// applied (`with_parents` forces the serial engine; backward direction
+    /// and explicit reversal collapse into one *effective reverse* bit).
+    /// Caching layers key memoised results on this.
+    pub fn descriptor(&self) -> QueryDescriptor {
+        let strategy = if self.with_parents {
+            Strategy::Serial
+        } else {
+            self.strategy
+        };
+        QueryDescriptor::new(
+            self.sources.clone(),
+            strategy,
+            self.effective_reverse(),
+            self.window,
+            self.with_parents,
+        )
+    }
+
+    /// Routes this search through an alternative execution back end — a
+    /// [`QueryExecutor`] such as `egraph-stream`'s cached live-graph
+    /// session — instead of traversing a graph directly. Equivalent to
+    /// `exec.run_search(self)`; provided so call sites keep the fluent
+    /// shape: `Search::from(root).run_via(&mut session)`.
+    pub fn run_via<E: QueryExecutor + ?Sized>(&self, exec: &mut E) -> Result<SearchResult> {
+        exec.run_search(self)
+    }
+
     /// Executes the search against `graph`.
     ///
     /// # Errors
@@ -292,9 +355,7 @@ impl Search {
         }
         let num_timestamps = graph.num_timestamps();
         let (start, end) = self.window.resolve(num_timestamps)?;
-        // A backward traversal is a forward traversal on the time-reversed
-        // graph; composing with an explicit `.reverse()` toggles once more.
-        let effective_reverse = self.reversed ^ (self.direction == Direction::Backward);
+        let effective_reverse = self.effective_reverse();
         let map = ViewMap {
             window_start: start,
             view_len: end - start + 1,
@@ -321,6 +382,52 @@ impl Search {
                 self.run_on(&ReversedView::new(view), map, num_timestamps)
             }
         }
+    }
+
+    /// Executes the search against a [`Prepared`](crate::prepared::Prepared)
+    /// graph, reusing its prebuilt engine structures where the query shape
+    /// allows.
+    ///
+    /// Today that covers full-graph, forward, parent-less
+    /// [`Strategy::Algebraic`] queries, which skip the per-run
+    /// [`BlockAdjacency`](egraph_matrix::block::BlockAdjacency) assembly;
+    /// every other shape silently falls back to [`Search::run`] on the
+    /// underlying graph. Answers and errors are identical to [`Search::run`]
+    /// in all cases.
+    pub fn run_prepared<G: EvolvingGraph + Sync>(
+        &self,
+        prepared: &crate::prepared::Prepared<'_, G>,
+    ) -> Result<SearchResult> {
+        let graph = prepared.graph();
+        if self.strategy != Strategy::Algebraic || self.with_parents || self.sources.is_empty() {
+            return self.run(graph);
+        }
+        let num_timestamps = graph.num_timestamps();
+        // Delegate every resolution error to the ordinary path so the two
+        // entry points cannot drift on error cases.
+        let Ok((start, end)) = self.window.resolve(num_timestamps) else {
+            return self.run(graph);
+        };
+        if self.effective_reverse() || start != 0 || end + 1 != num_timestamps {
+            return self.run(graph);
+        }
+        let map = ViewMap {
+            window_start: 0,
+            view_len: num_timestamps,
+            reversed: false,
+        };
+        let mut maps = Vec::with_capacity(self.sources.len());
+        for &source in &self.sources {
+            let view_source = self.source_to_view(source, map)?;
+            // `algebraic_bfs` = root validation + block assembly + blocked
+            // power iteration; only the assembly is skipped here.
+            check_root(graph, view_source)?;
+            maps.push(egraph_matrix::algebraic_bfs::algebraic_bfs_blocked(
+                prepared.blocks(),
+                view_source,
+            ));
+        }
+        Ok(SearchResult::from_maps(maps, false))
     }
 
     /// Maps `source` into the view's coordinates, or reports it outside the

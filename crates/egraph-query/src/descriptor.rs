@@ -1,0 +1,222 @@
+//! [`QueryDescriptor`]: the canonical, hashable identity of a [`Search`].
+//!
+//! Differently phrased builders that would execute the *same traversal*
+//! produce equal descriptors wherever that is decidable without a graph:
+//! an explicit [`Search::reverse`] composed with
+//! [`Direction::Backward`](egraph_core::bfs::Direction::Backward) collapses
+//! into a single *effective reverse* bit (the builder executes both through
+//! the same reversed view), and a window start bound of `0` canonicalises
+//! away (`0..` ≡ `..`). The one graph-dependent phrasing stays distinct: an
+//! explicit end bound that happens to equal the last snapshot (`..=last`)
+//! is not unified with an unbounded end, because the two *diverge* the
+//! moment a snapshot is appended. Caching layers (the `egraph-stream`
+//! crate's `QueryCache`) key memoised results on this type instead of
+//! re-deriving the builder's dispatch rules, so the cache composes with
+//! every strategy rather than bypassing the builder.
+//!
+//! [`Search`]: crate::Search
+//! [`Search::reverse`]: crate::Search::reverse
+
+use egraph_core::ids::TemporalNode;
+
+use crate::builder::{Strategy, WindowSpec};
+
+/// The canonical identity of a search: root(s) × strategy × direction ×
+/// window × reverse, after the builder's dispatch rules are applied.
+///
+/// Obtained from [`Search::descriptor`](crate::Search::descriptor).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryDescriptor {
+    sources: Vec<TemporalNode>,
+    strategy: Strategy,
+    effective_reverse: bool,
+    window: WindowSpec,
+    with_parents: bool,
+}
+
+impl QueryDescriptor {
+    pub(crate) fn new(
+        sources: Vec<TemporalNode>,
+        strategy: Strategy,
+        effective_reverse: bool,
+        window: WindowSpec,
+        with_parents: bool,
+    ) -> Self {
+        QueryDescriptor {
+            sources,
+            strategy,
+            effective_reverse,
+            window,
+            with_parents,
+        }
+    }
+
+    /// The configured sources, in builder order (order is part of the
+    /// identity: per-source payloads are returned in this order).
+    pub fn sources(&self) -> &[TemporalNode] {
+        &self.sources
+    }
+
+    /// The strategy that will actually execute — [`Strategy::Serial`] when
+    /// the builder requested BFS-tree parents, regardless of the configured
+    /// strategy (see [`Search::with_parents`](crate::Search::with_parents)).
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Whether the traversal runs on time-reversed coordinates: an explicit
+    /// [`reverse`](crate::Search::reverse) XOR a backward
+    /// [`direction`](crate::Search::direction).
+    pub fn effective_reverse(&self) -> bool {
+        self.effective_reverse
+    }
+
+    /// The snapshot-window restriction.
+    pub fn window(&self) -> WindowSpec {
+        self.window
+    }
+
+    /// Whether BFS-tree parents are recorded.
+    pub fn with_parents(&self) -> bool {
+        self.with_parents
+    }
+
+    /// Whether a cached result of this query can be *extended in place* when
+    /// strictly later snapshots are appended to the graph, rather than
+    /// recomputed.
+    ///
+    /// Appending a snapshot only ever adds causal edges *into* it and static
+    /// edges *inside* it, so a **forward** traversal whose window does not
+    /// exclude the new snapshots keeps every previously computed distance /
+    /// arrival and merely gains coverage — the
+    /// [`ResumableBfs`](egraph_core::resume::ResumableBfs) /
+    /// [`ResumableForemost`](egraph_core::resume::ResumableForemost)
+    /// extension. That requires:
+    ///
+    /// * no effective time reversal (a backward or reversed traversal gains
+    ///   *sources of* the query root from new snapshots, invalidating old
+    ///   distances' minimality — they must recompute);
+    /// * an unbounded window end (a bounded window never covers appended
+    ///   snapshots; such results are recomputed on demand — see the
+    ///   cache-invalidation matrix in the workspace ROADMAP);
+    /// * a hop engine without parent recording, or the foremost sweep
+    ///   (shared-frontier extension is an open item).
+    pub fn is_append_extendable(&self) -> bool {
+        !self.effective_reverse
+            && !self.with_parents
+            && self.window.end_bound().is_none()
+            && !self.window.is_empty_spec()
+            && matches!(
+                self.strategy,
+                Strategy::Serial | Strategy::Parallel | Strategy::Algebraic | Strategy::Foremost
+            )
+    }
+
+    /// Whether the hop engines serve this query (per-source
+    /// [`DistanceMap`](egraph_core::distance::DistanceMap) payload).
+    pub fn is_hop_query(&self) -> bool {
+        matches!(
+            self.strategy,
+            Strategy::Serial | Strategy::Parallel | Strategy::Algebraic
+        )
+    }
+}
+
+/// An execution back end a [`Search`](crate::Search) can be routed through —
+/// the inversion that lets caching / live layers sit *behind* the builder
+/// instead of wrapping it. Implemented by `egraph-stream`'s
+/// `CachedSession`; [`Search::run_via`](crate::Search::run_via) is the
+/// entry point.
+pub trait QueryExecutor {
+    /// Executes `search`, by whatever mix of cache hits, incremental
+    /// extension and recomputation the back end implements. Must be
+    /// answer-equivalent to [`Search::run`](crate::Search::run) against the
+    /// backing graph — errors included.
+    fn run_search(
+        &mut self,
+        search: &crate::Search,
+    ) -> egraph_core::error::Result<crate::SearchResult>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Search;
+    use egraph_core::bfs::Direction;
+    use egraph_core::ids::TemporalNode;
+
+    fn root() -> TemporalNode {
+        TemporalNode::from_raw(0, 0)
+    }
+
+    #[test]
+    fn backward_and_reversed_collapse_to_the_same_descriptor() {
+        let a = Search::from(root()).backward().descriptor();
+        let b = Search::from(root()).reverse().descriptor();
+        assert_eq!(a, b);
+        assert!(a.effective_reverse());
+        // ...and double reversal cancels.
+        let c = Search::from(root())
+            .direction(Direction::Backward)
+            .reverse()
+            .descriptor();
+        assert!(!c.effective_reverse());
+        assert_eq!(c, Search::from(root()).descriptor());
+    }
+
+    #[test]
+    fn zero_start_windows_collapse_to_the_unwindowed_descriptor() {
+        // `0..` restricts nothing: one standing query, one cache entry.
+        assert_eq!(
+            Search::from(root()).window(0u32..).descriptor(),
+            Search::from(root()).descriptor()
+        );
+        assert_eq!(
+            Search::from(root()).window(0u32..=3).descriptor(),
+            Search::from(root()).window(..=3u32).descriptor()
+        );
+        // A bounded end stays distinct from an unbounded one — they diverge
+        // as soon as a snapshot is appended.
+        assert_ne!(
+            Search::from(root()).window(..=3u32).descriptor(),
+            Search::from(root()).descriptor()
+        );
+    }
+
+    #[test]
+    fn with_parents_forces_the_serial_strategy_in_the_descriptor() {
+        let d = Search::from(root())
+            .strategy(Strategy::Algebraic)
+            .with_parents()
+            .descriptor();
+        assert_eq!(d.strategy(), Strategy::Serial);
+        assert!(d.with_parents());
+        assert_ne!(d, Search::from(root()).descriptor());
+    }
+
+    #[test]
+    fn extendability_matrix() {
+        let d = |s: Search| s.descriptor();
+        // Forward full-window hop and foremost queries extend.
+        assert!(d(Search::from(root())).is_append_extendable());
+        assert!(d(Search::from(root()).strategy(Strategy::Foremost)).is_append_extendable());
+        assert!(d(Search::from(root()).window(1u32..)).is_append_extendable());
+        // Reversed / backward, bounded-window, parents and shared-frontier
+        // queries do not.
+        assert!(!d(Search::from(root()).backward()).is_append_extendable());
+        assert!(!d(Search::from(root()).reverse()).is_append_extendable());
+        assert!(!d(Search::from(root()).window(0u32..=1)).is_append_extendable());
+        assert!(!d(Search::from(root()).with_parents()).is_append_extendable());
+        assert!(!d(Search::from(root()).strategy(Strategy::SharedFrontier)).is_append_extendable());
+    }
+
+    #[test]
+    fn source_order_is_part_of_the_identity() {
+        let a = TemporalNode::from_raw(0, 0);
+        let b = TemporalNode::from_raw(1, 0);
+        assert_ne!(
+            Search::from_sources([a, b]).descriptor(),
+            Search::from_sources([b, a]).descriptor()
+        );
+    }
+}

@@ -91,16 +91,22 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+mod descriptor;
+mod prepared;
 mod result;
 mod view_map;
 
 pub use builder::{Search, Strategy, WindowSpec};
+pub use descriptor::{QueryDescriptor, QueryExecutor};
 pub use egraph_core::bfs::Direction;
+pub use prepared::Prepared;
 pub use result::SearchResult;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::builder::{Search, Strategy, WindowSpec};
+    pub use crate::descriptor::{QueryDescriptor, QueryExecutor};
+    pub use crate::prepared::Prepared;
     pub use crate::result::SearchResult;
     pub use egraph_core::bfs::Direction;
 }

@@ -45,7 +45,12 @@ pub struct SearchResult {
 }
 
 impl SearchResult {
-    pub(crate) fn from_maps(maps: Vec<DistanceMap>, reversed: bool) -> Self {
+    /// Assembles a hop-payload result from per-source distance maps, as the
+    /// hop engines would have produced for a traversal with the given
+    /// time-reversal bit. Intended for execution layers (caches, incremental
+    /// re-search) that rebuild results from resumed state; `maps` must be
+    /// non-empty and in source order.
+    pub fn from_maps(maps: Vec<DistanceMap>, reversed: bool) -> Self {
         debug_assert!(!maps.is_empty(), "SearchResult requires at least one map");
         SearchResult {
             payload: Payload::Hops(maps),
@@ -53,7 +58,10 @@ impl SearchResult {
         }
     }
 
-    pub(crate) fn from_arrivals(arrivals: Vec<ForemostResult>, reversed: bool) -> Self {
+    /// Assembles a [`Foremost`](crate::Strategy::Foremost)-payload result
+    /// from per-source arrival tables (non-empty, in source order). See
+    /// [`SearchResult::from_maps`] for the intended callers.
+    pub fn from_arrivals(arrivals: Vec<ForemostResult>, reversed: bool) -> Self {
         debug_assert!(!arrivals.is_empty());
         SearchResult {
             payload: Payload::Arrivals(arrivals),
@@ -61,7 +69,10 @@ impl SearchResult {
         }
     }
 
-    pub(crate) fn from_shared(shared: MultiSourceMap, reversed: bool) -> Self {
+    /// Assembles a [`SharedFrontier`](crate::Strategy::SharedFrontier)-payload
+    /// result from a nearest-source map. See [`SearchResult::from_maps`] for
+    /// the intended callers.
+    pub fn from_shared(shared: MultiSourceMap, reversed: bool) -> Self {
         SearchResult {
             payload: Payload::Shared(shared),
             reversed,

@@ -1,0 +1,547 @@
+//! [`QueryCache`]: memoised [`Search`] execution over a [`LiveGraph`], with
+//! incremental re-search.
+//!
+//! Results are keyed by the builder's canonical [`QueryDescriptor`] —
+//! root(s) × strategy × direction × window × reverse — so the cache composes
+//! with every strategy the builder dispatches to, rather than bypassing it.
+//! When the graph's [`version`](LiveGraph::version) moves (snapshots were
+//! sealed), a stale entry is repaired according to the query's shape:
+//!
+//! | query shape | on appended snapshots |
+//! |---|---|
+//! | forward, unbounded-end window, hop strategy (no parents) | **extended** from the cached per-node frontier ([`ResumableBfs`]) |
+//! | forward, unbounded-end window, `Foremost` | **extended** from the cached arrival table ([`ResumableForemost`]) |
+//! | effective time reversal (backward and/or `.reverse()`) | recomputed — new snapshots add *predecessors* of nothing but may add sources of the reversed traversal |
+//! | bounded window end | recomputed on demand (the window never covers the new snapshots, but result dimensions track the graph) |
+//! | `with_parents` / `SharedFrontier` | recomputed (extension is an open item) |
+//!
+//! Extension does *graph work* proportional to the appended delta — the
+//! `incremental_vs_recompute` bench pins this with
+//! [`CountingView`](egraph_core::instrument::CountingView) counters — while
+//! staying answer-identical to a from-scratch [`Search::run`] on the sealed
+//! graph, errors included (the `live_stream_differential` suite). Like
+//! [`Search::run`] itself, every outcome still hands back an *owned*
+//! [`SearchResult`] (`O(nodes × snapshots)` to materialise/clone), and an
+//! extendable entry keeps both its resumable state and the materialised
+//! result; sharing results (`Arc`) to make hits `O(1)` is an open item in
+//! the workspace ROADMAP.
+
+use std::collections::HashMap;
+
+use egraph_core::error::Result;
+use egraph_core::graph::EvolvingGraph;
+use egraph_core::ids::TimeIndex;
+use egraph_core::resume::{ResumableBfs, ResumableForemost};
+use egraph_query::{QueryDescriptor, QueryExecutor, Search, SearchResult, Strategy};
+
+use crate::live::LiveGraph;
+
+/// How the cache produced an answer — exposed for tests, benches and
+/// observability ([`QueryCache::execute_traced`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// No entry existed; the query ran from scratch and was stored.
+    Miss,
+    /// A current entry was served without touching the graph.
+    Hit,
+    /// A stale extendable entry was advanced over the appended snapshots.
+    Extended,
+    /// A stale non-extendable entry was recomputed from scratch.
+    Recomputed,
+}
+
+/// Running counters over every [`QueryCache::execute`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries served from a current entry.
+    pub hits: u64,
+    /// Queries served by incremental extension.
+    pub extensions: u64,
+    /// Stale entries recomputed from scratch.
+    pub recomputes: u64,
+    /// Queries with no prior entry.
+    pub misses: u64,
+}
+
+/// Resumable (or opaque) state behind one cached query.
+#[derive(Clone, Debug)]
+enum CachedState {
+    /// Per-source resumable hop-BFS states (forward, unbounded-end window).
+    Hops(Vec<ResumableBfs>),
+    /// Per-source resumable arrival tables (forward, unbounded-end window).
+    Foremost(Vec<ResumableForemost>),
+    /// Anything else: valid only at the version it was computed at.
+    Opaque,
+}
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    version: u64,
+    state: CachedState,
+    /// The materialised result at `version` (what a `Hit` clones).
+    result: SearchResult,
+}
+
+/// A memoising execution layer for [`Search`] queries over a [`LiveGraph`].
+///
+/// See the [module docs](self) for the invalidation matrix. The cache never
+/// stores errors: a failing query re-runs (and re-fails identically) each
+/// time, which also lets queries that *become* valid as the graph grows —
+/// e.g. a root in a not-yet-sealed snapshot — succeed later.
+///
+/// A cache binds to the identity ([`LiveGraph::graph_id`]) of the first
+/// graph it executes against; handing it a *different* live graph — another
+/// instance, or a clone that may have diverged — drops every entry and
+/// rebinds, so one graph's results can never answer (or corrupt the
+/// resumable state of) another's.
+#[derive(Clone, Debug, Default)]
+pub struct QueryCache {
+    entries: HashMap<QueryDescriptor, CacheEntry>,
+    stats: CacheStats,
+    /// The [`LiveGraph::graph_id`] the entries belong to.
+    bound_graph: Option<u64>,
+}
+
+impl QueryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Executes `search` against `live`'s sealed graph, through the cache.
+    /// Answer- and error-identical to `search.run(live.graph())`.
+    pub fn execute(&mut self, live: &LiveGraph, search: &Search) -> Result<SearchResult> {
+        self.execute_traced(live, search).map(|(result, _)| result)
+    }
+
+    /// [`QueryCache::execute`], additionally reporting how the answer was
+    /// produced.
+    pub fn execute_traced(
+        &mut self,
+        live: &LiveGraph,
+        search: &Search,
+    ) -> Result<(SearchResult, CacheOutcome)> {
+        let descriptor = search.descriptor();
+        let version = live.version();
+
+        // A different graph instance (including a possibly diverged clone):
+        // every entry is for the wrong history — drop them and rebind.
+        if self.bound_graph != Some(live.graph_id()) {
+            self.entries.clear();
+            self.bound_graph = Some(live.graph_id());
+        }
+
+        if let Some(entry) = self.entries.get_mut(&descriptor) {
+            if entry.version == version {
+                self.stats.hits += 1;
+                return Ok((entry.result.clone(), CacheOutcome::Hit));
+            }
+            // Stale. The graph only ever gained sealed snapshots (and
+            // possibly nodes) since `entry.version` — the append-only
+            // contract of `LiveGraph`.
+            match &mut entry.state {
+                CachedState::Hops(states) => {
+                    extend_states(states, live);
+                    entry.result = SearchResult::from_maps(
+                        states.iter().map(|s| s.to_distance_map()).collect(),
+                        false,
+                    );
+                    entry.version = version;
+                    self.stats.extensions += 1;
+                    return Ok((entry.result.clone(), CacheOutcome::Extended));
+                }
+                CachedState::Foremost(states) => {
+                    extend_states(states, live);
+                    entry.result = SearchResult::from_arrivals(
+                        states.iter().map(|s| s.to_result()).collect(),
+                        false,
+                    );
+                    entry.version = version;
+                    self.stats.extensions += 1;
+                    return Ok((entry.result.clone(), CacheOutcome::Extended));
+                }
+                CachedState::Opaque => {
+                    self.stats.recomputes += 1;
+                    let result = match search.run(live.graph()) {
+                        Ok(result) => result,
+                        Err(err) => {
+                            // Drop the stale entry so the failure isn't
+                            // re-derived from dead state forever.
+                            self.entries.remove(&descriptor);
+                            return Err(err);
+                        }
+                    };
+                    entry.version = version;
+                    entry.result = result.clone();
+                    return Ok((result, CacheOutcome::Recomputed));
+                }
+            }
+        }
+
+        // Miss: run from scratch through the builder, then capture resumable
+        // state when the shape admits extension.
+        self.stats.misses += 1;
+        let result = search.run(live.graph())?;
+        let state = capture_state(&descriptor, &result, live);
+        self.entries.insert(
+            descriptor,
+            CacheEntry {
+                version,
+                state,
+                result: result.clone(),
+            },
+        );
+        Ok((result, CacheOutcome::Miss))
+    }
+}
+
+/// Captures resumable per-source state for extendable query shapes.
+fn capture_state(
+    descriptor: &QueryDescriptor,
+    result: &SearchResult,
+    live: &LiveGraph,
+) -> CachedState {
+    if !descriptor.is_append_extendable() {
+        return CachedState::Opaque;
+    }
+    match descriptor.strategy() {
+        Strategy::Serial | Strategy::Parallel | Strategy::Algebraic => CachedState::Hops(
+            result
+                .distance_maps()
+                .iter()
+                .map(ResumableBfs::from_map)
+                .collect(),
+        ),
+        Strategy::Foremost => CachedState::Foremost(
+            result
+                .foremost_results()
+                .iter()
+                .map(|table| ResumableForemost::from_result(table, live.num_sealed()))
+                .collect(),
+        ),
+        Strategy::SharedFrontier => CachedState::Opaque,
+    }
+}
+
+/// The common resumable-state surface the extension loop needs, so the hop
+/// and foremost paths share one implementation and cannot drift.
+trait Resumable {
+    fn grow_nodes(&mut self, num_nodes: usize);
+    fn covered_timestamps(&self) -> usize;
+    fn extend_snapshot(
+        &mut self,
+        graph: &egraph_core::adjacency::AdjacencyListGraph,
+        touched: &[egraph_core::ids::NodeId],
+    ) -> Result<()>;
+}
+
+impl Resumable for ResumableBfs {
+    fn grow_nodes(&mut self, num_nodes: usize) {
+        ResumableBfs::grow_nodes(self, num_nodes)
+    }
+    fn covered_timestamps(&self) -> usize {
+        ResumableBfs::covered_timestamps(self)
+    }
+    fn extend_snapshot(
+        &mut self,
+        graph: &egraph_core::adjacency::AdjacencyListGraph,
+        touched: &[egraph_core::ids::NodeId],
+    ) -> Result<()> {
+        ResumableBfs::extend_snapshot(self, graph, touched)
+    }
+}
+
+impl Resumable for ResumableForemost {
+    fn grow_nodes(&mut self, num_nodes: usize) {
+        ResumableForemost::grow_nodes(self, num_nodes)
+    }
+    fn covered_timestamps(&self) -> usize {
+        ResumableForemost::covered_timestamps(self)
+    }
+    fn extend_snapshot(
+        &mut self,
+        graph: &egraph_core::adjacency::AdjacencyListGraph,
+        touched: &[egraph_core::ids::NodeId],
+    ) -> Result<()> {
+        ResumableForemost::extend_snapshot(self, graph, touched)
+    }
+}
+
+/// Advances every per-source resumable state across the snapshots sealed
+/// since the states' coverage, growing the node layout first.
+fn extend_states<S: Resumable>(states: &mut [S], live: &LiveGraph) {
+    let graph = live.graph();
+    for state in states.iter_mut() {
+        state.grow_nodes(graph.num_nodes());
+        for t in state.covered_timestamps()..live.num_sealed() {
+            let t = TimeIndex::from_index(t);
+            state
+                .extend_snapshot(graph, live.touched_at(t))
+                .expect("coverage and layout were aligned above");
+        }
+    }
+}
+
+/// A borrowed (live graph, cache) pair implementing the builder's
+/// [`QueryExecutor`] hook, so call sites keep the fluent shape:
+///
+/// ```
+/// use egraph_core::ids::{NodeId, TemporalNode};
+/// use egraph_query::Search;
+/// use egraph_stream::{LiveGraph, QueryCache};
+///
+/// let mut live = LiveGraph::directed(3);
+/// live.insert(NodeId(0), NodeId(1)).unwrap();
+/// live.seal_snapshot(0).unwrap();
+///
+/// let mut cache = QueryCache::new();
+/// let result = Search::from(TemporalNode::from_raw(0, 0))
+///     .run_via(&mut live.session(&mut cache))
+///     .unwrap();
+/// assert_eq!(result.num_reached(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CachedSession<'a> {
+    live: &'a LiveGraph,
+    cache: &'a mut QueryCache,
+}
+
+impl QueryExecutor for CachedSession<'_> {
+    fn run_search(&mut self, search: &Search) -> Result<SearchResult> {
+        self.cache.execute(self.live, search)
+    }
+}
+
+impl LiveGraph {
+    /// Pairs this graph with a [`QueryCache`] for
+    /// [`Search::run_via`](egraph_query::Search::run_via).
+    pub fn session<'a>(&'a self, cache: &'a mut QueryCache) -> CachedSession<'a> {
+        CachedSession { live: self, cache }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph_core::error::GraphError;
+    use egraph_core::ids::{NodeId, TemporalNode};
+    use egraph_query::Direction;
+
+    fn seeded_live() -> LiveGraph {
+        let mut live = LiveGraph::directed(4);
+        live.insert(NodeId(0), NodeId(1)).unwrap();
+        live.seal_snapshot(0).unwrap();
+        live.insert(NodeId(1), NodeId(2)).unwrap();
+        live.seal_snapshot(1).unwrap();
+        live
+    }
+
+    fn assert_matches_scratch(live: &LiveGraph, cache: &mut QueryCache, search: &Search) {
+        let cached = cache.execute(live, search);
+        let scratch = search.run(live.graph());
+        match (cached, scratch) {
+            (Ok(a), Ok(b)) => assert_eq!(a.reached_node_ids(), b.reached_node_ids()),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("cached {a:?} disagrees with scratch {b:?}"),
+        }
+    }
+
+    #[test]
+    fn hit_extend_and_recompute_paths_are_reported() {
+        let mut live = seeded_live();
+        let mut cache = QueryCache::new();
+        let forward = Search::from(TemporalNode::from_raw(0, 0));
+        let backward = Search::from(TemporalNode::from_raw(2, 1)).direction(Direction::Backward);
+
+        let (_, o) = cache.execute_traced(&live, &forward).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        let (_, o) = cache.execute_traced(&live, &forward).unwrap();
+        assert_eq!(o, CacheOutcome::Hit);
+        let (_, o) = cache.execute_traced(&live, &backward).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+
+        live.insert(NodeId(2), NodeId(3)).unwrap();
+        live.seal_snapshot(2).unwrap();
+
+        let (result, o) = cache.execute_traced(&live, &forward).unwrap();
+        assert_eq!(o, CacheOutcome::Extended);
+        assert_eq!(
+            result.distance_map().as_flat_slice(),
+            forward
+                .run(live.graph())
+                .unwrap()
+                .distance_map()
+                .as_flat_slice()
+        );
+        let (_, o) = cache.execute_traced(&live, &backward).unwrap();
+        assert_eq!(o, CacheOutcome::Recomputed);
+
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.misses, stats.hits, stats.extensions, stats.recomputes),
+            (2, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn foremost_entries_extend_too() {
+        let mut live = seeded_live();
+        let mut cache = QueryCache::new();
+        let query = Search::from(TemporalNode::from_raw(0, 0)).strategy(Strategy::Foremost);
+        cache.execute(&live, &query).unwrap();
+        live.insert(NodeId(2), NodeId(3)).unwrap();
+        live.seal_snapshot(5).unwrap();
+        let (result, o) = cache.execute_traced(&live, &query).unwrap();
+        assert_eq!(o, CacheOutcome::Extended);
+        assert_eq!(result.arrival(NodeId(3)), Some(TimeIndex(2)));
+    }
+
+    #[test]
+    fn errors_are_not_cached_and_can_heal_as_the_graph_grows() {
+        let mut live = seeded_live();
+        let mut cache = QueryCache::new();
+        // Root in a snapshot that does not exist yet.
+        let query = Search::from(TemporalNode::from_raw(0, 2));
+        assert!(matches!(
+            cache.execute(&live, &query),
+            Err(GraphError::OutsideWindow { .. })
+        ));
+        live.insert(NodeId(0), NodeId(3)).unwrap();
+        live.seal_snapshot(9).unwrap();
+        let (result, o) = cache.execute_traced(&live, &query).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert!(result.is_reached(TemporalNode::from_raw(3, 2)));
+    }
+
+    #[test]
+    fn node_growth_is_absorbed_by_extension() {
+        let mut live = seeded_live();
+        let mut cache = QueryCache::new();
+        let query = Search::from(TemporalNode::from_raw(0, 0));
+        cache.execute(&live, &query).unwrap();
+        live.apply(crate::event::EdgeEvent::grow_nodes(7)).unwrap();
+        live.insert(NodeId(2), NodeId(6)).unwrap();
+        live.seal_snapshot(7).unwrap();
+        let (result, o) = cache.execute_traced(&live, &query).unwrap();
+        assert_eq!(o, CacheOutcome::Extended);
+        assert_eq!(
+            result.distance_map().as_flat_slice(),
+            query
+                .run(live.graph())
+                .unwrap()
+                .distance_map()
+                .as_flat_slice()
+        );
+        assert!(result.reaches_node(NodeId(6)));
+    }
+
+    #[test]
+    fn every_strategy_matches_scratch_through_the_cache() {
+        let mut live = seeded_live();
+        let mut cache = QueryCache::new();
+        let root = TemporalNode::from_raw(0, 0);
+        let strategies = [
+            Strategy::Serial,
+            Strategy::Parallel,
+            Strategy::Algebraic,
+            Strategy::Foremost,
+            Strategy::SharedFrontier,
+        ];
+        for pass in 0..3 {
+            for strategy in strategies {
+                assert_matches_scratch(&live, &mut cache, &Search::from(root).strategy(strategy));
+            }
+            if pass < 2 {
+                live.insert(NodeId(pass as u32), NodeId(3)).unwrap();
+                live.seal_snapshot(10 + pass as i64).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn a_cache_never_serves_one_graphs_results_for_another() {
+        // Regression: two distinct graphs at the same version used to alias
+        // through descriptor-only keys, silently answering for the wrong
+        // graph.
+        let mut a = LiveGraph::directed(3);
+        a.insert(NodeId(0), NodeId(1)).unwrap();
+        a.seal_snapshot(0).unwrap();
+        let mut b = LiveGraph::directed(3);
+        b.insert(NodeId(0), NodeId(2)).unwrap();
+        b.seal_snapshot(0).unwrap();
+        assert_eq!(a.version(), b.version());
+
+        let mut cache = QueryCache::new();
+        let query = Search::from(TemporalNode::from_raw(0, 0));
+        let on_a = cache.execute(&a, &query).unwrap();
+        assert!(!on_a.reaches_node(NodeId(2)));
+        let (on_b, outcome) = cache.execute_traced(&b, &query).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss, "rebinding must not hit");
+        assert!(on_b.reaches_node(NodeId(2)));
+        assert!(!on_b.reaches_node(NodeId(1)));
+    }
+
+    #[test]
+    fn clones_count_as_different_graphs() {
+        // A clone can diverge while keeping the same version; the cache must
+        // treat it as a new graph rather than extend with foreign deltas.
+        let mut a = seeded_live();
+        let mut cache = QueryCache::new();
+        let query = Search::from(TemporalNode::from_raw(0, 0));
+        cache.execute(&a, &query).unwrap();
+
+        let mut b = a.clone();
+        a.insert(NodeId(1), NodeId(3)).unwrap();
+        a.seal_snapshot(10).unwrap();
+        b.insert(NodeId(2), NodeId(3)).unwrap();
+        b.seal_snapshot(10).unwrap();
+        assert_eq!(a.version(), b.version());
+
+        let on_a = cache.execute(&a, &query).unwrap();
+        assert_eq!(
+            on_a.distance_map().as_flat_slice(),
+            query.run(a.graph()).unwrap().distance_map().as_flat_slice()
+        );
+        let on_b = cache.execute(&b, &query).unwrap();
+        assert_eq!(
+            on_b.distance_map().as_flat_slice(),
+            query.run(b.graph()).unwrap().distance_map().as_flat_slice()
+        );
+    }
+
+    #[test]
+    fn run_via_routes_through_the_cache() {
+        let live = seeded_live();
+        let mut cache = QueryCache::new();
+        let root = TemporalNode::from_raw(0, 0);
+        let a = Search::from(root)
+            .run_via(&mut live.session(&mut cache))
+            .unwrap();
+        let b = Search::from(root)
+            .run_via(&mut live.session(&mut cache))
+            .unwrap();
+        assert_eq!(a.num_reached(), b.num_reached());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! [`EdgeEvent`]: the append-only ingestion vocabulary of a
+//! [`LiveGraph`](crate::LiveGraph).
+//!
+//! Events are buffered into the graph's *open* snapshot and become
+//! searchable only when the snapshot is sealed — mirroring how streaming
+//! graph systems batch a window of arrivals before publishing it to queries.
+//! The vocabulary is deliberately append-only: edges and nodes can be added,
+//! never removed, which is precisely the property that makes forward search
+//! results extendable instead of recomputable (see the crate docs).
+
+use egraph_core::ids::NodeId;
+
+/// One ingestion event for the open (not yet sealed) snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeEvent {
+    /// Insert the static edge `(src, dst)` into the open snapshot. Parallel
+    /// edges are permitted, as in
+    /// [`AdjacencyListGraph::add_edge`](egraph_core::adjacency::AdjacencyListGraph::add_edge).
+    Insert {
+        /// Source end point.
+        src: NodeId,
+        /// Destination end point.
+        dst: NodeId,
+    },
+    /// Insert `(src, dst)` only if the open snapshot does not already
+    /// contain it (from an earlier buffered event). Mirrors
+    /// [`AdjacencyListGraph::add_edge_unique`](egraph_core::adjacency::AdjacencyListGraph::add_edge_unique).
+    InsertUnique {
+        /// Source end point.
+        src: NodeId,
+        /// Destination end point.
+        dst: NodeId,
+    },
+    /// Grow the node universe to at least `num_nodes` before the snapshot
+    /// seals. Takes effect for the open snapshot's own edges too, so an
+    /// event stream may introduce a node and immediately connect it.
+    GrowNodes {
+        /// Requested minimum universe size.
+        num_nodes: usize,
+    },
+}
+
+impl EdgeEvent {
+    /// Shorthand for [`EdgeEvent::Insert`].
+    pub fn insert(src: impl Into<NodeId>, dst: impl Into<NodeId>) -> Self {
+        EdgeEvent::Insert {
+            src: src.into(),
+            dst: dst.into(),
+        }
+    }
+
+    /// Shorthand for [`EdgeEvent::InsertUnique`].
+    pub fn insert_unique(src: impl Into<NodeId>, dst: impl Into<NodeId>) -> Self {
+        EdgeEvent::InsertUnique {
+            src: src.into(),
+            dst: dst.into(),
+        }
+    }
+
+    /// Shorthand for [`EdgeEvent::GrowNodes`].
+    pub fn grow_nodes(num_nodes: usize) -> Self {
+        EdgeEvent::GrowNodes { num_nodes }
+    }
+}

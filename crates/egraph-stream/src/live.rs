@@ -1,0 +1,374 @@
+//! [`LiveGraph`]: an evolving graph that is still evolving.
+//!
+//! The rest of the workspace searches graphs that were built up front; a
+//! `LiveGraph` is the production shape — an [`AdjacencyListGraph`] whose
+//! mutation paths (`push_timestamp` / `grow_nodes` / `add_edge`) are wrapped
+//! behind an append-only event API:
+//!
+//! * [`LiveGraph::apply`] buffers an [`EdgeEvent`] into the *open* snapshot,
+//! * [`LiveGraph::seal_snapshot`] publishes the open snapshot under a
+//!   strictly later time label, making it visible to every search.
+//!
+//! Searches (and the [`EvolvingGraph`] view this type implements) only ever
+//! see **sealed** data, so a half-ingested batch can never leak into a
+//! result. Every seal bumps a monotonically increasing [`version`] stamp —
+//! the invalidation token the [`QueryCache`](crate::QueryCache) keys on —
+//! and records which nodes the snapshot *touched* (its active set), which is
+//! exactly the delta the incremental re-search extension needs.
+//!
+//! [`version`]: LiveGraph::version
+
+use egraph_core::adjacency::AdjacencyListGraph;
+use egraph_core::error::{GraphError, Result};
+use egraph_core::graph::EvolvingGraph;
+use egraph_core::ids::{NodeId, TimeIndex, Timestamp};
+
+use crate::event::EdgeEvent;
+
+/// An append-only live evolving graph with an open-snapshot event buffer.
+#[derive(Debug)]
+pub struct LiveGraph {
+    graph: AdjacencyListGraph,
+    /// Process-unique instance identity (see [`LiveGraph::graph_id`]).
+    graph_id: u64,
+    /// Bumped on every successful [`LiveGraph::seal_snapshot`].
+    version: u64,
+    /// `touched[t]` = sorted, deduplicated nodes active at sealed snapshot
+    /// `t` — the per-snapshot delta handed to the resumable engines.
+    touched: Vec<Vec<NodeId>>,
+    /// Events buffered for the open snapshot.
+    pending: Vec<EdgeEvent>,
+    /// Node-universe size after the open snapshot's `GrowNodes` events.
+    pending_nodes: usize,
+}
+
+/// A clone is a *new* live graph that may diverge from the original, so it
+/// gets a fresh [`LiveGraph::graph_id`] — a cache bound to the original will
+/// not serve (or corrupt itself with) the clone's history.
+impl Clone for LiveGraph {
+    fn clone(&self) -> Self {
+        LiveGraph {
+            graph: self.graph.clone(),
+            graph_id: next_graph_id(),
+            version: self.version,
+            touched: self.touched.clone(),
+            pending: self.pending.clone(),
+            pending_nodes: self.pending_nodes,
+        }
+    }
+}
+
+/// Process-wide counter behind [`LiveGraph::graph_id`].
+fn next_graph_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl LiveGraph {
+    /// Creates a live graph over `num_nodes` nodes with no sealed snapshot
+    /// yet. Directed unless [`LiveGraph::undirected`] is used.
+    pub fn directed(num_nodes: usize) -> Self {
+        Self::from_graph(
+            AdjacencyListGraph::directed(num_nodes, Vec::new())
+                .expect("an empty snapshot sequence is trivially sorted"),
+        )
+    }
+
+    /// Creates an undirected live graph with no sealed snapshot yet.
+    pub fn undirected(num_nodes: usize) -> Self {
+        Self::from_graph(
+            AdjacencyListGraph::undirected(num_nodes, Vec::new())
+                .expect("an empty snapshot sequence is trivially sorted"),
+        )
+    }
+
+    /// Adopts an existing graph as the sealed history (version 0), deriving
+    /// the per-snapshot touched sets from its activeness index. Subsequent
+    /// events append to it.
+    pub fn from_graph(graph: AdjacencyListGraph) -> Self {
+        let touched = (0..graph.num_timestamps())
+            .map(|t| {
+                graph
+                    .active_at(TimeIndex::from_index(t))
+                    .into_iter()
+                    .map(|tn| tn.node)
+                    .collect()
+            })
+            .collect();
+        let pending_nodes = graph.num_nodes();
+        LiveGraph {
+            graph,
+            graph_id: next_graph_id(),
+            version: 0,
+            touched,
+            pending: Vec::new(),
+            pending_nodes,
+        }
+    }
+
+    /// A process-unique identity for this live graph *instance*. Two
+    /// `LiveGraph`s never share an id — clones included, since a clone may
+    /// diverge while keeping the same [`LiveGraph::version`]. The
+    /// [`QueryCache`](crate::QueryCache) binds to this id so entries from
+    /// one graph can never answer (or be corrupted by) another.
+    pub fn graph_id(&self) -> u64 {
+        self.graph_id
+    }
+
+    /// The sealed graph — what every search sees. The open snapshot's
+    /// buffered events are *not* part of it.
+    pub fn graph(&self) -> &AdjacencyListGraph {
+        &self.graph
+    }
+
+    /// Monotonically increasing version stamp: the number of seals applied
+    /// to this graph (adopting an existing history counts as version 0).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of sealed snapshots.
+    pub fn num_sealed(&self) -> usize {
+        self.graph.num_timestamps()
+    }
+
+    /// Number of events buffered in the open snapshot.
+    pub fn num_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The sorted node set sealed snapshot `t` touched (its active nodes).
+    ///
+    /// # Panics
+    /// Panics if `t` is not a sealed snapshot.
+    pub fn touched_at(&self, t: TimeIndex) -> &[NodeId] {
+        &self.touched[t.index()]
+    }
+
+    /// Buffers one event into the open snapshot.
+    ///
+    /// Validation happens here — against the universe the open snapshot will
+    /// have, i.e. including earlier buffered `GrowNodes` events — so a bad
+    /// event is rejected immediately instead of poisoning a later seal.
+    ///
+    /// # Errors
+    /// [`GraphError::SelfLoop`] (reported at the open snapshot's index) and
+    /// [`GraphError::NodeOutOfRange`] exactly as the wrapped
+    /// [`AdjacencyListGraph::add_edge`] would.
+    pub fn apply(&mut self, event: EdgeEvent) -> Result<()> {
+        match event {
+            EdgeEvent::Insert { src, dst } | EdgeEvent::InsertUnique { src, dst } => {
+                if src == dst {
+                    return Err(GraphError::SelfLoop {
+                        node: src,
+                        time: TimeIndex::from_index(self.num_sealed()),
+                    });
+                }
+                for v in [src, dst] {
+                    if v.index() >= self.pending_nodes {
+                        return Err(GraphError::NodeOutOfRange {
+                            node: v,
+                            num_nodes: self.pending_nodes,
+                        });
+                    }
+                }
+            }
+            EdgeEvent::GrowNodes { num_nodes } => {
+                self.pending_nodes = self.pending_nodes.max(num_nodes);
+            }
+        }
+        self.pending.push(event);
+        Ok(())
+    }
+
+    /// Seals the open snapshot under time label `label`, publishing every
+    /// buffered event at once: grows the node universe, appends the
+    /// snapshot, inserts the edges, records the touched set and bumps
+    /// [`LiveGraph::version`]. Sealing with no buffered edges publishes an
+    /// empty snapshot (every node inactive there), which is legal.
+    ///
+    /// Returns the new snapshot's index.
+    ///
+    /// # Errors
+    /// [`GraphError::UnsortedTimestamps`] if `label` is not strictly later
+    /// than the last sealed label; the buffer is left untouched so the
+    /// caller can retry with a corrected label.
+    pub fn seal_snapshot(&mut self, label: Timestamp) -> Result<TimeIndex> {
+        // The label check is push_timestamp's own; running it first keeps
+        // the seal atomic (a rejected label touches nothing, buffer
+        // included). grow_nodes afterwards resizes the new snapshot's rows
+        // along with every older one.
+        let t = self.graph.push_timestamp(label)?;
+        self.graph.grow_nodes(self.pending_nodes);
+        let mut touched: Vec<NodeId> = Vec::new();
+        for event in self.pending.drain(..) {
+            let inserted = match event {
+                EdgeEvent::Insert { src, dst } => {
+                    self.graph
+                        .add_edge(src, dst, t)
+                        .expect("events were validated on apply");
+                    Some((src, dst))
+                }
+                EdgeEvent::InsertUnique { src, dst } => self
+                    .graph
+                    .add_edge_unique(src, dst, t)
+                    .expect("events were validated on apply")
+                    .then_some((src, dst)),
+                EdgeEvent::GrowNodes { .. } => None,
+            };
+            if let Some((src, dst)) = inserted {
+                touched.push(src);
+                touched.push(dst);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        self.touched.push(touched);
+        self.version += 1;
+        Ok(t)
+    }
+
+    /// Convenience: buffers a plain edge insert (see [`LiveGraph::apply`]).
+    pub fn insert(&mut self, src: impl Into<NodeId>, dst: impl Into<NodeId>) -> Result<()> {
+        self.apply(EdgeEvent::insert(src, dst))
+    }
+}
+
+/// Searches routed at a `LiveGraph` see exactly the sealed history.
+impl EvolvingGraph for LiveGraph {
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+    fn num_timestamps(&self) -> usize {
+        self.graph.num_timestamps()
+    }
+    fn timestamp(&self, t: TimeIndex) -> Timestamp {
+        self.graph.timestamp(t)
+    }
+    fn is_directed(&self) -> bool {
+        self.graph.is_directed()
+    }
+    fn num_static_edges(&self) -> usize {
+        self.graph.num_static_edges()
+    }
+    fn for_each_static_out(&self, v: NodeId, t: TimeIndex, f: &mut dyn FnMut(NodeId)) {
+        self.graph.for_each_static_out(v, t, f)
+    }
+    fn for_each_static_in(&self, v: NodeId, t: TimeIndex, f: &mut dyn FnMut(NodeId)) {
+        self.graph.for_each_static_in(v, t, f)
+    }
+    fn for_each_active_time(&self, v: NodeId, f: &mut dyn FnMut(TimeIndex)) {
+        self.graph.for_each_active_time(v, f)
+    }
+    fn is_active(&self, v: NodeId, t: TimeIndex) -> bool {
+        self.graph.is_active(v, t)
+    }
+    fn time_index_of(&self, timestamp: Timestamp) -> Option<TimeIndex> {
+        self.graph.time_index_of(timestamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_stay_invisible_until_sealed() {
+        let mut live = LiveGraph::directed(3);
+        live.insert(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(live.num_sealed(), 0);
+        assert_eq!(live.num_pending(), 1);
+        assert_eq!(live.graph().num_static_edges(), 0);
+
+        let t = live.seal_snapshot(10).unwrap();
+        assert_eq!(t, TimeIndex(0));
+        assert_eq!(live.num_pending(), 0);
+        assert_eq!(live.graph().num_static_edges(), 1);
+        assert_eq!(live.version(), 1);
+        assert_eq!(live.touched_at(t), &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn apply_validates_against_the_pending_universe() {
+        let mut live = LiveGraph::directed(2);
+        assert!(matches!(
+            live.insert(NodeId(0), NodeId(5)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            live.insert(NodeId(1), NodeId(1)),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        // Growing inside the open snapshot legalises the edge immediately.
+        live.apply(EdgeEvent::grow_nodes(6)).unwrap();
+        live.insert(NodeId(0), NodeId(5)).unwrap();
+        let t = live.seal_snapshot(0).unwrap();
+        assert_eq!(live.graph().num_nodes(), 6);
+        assert!(live.graph().has_static_edge(NodeId(0), NodeId(5), t));
+    }
+
+    #[test]
+    fn seal_rejects_non_monotonic_labels_and_keeps_the_buffer() {
+        let mut live = LiveGraph::directed(3);
+        live.seal_snapshot(5).unwrap();
+        live.insert(NodeId(0), NodeId(1)).unwrap();
+        assert!(matches!(
+            live.seal_snapshot(5),
+            Err(GraphError::UnsortedTimestamps { .. })
+        ));
+        // Buffer intact: retry with a later label succeeds.
+        assert_eq!(live.num_pending(), 1);
+        let t = live.seal_snapshot(6).unwrap();
+        assert!(live.graph().has_static_edge(NodeId(0), NodeId(1), t));
+        assert_eq!(live.version(), 2);
+    }
+
+    #[test]
+    fn insert_unique_deduplicates_within_the_open_snapshot() {
+        let mut live = LiveGraph::directed(3);
+        live.apply(EdgeEvent::insert_unique(NodeId(0), NodeId(1)))
+            .unwrap();
+        live.apply(EdgeEvent::insert_unique(NodeId(0), NodeId(1)))
+            .unwrap();
+        live.seal_snapshot(0).unwrap();
+        assert_eq!(live.graph().num_static_edges(), 1);
+    }
+
+    #[test]
+    fn empty_seals_publish_inactive_snapshots() {
+        let mut live = LiveGraph::directed(2);
+        let t = live.seal_snapshot(1).unwrap();
+        assert_eq!(live.num_sealed(), 1);
+        assert!(live.touched_at(t).is_empty());
+        assert!(!live.graph().is_active(NodeId(0), t));
+    }
+
+    #[test]
+    fn from_graph_derives_touched_sets() {
+        let g = egraph_core::examples::paper_figure1();
+        let live = LiveGraph::from_graph(g);
+        assert_eq!(live.version(), 0);
+        assert_eq!(live.touched_at(TimeIndex(0)), &[NodeId(0), NodeId(1)]);
+        assert_eq!(live.touched_at(TimeIndex(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(live.touched_at(TimeIndex(2)), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn the_evolving_graph_view_matches_the_sealed_graph() {
+        let mut live = LiveGraph::directed(3);
+        live.insert(NodeId(0), NodeId(1)).unwrap();
+        live.seal_snapshot(0).unwrap();
+        live.insert(NodeId(1), NodeId(2)).unwrap();
+        // Buffered, unsealed: the trait view must not see it.
+        assert_eq!(live.num_timestamps(), 1);
+        assert_eq!(live.num_static_edges(), 1);
+        assert_eq!(
+            live.static_out_neighbors(NodeId(0), TimeIndex(0)),
+            vec![NodeId(1)]
+        );
+        live.seal_snapshot(1).unwrap();
+        assert_eq!(live.num_timestamps(), 2);
+        assert_eq!(live.num_static_edges(), 2);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`gen`] (`egraph-gen`) — reproducible workload generators;
 //! * [`citation`] (`egraph-citation`) — the Section V citation-mining
 //!   application;
+//! * [`stream`] (`egraph-stream`) — live graphs: append-only event
+//!   ingestion, query caching and incremental re-search;
 //! * [`baselines`] (`egraph-baselines`) — the incorrect/restricted schemes
 //!   the paper argues against;
 //! * [`io`] (`egraph-io`) — edge lists, JSON and benchmark report tables.
@@ -61,6 +63,7 @@ pub use egraph_gen as gen;
 pub use egraph_io as io;
 pub use egraph_matrix as matrix;
 pub use egraph_query as query;
+pub use egraph_stream as stream;
 
 /// Commonly used items from every sub-crate.
 pub mod prelude {
@@ -69,4 +72,5 @@ pub mod prelude {
     pub use egraph_gen::prelude::*;
     pub use egraph_matrix::prelude::*;
     pub use egraph_query::prelude::*;
+    pub use egraph_stream::prelude::*;
 }

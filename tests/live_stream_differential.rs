@@ -1,0 +1,299 @@
+//! Differential suite for the live-graph subsystem: every answer produced by
+//! the `QueryCache` — cache hits, incremental extensions and recomputes
+//! alike — must equal a from-scratch `Search::run` on the materialized
+//! (sealed) graph, across all five strategies × direction × window × reverse,
+//! errors included.
+//!
+//! Randomized event streams (seeded, deterministic — the workspace
+//! convention for property suites) interleave edge inserts, unique inserts,
+//! node growth, snapshot seals and query batches. A fixed set of *standing
+//! queries* is re-issued after every seal so all four cache outcomes (miss,
+//! hit, extension, recompute) are exercised on every run.
+
+use evolving_graphs::prelude::*;
+use evolving_graphs::stream::{CacheOutcome, EdgeEvent, LiveGraph, QueryCache};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::Serial,
+    Strategy::Parallel,
+    Strategy::Algebraic,
+    Strategy::Foremost,
+    Strategy::SharedFrontier,
+];
+
+/// Asserts payload-for-payload equality of two outcomes of the same query.
+fn assert_equivalent(
+    label: &str,
+    strategy: Strategy,
+    with_parents: bool,
+    cached: Result<SearchResult>,
+    scratch: Result<SearchResult>,
+) {
+    match (cached, scratch) {
+        (Err(a), Err(b)) => assert_eq!(a, b, "{label}: errors disagree"),
+        (Ok(a), Ok(b)) => {
+            let effective = if with_parents {
+                Strategy::Serial
+            } else {
+                strategy
+            };
+            match effective {
+                Strategy::Serial | Strategy::Parallel | Strategy::Algebraic => {
+                    let (am, bm) = (a.distance_maps(), b.distance_maps());
+                    assert_eq!(am.len(), bm.len(), "{label}: map count");
+                    for (x, y) in am.iter().zip(bm) {
+                        assert_eq!(x.root(), y.root(), "{label}: roots");
+                        assert_eq!(
+                            x.as_flat_slice(),
+                            y.as_flat_slice(),
+                            "{label}: distances for root {:?}",
+                            x.root()
+                        );
+                        if with_parents {
+                            for (tn, _) in x.reached() {
+                                assert_eq!(x.parent(tn), y.parent(tn), "{label}: parent of {tn:?}");
+                            }
+                        }
+                    }
+                }
+                Strategy::Foremost => {
+                    let (at, bt) = (a.foremost_results(), b.foremost_results());
+                    assert_eq!(at.len(), bt.len(), "{label}: table count");
+                    for (x, y) in at.iter().zip(bt) {
+                        assert_eq!(x.root(), y.root(), "{label}: roots");
+                        assert_eq!(
+                            x.arrivals(),
+                            y.arrivals(),
+                            "{label}: arrivals for root {:?}",
+                            x.root()
+                        );
+                    }
+                }
+                Strategy::SharedFrontier => {
+                    let (am, bm) = (a.into_shared_map(), b.into_shared_map());
+                    assert_eq!(am.sources(), bm.sources(), "{label}: sources");
+                    assert_eq!(am.as_flat_slice(), bm.as_flat_slice(), "{label}: distances");
+                    for (tn, _, src) in am.reached_with_sources() {
+                        assert_eq!(
+                            Some(src),
+                            bm.nearest_source_index(tn),
+                            "{label}: attribution at {tn:?}"
+                        );
+                    }
+                }
+            }
+        }
+        (a, b) => panic!("{label}: cached {a:?} disagrees with scratch {b:?}"),
+    }
+}
+
+/// A random query over (and slightly beyond) the current graph shape —
+/// deliberately including inactive roots, out-of-range nodes and times,
+/// degenerate windows, and multi-source lists.
+fn random_search(
+    rng: &mut SmallRng,
+    num_nodes: usize,
+    num_sealed: usize,
+) -> (Search, Strategy, bool) {
+    let nt = num_sealed.max(1);
+    let random_root = |rng: &mut SmallRng| {
+        TemporalNode::from_raw(
+            rng.gen_range(0..num_nodes as u32 + 2),
+            rng.gen_range(0..nt as u32 + 1),
+        )
+    };
+    let mut search = if rng.gen_range(0..4) == 0 {
+        let k = rng.gen_range(1..4usize);
+        Search::from_sources((0..k).map(|_| random_root(rng)).collect::<Vec<_>>())
+    } else {
+        Search::from(random_root(rng))
+    };
+    let strategy = STRATEGIES[rng.gen_range(0..STRATEGIES.len())];
+    search = search.strategy(strategy);
+    if rng.gen_range(0..2) == 0 {
+        search = search.direction(Direction::Backward);
+    }
+    if rng.gen_range(0..3) == 0 {
+        search = search.reverse();
+    }
+    let mut with_parents = false;
+    if rng.gen_range(0..5) == 0 {
+        search = search.with_parents();
+        with_parents = true;
+    }
+    search = match rng.gen_range(0..5) {
+        0 => search, // full window
+        1 => search.window(rng.gen_range(0..nt as u32 + 1)..),
+        2 => {
+            let a = rng.gen_range(0..nt as u32);
+            let b = rng.gen_range(0..nt as u32 + 1);
+            search.window(a..=b)
+        }
+        3 => {
+            let a = rng.gen_range(0..nt as u32 + 1);
+            search.window(a..a) // statically empty
+        }
+        _ => search.window(..rng.gen_range(0..nt as u32 + 2)),
+    };
+    (search, strategy, with_parents)
+}
+
+/// Applies a random ingestion batch (inserts, unique inserts, occasional
+/// node growth) and seals it under the next label.
+fn random_seal(rng: &mut SmallRng, live: &mut LiveGraph, step: usize) {
+    let mut n = live.graph().num_nodes();
+    if rng.gen_range(0..4) == 0 {
+        n += rng.gen_range(1..4usize);
+        live.apply(EdgeEvent::grow_nodes(n)).unwrap();
+    }
+    let edges = rng.gen_range(1..3 * n.max(2));
+    for _ in 0..edges {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u == v {
+            continue;
+        }
+        let event = if rng.gen_range(0..4) == 0 {
+            EdgeEvent::insert_unique(u, v)
+        } else {
+            EdgeEvent::insert(u, v)
+        };
+        live.apply(event).unwrap();
+    }
+    live.seal_snapshot(step as i64).unwrap();
+}
+
+#[test]
+fn randomized_event_streams_match_from_scratch_search() {
+    for seed in [0x11u64, 0x22, 0x33, 0x5EED] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut live = LiveGraph::directed(8 + (seed % 5) as usize);
+        let mut cache = QueryCache::new();
+        random_seal(&mut rng, &mut live, 0);
+
+        // Standing queries: re-issued after every seal, so the same
+        // descriptor flows through miss → hit → extension (or recompute).
+        let root = live
+            .graph()
+            .active_nodes()
+            .first()
+            .copied()
+            .expect("the first seal inserts at least one edge");
+        let standing: Vec<(Search, Strategy, bool)> = STRATEGIES
+            .iter()
+            .flat_map(|&s| {
+                [
+                    (Search::from(root).strategy(s), s, false),
+                    (Search::from(root).strategy(s).backward(), s, false),
+                ]
+            })
+            .chain([
+                (
+                    Search::from_sources([root, root]).window(0u32..),
+                    Strategy::Serial,
+                    false,
+                ),
+                (Search::from(root).window(0u32..=0), Strategy::Serial, false),
+                (Search::from(root).with_parents(), Strategy::Serial, true),
+            ])
+            .collect();
+
+        for step in 1..8usize {
+            for (i, (search, strategy, with_parents)) in standing.iter().enumerate() {
+                // Twice: the second execution of an unchanged graph must hit.
+                for round in 0..2 {
+                    let label = format!("seed {seed:#x} step {step} standing {i} round {round}");
+                    let cached = cache.execute(&live, search);
+                    let scratch = search.run(live.graph());
+                    assert_equivalent(&label, *strategy, *with_parents, cached, scratch);
+                }
+            }
+            for q in 0..6 {
+                let (search, strategy, with_parents) =
+                    random_search(&mut rng, live.graph().num_nodes(), live.num_sealed());
+                let label = format!("seed {seed:#x} step {step} random {q}");
+                let cached = cache.execute(&live, &search);
+                let scratch = search.run(live.graph());
+                assert_equivalent(&label, strategy, with_parents, cached, scratch);
+            }
+            random_seal(&mut rng, &mut live, step);
+        }
+
+        let stats = cache.stats();
+        assert!(stats.misses > 0, "seed {seed:#x}: no misses: {stats:?}");
+        assert!(stats.hits > 0, "seed {seed:#x}: no hits: {stats:?}");
+        assert!(
+            stats.extensions > 0,
+            "seed {seed:#x}: no extensions: {stats:?}"
+        );
+        assert!(
+            stats.recomputes > 0,
+            "seed {seed:#x}: no recomputes: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn extension_and_recompute_agree_after_node_growth_bursts() {
+    // Node growth changes result dimensions; every cached shape must track
+    // the sealed graph's dimensions exactly.
+    let mut live = LiveGraph::directed(3);
+    let mut cache = QueryCache::new();
+    live.insert(NodeId(0), NodeId(1)).unwrap();
+    live.seal_snapshot(0).unwrap();
+    let root = TemporalNode::from_raw(0, 0);
+    let queries: Vec<(Search, Strategy, bool)> = STRATEGIES
+        .iter()
+        .map(|&s| (Search::from(root).strategy(s), s, false))
+        .collect();
+    for step in 1..5i64 {
+        for (search, strategy, with_parents) in &queries {
+            let cached = cache.execute(&live, search);
+            let scratch = search.run(live.graph());
+            assert_equivalent(
+                &format!("growth step {step} {strategy:?}"),
+                *strategy,
+                *with_parents,
+                cached,
+                scratch,
+            );
+        }
+        let new_node = live.graph().num_nodes();
+        live.apply(EdgeEvent::grow_nodes(new_node + 2)).unwrap();
+        live.insert(NodeId((new_node - 1) as u32), NodeId(new_node as u32))
+            .unwrap();
+        live.insert(NodeId(1), NodeId(new_node as u32)).unwrap();
+        live.seal_snapshot(step).unwrap();
+    }
+}
+
+#[test]
+fn a_query_stream_over_one_evolving_graph_reports_every_outcome() {
+    let mut live = LiveGraph::directed(5);
+    let mut cache = QueryCache::new();
+    live.insert(NodeId(0), NodeId(1)).unwrap();
+    live.seal_snapshot(0).unwrap();
+    let forward = Search::from(TemporalNode::from_raw(0, 0));
+    let reversed = Search::from(TemporalNode::from_raw(0, 0)).reverse();
+
+    let (_, o1) = cache.execute_traced(&live, &forward).unwrap();
+    let (_, o2) = cache.execute_traced(&live, &forward).unwrap();
+    let (_, o3) = cache.execute_traced(&live, &reversed).unwrap();
+    live.insert(NodeId(1), NodeId(2)).unwrap();
+    live.seal_snapshot(1).unwrap();
+    let (_, o4) = cache.execute_traced(&live, &forward).unwrap();
+    let (_, o5) = cache.execute_traced(&live, &reversed).unwrap();
+
+    assert_eq!(
+        (o1, o2, o3, o4, o5),
+        (
+            CacheOutcome::Miss,
+            CacheOutcome::Hit,
+            CacheOutcome::Miss,
+            CacheOutcome::Extended,
+            CacheOutcome::Recomputed,
+        )
+    );
+}
