@@ -156,7 +156,7 @@ fn incremental_vs_recompute(c: &mut Criterion) {
         );
 
         // --- The full subsystem path: cached query across a seal. ---------
-        let mut warm_cache = QueryCache::new();
+        let warm_cache = QueryCache::new();
         let query = Search::from(root);
         warm_cache.execute(&live, &query).unwrap();
         group.bench_with_input(
@@ -177,7 +177,7 @@ fn incremental_vs_recompute(c: &mut Criterion) {
 /// Builds a state covering only the first `prefix` snapshots (the pre-delta
 /// coverage) — bench setup only, cost excluded from the measurement.
 fn prefix_state(
-    graph: &egraph_core::adjacency::AdjacencyListGraph,
+    graph: &egraph_core::csr::CsrAdjacency,
     root: egraph_core::ids::TemporalNode,
     prefix: usize,
 ) -> ResumableBfs {

@@ -60,7 +60,7 @@ pub fn figure5_sweep(config: &Figure5Config) -> Vec<(usize, AdjacencyListGraph, 
 
 /// The first active temporal node of a graph (panics if the graph has no
 /// edges — benchmark workloads always do).
-pub fn first_active_node(graph: &AdjacencyListGraph) -> TemporalNode {
+pub fn first_active_node<G: EvolvingGraph>(graph: &G) -> TemporalNode {
     graph
         .active_nodes()
         .into_iter()

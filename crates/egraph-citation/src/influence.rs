@@ -53,9 +53,10 @@ pub fn influence_map(
     epoch: Epoch,
 ) -> Result<DistanceMap> {
     let root = root_of(network, author, epoch)?;
+    // A fresh run is the sole owner of its Arc, so unwrapping never clones.
     Search::from(root)
         .run(network.graph())
-        .map(|r| r.into_distance_map())
+        .map(|r| std::sync::Arc::unwrap_or_clone(r).into_distance_map())
 }
 
 /// The full backward distance map behind `T⁻¹(a, t)`.
@@ -68,7 +69,7 @@ pub fn influencer_map(
     Search::from(root)
         .direction(Direction::Backward)
         .run(network.graph())
-        .map(|r| r.into_distance_map())
+        .map(|r| std::sync::Arc::unwrap_or_clone(r).into_distance_map())
 }
 
 /// Forward map with BFS-tree parents (used to exhibit explicit influence
@@ -82,7 +83,7 @@ pub fn influence_map_with_parents(
     Search::from(root)
         .with_parents()
         .run(network.graph())
-        .map(|r| r.into_distance_map())
+        .map(|r| std::sync::Arc::unwrap_or_clone(r).into_distance_map())
 }
 
 /// Backward map with BFS-tree parents (used by the community extraction to
@@ -97,7 +98,7 @@ pub fn influencer_map_with_parents(
         .direction(Direction::Backward)
         .with_parents()
         .run(network.graph())
-        .map(|r| r.into_distance_map())
+        .map(|r| std::sync::Arc::unwrap_or_clone(r).into_distance_map())
 }
 
 /// An explicit shortest influence chain from `(author, epoch)` to `target`,

@@ -56,6 +56,7 @@
 //! | [`ids`] | [`ids::NodeId`], [`ids::TimeIndex`], [`ids::TemporalNode`], edge types |
 //! | [`graph`] | the [`graph::EvolvingGraph`] trait |
 //! | [`adjacency`] | adjacency-list representation (incremental) |
+//! | [`csr`] | CSR-flattened representation (contiguous serve path) |
 //! | [`snapshots`] | snapshot-sequence representation |
 //! | [`mod@bfs`] | Algorithm 1 (serial), backward BFS, shared-frontier multi-source, reachability |
 //! | [`mod@par_bfs`] | frontier-parallel BFS and multi-source BFS (rayon) |
@@ -71,6 +72,7 @@
 pub mod adjacency;
 pub mod bfs;
 pub mod components;
+pub mod csr;
 pub mod distance;
 pub mod error;
 pub mod examples;
@@ -96,6 +98,7 @@ pub mod prelude {
         is_reachable, multi_source_shared, reachable_set, Direction,
     };
     pub use crate::components::{in_component, out_component, weak_components, WeakComponents};
+    pub use crate::csr::CsrAdjacency;
     pub use crate::distance::{DistanceMap, MultiSourceMap};
     pub use crate::error::{GraphError, Result};
     pub use crate::foremost::{earliest_arrival, temporal_distance_steps, ForemostResult};
@@ -115,6 +118,7 @@ pub mod prelude {
 
 pub use adjacency::AdjacencyListGraph;
 pub use bfs::{backward_bfs, bfs, bfs_with_parents, multi_source_shared};
+pub use csr::CsrAdjacency;
 pub use distance::{DistanceMap, MultiSourceMap};
 pub use error::{GraphError, Result};
 pub use graph::EvolvingGraph;

@@ -1,6 +1,8 @@
 //! The [`Search`] builder: a fluent, typed description of an evolving-graph
 //! search, independent of the engine that executes it.
 
+use std::sync::Arc;
+
 use egraph_core::bfs::{bfs, bfs_with_parents, check_root, multi_source_shared, Direction};
 use egraph_core::distance::MultiSourceMap;
 use egraph_core::error::{GraphError, Result};
@@ -334,11 +336,17 @@ impl Search {
     /// session — instead of traversing a graph directly. Equivalent to
     /// `exec.run_search(self)`; provided so call sites keep the fluent
     /// shape: `Search::from(root).run_via(&mut session)`.
-    pub fn run_via<E: QueryExecutor + ?Sized>(&self, exec: &mut E) -> Result<SearchResult> {
+    pub fn run_via<E: QueryExecutor + ?Sized>(&self, exec: &mut E) -> Result<Arc<SearchResult>> {
         exec.run_search(self)
     }
 
     /// Executes the search against `graph`.
+    ///
+    /// The result arrives behind an [`Arc`] so execution layers that share
+    /// results (the `egraph-stream` query cache serves hits as `O(1)` `Arc`
+    /// clones of one materialisation) and direct callers go through one
+    /// signature; a fresh run is the sole owner, so
+    /// [`Arc::unwrap_or_clone`] recovers an owned [`SearchResult`] for free.
     ///
     /// # Errors
     ///
@@ -349,7 +357,13 @@ impl Search {
     ///   the window;
     /// * the engine's own validation errors ([`GraphError::InactiveRoot`],
     ///   [`GraphError::NodeOutOfRange`], …) for invalid sources.
-    pub fn run<G: EvolvingGraph + Sync>(&self, graph: &G) -> Result<SearchResult> {
+    pub fn run<G: EvolvingGraph + Sync>(&self, graph: &G) -> Result<Arc<SearchResult>> {
+        self.run_owned(graph).map(Arc::new)
+    }
+
+    /// [`Search::run`] before the [`Arc`] wrap — the single execution path
+    /// both entry points share.
+    fn run_owned<G: EvolvingGraph + Sync>(&self, graph: &G) -> Result<SearchResult> {
         if self.sources.is_empty() {
             return Err(GraphError::NoSources);
         }
@@ -397,7 +411,7 @@ impl Search {
     pub fn run_prepared<G: EvolvingGraph + Sync>(
         &self,
         prepared: &crate::prepared::Prepared<'_, G>,
-    ) -> Result<SearchResult> {
+    ) -> Result<Arc<SearchResult>> {
         let graph = prepared.graph();
         if self.strategy != Strategy::Algebraic || self.with_parents || self.sources.is_empty() {
             return self.run(graph);
@@ -427,7 +441,7 @@ impl Search {
                 view_source,
             ));
         }
-        Ok(SearchResult::from_maps(maps, false))
+        Ok(Arc::new(SearchResult::from_maps(maps, false)))
     }
 
     /// Maps `source` into the view's coordinates, or reports it outside the

@@ -131,11 +131,13 @@ pub trait QueryExecutor {
     /// Executes `search`, by whatever mix of cache hits, incremental
     /// extension and recomputation the back end implements. Must be
     /// answer-equivalent to [`Search::run`](crate::Search::run) against the
-    /// backing graph — errors included.
+    /// backing graph — errors included. The shared return is what makes a
+    /// cache hit `O(1)`: serving an existing result is an `Arc` clone, not a
+    /// re-materialisation.
     fn run_search(
         &mut self,
         search: &crate::Search,
-    ) -> egraph_core::error::Result<crate::SearchResult>;
+    ) -> egraph_core::error::Result<std::sync::Arc<crate::SearchResult>>;
 }
 
 #[cfg(test)]

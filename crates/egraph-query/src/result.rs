@@ -16,6 +16,15 @@
 //! ([`SearchResult::arrival`], [`SearchResult::reaches_node`],
 //! [`SearchResult::reached_node_ids`], [`SearchResult::sources`]) are the
 //! ones the workspace's cross-strategy equivalence suites compare.
+//!
+//! Execution layers hand results out as `Arc<SearchResult>`
+//! ([`Search::run`](crate::Search::run) and every
+//! [`QueryExecutor`](crate::QueryExecutor)): serving the same result twice
+//! is a reference-count bump, not an `O(nodes × snapshots)` deep copy. All
+//! read accessors take `&self`, so they work unchanged through the `Arc`;
+//! callers that need ownership of a payload use
+//! [`Arc::unwrap_or_clone`](std::sync::Arc::unwrap_or_clone) (free on a
+//! freshly computed result) before the `into_*` consumers.
 
 use egraph_core::distance::{DistanceMap, MultiSourceMap};
 use egraph_core::foremost::ForemostResult;
@@ -174,6 +183,23 @@ impl SearchResult {
         match self.payload {
             Payload::Hops(maps) => maps,
             _ => unreachable!("hop_maps() already panicked"),
+        }
+    }
+
+    /// The nearest-source map of a
+    /// [`SharedFrontier`](crate::Strategy::SharedFrontier) result, borrowed.
+    /// The accessor of choice now results are shared behind
+    /// [`Arc`](std::sync::Arc) — no ownership needed to read the map.
+    ///
+    /// # Panics
+    /// Panics for every other strategy's result.
+    pub fn shared_map(&self) -> &MultiSourceMap {
+        match &self.payload {
+            Payload::Shared(shared) => shared,
+            _ => panic!(
+                "shared_map requires a Strategy::SharedFrontier result; other \
+                 strategies do not build a nearest-source map"
+            ),
         }
     }
 

@@ -1,5 +1,5 @@
 //! [`QueryCache`]: memoised [`Search`] execution over a [`LiveGraph`], with
-//! incremental re-search.
+//! incremental re-search, built for concurrent serving.
 //!
 //! Results are keyed by the builder's canonical [`QueryDescriptor`] —
 //! root(s) × strategy × direction × window × reverse — so the cache composes
@@ -9,7 +9,7 @@
 //!
 //! | query shape | on appended snapshots |
 //! |---|---|
-//! | forward, unbounded-end window, hop strategy (no parents) | **extended** from the cached per-node frontier ([`ResumableBfs`]) |
+//! | forward, unbounded-end window, hop strategy (no parents) | **extended** from the cached result's per-node frontier ([`ResumableBfs`]) |
 //! | forward, unbounded-end window, `Foremost` | **extended** from the cached arrival table ([`ResumableForemost`]) |
 //! | effective time reversal (backward and/or `.reverse()`) | recomputed — new snapshots add *predecessors* of nothing but may add sources of the reversed traversal |
 //! | bounded window end | recomputed on demand (the window never covers the new snapshots, but result dimensions track the graph) |
@@ -19,17 +19,45 @@
 //! `incremental_vs_recompute` bench pins this with
 //! [`CountingView`](egraph_core::instrument::CountingView) counters — while
 //! staying answer-identical to a from-scratch [`Search::run`] on the sealed
-//! graph, errors included (the `live_stream_differential` suite). Like
-//! [`Search::run`] itself, every outcome still hands back an *owned*
-//! [`SearchResult`] (`O(nodes × snapshots)` to materialise/clone), and an
-//! extendable entry keeps both its resumable state and the materialised
-//! result; sharing results (`Arc`) to make hits `O(1)` is an open item in
-//! the workspace ROADMAP.
+//! graph, errors included (the `live_stream_differential` suite).
+//!
+//! ## The serve path
+//!
+//! Three properties make this cache a serving layer rather than a memo pad:
+//!
+//! * **`O(1)` hits.** Entries hold `Arc<SearchResult>`; serving a hit is a
+//!   reference-count bump, never an `O(nodes × snapshots)` deep copy, and
+//!   never touches the graph. The `serving_throughput` bench pins hit cost
+//!   independent of history length.
+//! * **Concurrent readers.** [`QueryCache::execute`] takes `&self`: the
+//!   descriptor space is split across [`QueryCache::SHARDS`] shards, each
+//!   behind its own `RwLock`. Hits take a shard *read* lock, so readers of
+//!   the same (or different) standing queries proceed in parallel. Repairs
+//!   (extend / recompute / miss) do their graph work with **no lock held**
+//!   — the graph cannot move under a repair because sealing requires
+//!   `&mut LiveGraph` — and take the shard's write lock only to install
+//!   the finished entry, so a slow traversal never stalls same-shard hits
+//!   (and a panicking engine cannot poison a shard; poisoned locks are
+//!   recovered regardless, since map mutations are atomic inserts).
+//! * **Bounded memory.** [`QueryCache::with_capacity`] bounds the entry
+//!   count with per-shard LRU eviction (stamped by a global access clock);
+//!   [`CacheStats::evictions`] counts what was dropped. An entry stores only
+//!   the shared result — resumable state is *rebuilt from the result* when
+//!   an extension is actually needed, instead of being stored alongside it
+//!   (the state duplicates the result's tables, so storing both doubled
+//!   entry memory for no asymptotic gain).
+//!
+//! The cache never stores errors: a failing query re-runs (and re-fails
+//! identically) each time, which also lets queries that *become* valid as
+//! the graph grows — e.g. a root in a not-yet-sealed snapshot — succeed
+//! later.
 
 use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use egraph_core::error::Result;
-use egraph_core::graph::EvolvingGraph;
 use egraph_core::ids::TimeIndex;
 use egraph_core::resume::{ResumableBfs, ResumableForemost};
 use egraph_query::{QueryDescriptor, QueryExecutor, Search, SearchResult, Strategy};
@@ -61,185 +89,379 @@ pub struct CacheStats {
     pub recomputes: u64,
     /// Queries with no prior entry.
     pub misses: u64,
+    /// Entries dropped by the LRU bound (see [`QueryCache::with_capacity`]).
+    pub evictions: u64,
 }
 
-/// Resumable (or opaque) state behind one cached query.
-#[derive(Clone, Debug)]
-enum CachedState {
-    /// Per-source resumable hop-BFS states (forward, unbounded-end window).
-    Hops(Vec<ResumableBfs>),
-    /// Per-source resumable arrival tables (forward, unbounded-end window).
-    Foremost(Vec<ResumableForemost>),
+/// How a stale entry can be repaired. Decided once, from the descriptor, at
+/// insert time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EntryKind {
+    /// Forward unbounded-end hop maps: extendable via [`ResumableBfs`].
+    Hops,
+    /// Forward unbounded-end arrival tables: extendable via
+    /// [`ResumableForemost`].
+    Foremost,
     /// Anything else: valid only at the version it was computed at.
     Opaque,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct CacheEntry {
+    /// The [`LiveGraph::graph_id`] this entry answers for. Checked on every
+    /// lookup so one graph's results can never be served for another, even
+    /// mid-rebind under concurrency.
+    graph_id: u64,
     version: u64,
-    state: CachedState,
-    /// The materialised result at `version` (what a `Hit` clones).
-    result: SearchResult,
+    /// Snapshots covered by `result` — where an extension resumes from.
+    covered: usize,
+    kind: EntryKind,
+    /// The shared materialised result at `version`; a `Hit` clones the
+    /// `Arc`, not the payload.
+    result: Arc<SearchResult>,
+    /// Global-clock stamp of the last access (LRU victim selection).
+    last_used: AtomicU64,
 }
 
-/// A memoising execution layer for [`Search`] queries over a [`LiveGraph`].
+/// A memoising, concurrency-ready execution layer for [`Search`] queries
+/// over a [`LiveGraph`].
 ///
-/// See the [module docs](self) for the invalidation matrix. The cache never
-/// stores errors: a failing query re-runs (and re-fails identically) each
-/// time, which also lets queries that *become* valid as the graph grows —
-/// e.g. a root in a not-yet-sealed snapshot — succeed later.
+/// See the [module docs](self) for the invalidation matrix and the serve
+/// path design. All methods take `&self`; share a cache across threads with
+/// scoped threads or an `Arc`.
 ///
-/// A cache binds to the identity ([`LiveGraph::graph_id`]) of the first
-/// graph it executes against; handing it a *different* live graph — another
+/// A cache binds to the identity ([`LiveGraph::graph_id`]) of the graph it
+/// executes against; handing it a *different* live graph — another
 /// instance, or a clone that may have diverged — drops every entry and
-/// rebinds, so one graph's results can never answer (or corrupt the
-/// resumable state of) another's.
-#[derive(Clone, Debug, Default)]
+/// rebinds (and each entry additionally records its graph id, so even a
+/// racing rebind can never serve or extend across graphs).
+#[derive(Debug)]
 pub struct QueryCache {
-    entries: HashMap<QueryDescriptor, CacheEntry>,
-    stats: CacheStats,
-    /// The [`LiveGraph::graph_id`] the entries belong to.
-    bound_graph: Option<u64>,
+    shards: Box<[RwLock<HashMap<QueryDescriptor, CacheEntry>>]>,
+    /// Total entry bound; `None` = unbounded. Apportioned per shard as
+    /// `max(1, capacity.div_ceil(SHARDS))`.
+    capacity: Option<usize>,
+    /// Monotone access clock behind the LRU stamps.
+    clock: AtomicU64,
+    /// The [`LiveGraph::graph_id`] the entries belong to (`u64::MAX` =
+    /// unbound).
+    bound_graph: AtomicU64,
+    hits: AtomicU64,
+    extensions: AtomicU64,
+    recomputes: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl QueryCache {
-    /// An empty cache.
+    /// Number of independently locked shards the descriptor space is split
+    /// across.
+    pub const SHARDS: usize = 16;
+
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
-        Self::default()
+        Self::build(None)
+    }
+
+    /// An empty cache evicting least-recently-used entries beyond
+    /// `capacity`. The bound is apportioned across [`QueryCache::SHARDS`]
+    /// shards (`max(1, capacity.div_ceil(SHARDS))` each), so it is enforced
+    /// per shard: the cache holds at most `SHARDS` entries more than
+    /// `capacity` under adversarial key distributions, and usually fewer.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::build(Some(capacity))
+    }
+
+    fn build(capacity: Option<usize>) -> Self {
+        QueryCache {
+            shards: (0..Self::SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            capacity,
+            clock: AtomicU64::new(0),
+            bound_graph: AtomicU64::new(u64::MAX),
+            hits: AtomicU64::new(0),
+            extensions: AtomicU64::new(0),
+            recomputes: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// Number of cached queries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|s| read_lock(s).len()).sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// The counters accumulated so far.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            extensions: self.extensions.load(Ordering::Relaxed),
+            recomputes: self.recomputes.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Drops every entry (counters are kept).
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            write_lock(shard).clear();
+        }
+    }
+
+    /// The shard a descriptor lives in. `DefaultHasher::new()` hashes
+    /// identically in every thread and process, so a descriptor's shard is
+    /// stable.
+    fn shard_index(descriptor: &QueryDescriptor) -> usize {
+        let mut hasher = DefaultHasher::new();
+        descriptor.hash(&mut hasher);
+        (hasher.finish() % Self::SHARDS as u64) as usize
+    }
+
+    /// Next LRU stamp.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Rebinds the cache to `graph_id`, dropping every entry on a change.
+    /// Entry-level `graph_id` checks make a racing rebind harmless.
+    fn rebind(&self, graph_id: u64) {
+        loop {
+            let current = self.bound_graph.load(Ordering::Acquire);
+            if current == graph_id {
+                return;
+            }
+            if self
+                .bound_graph
+                .compare_exchange(current, graph_id, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.clear();
+                return;
+            }
+        }
     }
 
     /// Executes `search` against `live`'s sealed graph, through the cache.
-    /// Answer- and error-identical to `search.run(live.graph())`.
-    pub fn execute(&mut self, live: &LiveGraph, search: &Search) -> Result<SearchResult> {
+    /// Answer- and error-identical to `search.run(live.graph())`; a hit is
+    /// an `O(1)` `Arc` clone.
+    pub fn execute(&self, live: &LiveGraph, search: &Search) -> Result<Arc<SearchResult>> {
         self.execute_traced(live, search).map(|(result, _)| result)
     }
 
     /// [`QueryCache::execute`], additionally reporting how the answer was
     /// produced.
     pub fn execute_traced(
-        &mut self,
+        &self,
         live: &LiveGraph,
         search: &Search,
-    ) -> Result<(SearchResult, CacheOutcome)> {
+    ) -> Result<(Arc<SearchResult>, CacheOutcome)> {
         let descriptor = search.descriptor();
         let version = live.version();
+        let graph_id = live.graph_id();
+        self.rebind(graph_id);
+        let shard = &self.shards[Self::shard_index(&descriptor)];
 
-        // A different graph instance (including a possibly diverged clone):
-        // every entry is for the wrong history — drop them and rebind.
-        if self.bound_graph != Some(live.graph_id()) {
-            self.entries.clear();
-            self.bound_graph = Some(live.graph_id());
-        }
-
-        if let Some(entry) = self.entries.get_mut(&descriptor) {
-            if entry.version == version {
-                self.stats.hits += 1;
-                return Ok((entry.result.clone(), CacheOutcome::Hit));
+        // Fast path: concurrent readers share the shard read lock.
+        //
+        // What repair (if any) the entry needs is decided here too, so the
+        // graph work below runs with NO lock held: the graph cannot move
+        // while we hold `&LiveGraph` (sealing needs `&mut`), so the plan
+        // cannot go stale — at worst a sibling thread performs the same
+        // repair concurrently and one copy wins the install.
+        let plan = {
+            let map = read_lock(shard);
+            match map.get(&descriptor) {
+                Some(entry) if entry.graph_id == graph_id && entry.version == version => {
+                    entry.last_used.store(self.tick(), Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(&entry.result), CacheOutcome::Hit));
+                }
+                // Stale but extendable: the graph only ever gained sealed
+                // snapshots (and possibly nodes) since the entry's version
+                // — the append-only contract of `LiveGraph`.
+                Some(entry) if entry.graph_id == graph_id && entry.kind != EntryKind::Opaque => {
+                    RepairPlan::Extend {
+                        kind: entry.kind,
+                        covered: entry.covered,
+                        result: Arc::clone(&entry.result),
+                    }
+                }
+                // Stale and opaque: recompute. Absent (or left over from
+                // another graph): run from scratch.
+                Some(entry) if entry.graph_id == graph_id => RepairPlan::Recompute,
+                _ => RepairPlan::Miss,
             }
-            // Stale. The graph only ever gained sealed snapshots (and
-            // possibly nodes) since `entry.version` — the append-only
-            // contract of `LiveGraph`.
-            match &mut entry.state {
-                CachedState::Hops(states) => {
-                    extend_states(states, live);
-                    entry.result = SearchResult::from_maps(
-                        states.iter().map(|s| s.to_distance_map()).collect(),
-                        false,
-                    );
-                    entry.version = version;
-                    self.stats.extensions += 1;
-                    return Ok((entry.result.clone(), CacheOutcome::Extended));
+        };
+
+        // The expensive part — traversal / extension — outside any lock, so
+        // same-shard hits keep flowing and a panicking engine cannot poison
+        // the shard.
+        let (outcome, computed) = match plan {
+            RepairPlan::Extend {
+                kind,
+                covered,
+                result,
+            } => (
+                CacheOutcome::Extended,
+                Ok(Arc::new(extend_result(kind, covered, &result, live))),
+            ),
+            RepairPlan::Recompute => (CacheOutcome::Recomputed, search.run(live.graph())),
+            RepairPlan::Miss => (CacheOutcome::Miss, search.run(live.graph())),
+        };
+        match outcome {
+            CacheOutcome::Extended => self.extensions.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::Recomputed => self.recomputes.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::Miss => self.misses.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::Hit => unreachable!("hits returned above"),
+        };
+
+        // Install under the shard write lock — held only for map surgery.
+        let mut map = write_lock(shard);
+        match computed {
+            Err(err) => {
+                // Errors are never cached; also drop any stale or foreign
+                // entry so the failure isn't re-derived from dead state
+                // forever. (A current entry cannot coexist with an error:
+                // the graph is frozen, so a sibling running the same query
+                // got the same error.)
+                map.remove(&descriptor);
+                Err(err)
+            }
+            Ok(result) => {
+                if let Some(entry) = map.get(&descriptor) {
+                    if entry.graph_id == graph_id && entry.version == version {
+                        // A sibling installed the same repair first; serve
+                        // the shared copy so every reader keeps pointing at
+                        // one materialisation, and drop ours.
+                        entry.last_used.store(self.tick(), Ordering::Relaxed);
+                        return Ok((Arc::clone(&entry.result), outcome));
+                    }
                 }
-                CachedState::Foremost(states) => {
-                    extend_states(states, live);
-                    entry.result = SearchResult::from_arrivals(
-                        states.iter().map(|s| s.to_result()).collect(),
-                        false,
-                    );
-                    entry.version = version;
-                    self.stats.extensions += 1;
-                    return Ok((entry.result.clone(), CacheOutcome::Extended));
-                }
-                CachedState::Opaque => {
-                    self.stats.recomputes += 1;
-                    let result = match search.run(live.graph()) {
-                        Ok(result) => result,
-                        Err(err) => {
-                            // Drop the stale entry so the failure isn't
-                            // re-derived from dead state forever.
-                            self.entries.remove(&descriptor);
-                            return Err(err);
-                        }
-                    };
-                    entry.version = version;
-                    entry.result = result.clone();
-                    return Ok((result, CacheOutcome::Recomputed));
-                }
+                let kind = entry_kind(&descriptor);
+                map.insert(
+                    descriptor,
+                    CacheEntry {
+                        graph_id,
+                        version,
+                        covered: live.num_sealed(),
+                        kind,
+                        result: Arc::clone(&result),
+                        last_used: AtomicU64::new(self.tick()),
+                    },
+                );
+                self.evict_over_capacity(&mut map);
+                Ok((result, outcome))
             }
         }
+    }
 
-        // Miss: run from scratch through the builder, then capture resumable
-        // state when the shape admits extension.
-        self.stats.misses += 1;
-        let result = search.run(live.graph())?;
-        let state = capture_state(&descriptor, &result, live);
-        self.entries.insert(
-            descriptor,
-            CacheEntry {
-                version,
-                state,
-                result: result.clone(),
-            },
-        );
-        Ok((result, CacheOutcome::Miss))
+    /// Evicts least-recently-used entries until the shard respects its
+    /// apportioned bound.
+    fn evict_over_capacity(&self, map: &mut HashMap<QueryDescriptor, CacheEntry>) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        let per_shard = capacity.div_ceil(Self::SHARDS).max(1);
+        while map.len() > per_shard {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+                .expect("shard over capacity is non-empty");
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
-/// Captures resumable per-source state for extendable query shapes.
-fn capture_state(
-    descriptor: &QueryDescriptor,
-    result: &SearchResult,
-    live: &LiveGraph,
-) -> CachedState {
+type Shard = RwLock<HashMap<QueryDescriptor, CacheEntry>>;
+
+/// Locks recover from poisoning instead of propagating it: no graph work
+/// runs under a lock (a panicking engine cannot poison a shard), and map
+/// mutations are single insert/remove calls, so a poisoned shard's map is
+/// still internally consistent.
+fn read_lock(shard: &Shard) -> RwLockReadGuard<'_, HashMap<QueryDescriptor, CacheEntry>> {
+    shard.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_lock(shard: &Shard) -> RwLockWriteGuard<'_, HashMap<QueryDescriptor, CacheEntry>> {
+    shard.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What the slow path captured under the read lock and will perform with no
+/// lock held.
+enum RepairPlan {
+    /// Advance the shared result over the appended snapshots.
+    Extend {
+        kind: EntryKind,
+        covered: usize,
+        result: Arc<SearchResult>,
+    },
+    /// A stale opaque entry: run from scratch.
+    Recompute,
+    /// No usable entry: run from scratch.
+    Miss,
+}
+
+/// The repair kind a fresh entry will use when it goes stale. Mirrors the
+/// descriptor's extendability matrix.
+fn entry_kind(descriptor: &QueryDescriptor) -> EntryKind {
     if !descriptor.is_append_extendable() {
-        return CachedState::Opaque;
+        return EntryKind::Opaque;
     }
     match descriptor.strategy() {
-        Strategy::Serial | Strategy::Parallel | Strategy::Algebraic => CachedState::Hops(
-            result
+        Strategy::Serial | Strategy::Parallel | Strategy::Algebraic => EntryKind::Hops,
+        Strategy::Foremost => EntryKind::Foremost,
+        Strategy::SharedFrontier => EntryKind::Opaque,
+    }
+}
+
+/// Rebuilds resumable state from the entry's shared result (covering
+/// `covered` snapshots), advances it over the snapshots sealed since, and
+/// materialises the extended result. Rebuilding instead of retaining the
+/// state keeps entries at one copy of the tables; the rebuild is a scan of
+/// the result, no graph work, so extension work stays delta-proportional
+/// (pinned by the `incremental_vs_recompute` bench).
+fn extend_result(
+    kind: EntryKind,
+    covered: usize,
+    result: &SearchResult,
+    live: &LiveGraph,
+) -> SearchResult {
+    match kind {
+        EntryKind::Hops => {
+            let mut states: Vec<ResumableBfs> = result
                 .distance_maps()
                 .iter()
                 .map(ResumableBfs::from_map)
-                .collect(),
-        ),
-        Strategy::Foremost => CachedState::Foremost(
-            result
+                .collect();
+            extend_states(&mut states, live);
+            SearchResult::from_maps(states.iter().map(|s| s.to_distance_map()).collect(), false)
+        }
+        EntryKind::Foremost => {
+            let mut states: Vec<ResumableForemost> = result
                 .foremost_results()
                 .iter()
-                .map(|table| ResumableForemost::from_result(table, live.num_sealed()))
-                .collect(),
-        ),
-        Strategy::SharedFrontier => CachedState::Opaque,
+                .map(|table| ResumableForemost::from_result(table, covered))
+                .collect();
+            extend_states(&mut states, live);
+            SearchResult::from_arrivals(states.iter().map(|s| s.to_result()).collect(), false)
+        }
+        EntryKind::Opaque => unreachable!("opaque entries recompute"),
     }
 }
 
@@ -250,7 +472,7 @@ trait Resumable {
     fn covered_timestamps(&self) -> usize;
     fn extend_snapshot(
         &mut self,
-        graph: &egraph_core::adjacency::AdjacencyListGraph,
+        graph: &egraph_core::csr::CsrAdjacency,
         touched: &[egraph_core::ids::NodeId],
     ) -> Result<()>;
 }
@@ -264,7 +486,7 @@ impl Resumable for ResumableBfs {
     }
     fn extend_snapshot(
         &mut self,
-        graph: &egraph_core::adjacency::AdjacencyListGraph,
+        graph: &egraph_core::csr::CsrAdjacency,
         touched: &[egraph_core::ids::NodeId],
     ) -> Result<()> {
         ResumableBfs::extend_snapshot(self, graph, touched)
@@ -280,7 +502,7 @@ impl Resumable for ResumableForemost {
     }
     fn extend_snapshot(
         &mut self,
-        graph: &egraph_core::adjacency::AdjacencyListGraph,
+        graph: &egraph_core::csr::CsrAdjacency,
         touched: &[egraph_core::ids::NodeId],
     ) -> Result<()> {
         ResumableForemost::extend_snapshot(self, graph, touched)
@@ -303,7 +525,9 @@ fn extend_states<S: Resumable>(states: &mut [S], live: &LiveGraph) {
 }
 
 /// A borrowed (live graph, cache) pair implementing the builder's
-/// [`QueryExecutor`] hook, so call sites keep the fluent shape:
+/// [`QueryExecutor`] hook, so call sites keep the fluent shape. Both
+/// borrows are shared, so any number of sessions — across threads — can
+/// serve from one cache:
 ///
 /// ```
 /// use egraph_core::ids::{NodeId, TemporalNode};
@@ -314,20 +538,20 @@ fn extend_states<S: Resumable>(states: &mut [S], live: &LiveGraph) {
 /// live.insert(NodeId(0), NodeId(1)).unwrap();
 /// live.seal_snapshot(0).unwrap();
 ///
-/// let mut cache = QueryCache::new();
+/// let cache = QueryCache::new();
 /// let result = Search::from(TemporalNode::from_raw(0, 0))
-///     .run_via(&mut live.session(&mut cache))
+///     .run_via(&mut live.session(&cache))
 ///     .unwrap();
 /// assert_eq!(result.num_reached(), 2);
 /// ```
 #[derive(Debug)]
 pub struct CachedSession<'a> {
     live: &'a LiveGraph,
-    cache: &'a mut QueryCache,
+    cache: &'a QueryCache,
 }
 
 impl QueryExecutor for CachedSession<'_> {
-    fn run_search(&mut self, search: &Search) -> Result<SearchResult> {
+    fn run_search(&mut self, search: &Search) -> Result<Arc<SearchResult>> {
         self.cache.execute(self.live, search)
     }
 }
@@ -335,7 +559,7 @@ impl QueryExecutor for CachedSession<'_> {
 impl LiveGraph {
     /// Pairs this graph with a [`QueryCache`] for
     /// [`Search::run_via`](egraph_query::Search::run_via).
-    pub fn session<'a>(&'a self, cache: &'a mut QueryCache) -> CachedSession<'a> {
+    pub fn session<'a>(&'a self, cache: &'a QueryCache) -> CachedSession<'a> {
         CachedSession { live: self, cache }
     }
 }
@@ -356,7 +580,7 @@ mod tests {
         live
     }
 
-    fn assert_matches_scratch(live: &LiveGraph, cache: &mut QueryCache, search: &Search) {
+    fn assert_matches_scratch(live: &LiveGraph, cache: &QueryCache, search: &Search) {
         let cached = cache.execute(live, search);
         let scratch = search.run(live.graph());
         match (cached, scratch) {
@@ -369,7 +593,7 @@ mod tests {
     #[test]
     fn hit_extend_and_recompute_paths_are_reported() {
         let mut live = seeded_live();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let forward = Search::from(TemporalNode::from_raw(0, 0));
         let backward = Search::from(TemporalNode::from_raw(2, 1)).direction(Direction::Backward);
 
@@ -404,9 +628,22 @@ mod tests {
     }
 
     #[test]
+    fn hits_share_one_materialisation() {
+        // The zero-copy contract: every hit serves the same allocation.
+        let live = seeded_live();
+        let cache = QueryCache::new();
+        let query = Search::from(TemporalNode::from_raw(0, 0));
+        let first = cache.execute(&live, &query).unwrap();
+        let second = cache.execute(&live, &query).unwrap();
+        let third = cache.execute(&live, &query).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert!(Arc::ptr_eq(&second, &third));
+    }
+
+    #[test]
     fn foremost_entries_extend_too() {
         let mut live = seeded_live();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let query = Search::from(TemporalNode::from_raw(0, 0)).strategy(Strategy::Foremost);
         cache.execute(&live, &query).unwrap();
         live.insert(NodeId(2), NodeId(3)).unwrap();
@@ -419,7 +656,7 @@ mod tests {
     #[test]
     fn errors_are_not_cached_and_can_heal_as_the_graph_grows() {
         let mut live = seeded_live();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         // Root in a snapshot that does not exist yet.
         let query = Search::from(TemporalNode::from_raw(0, 2));
         assert!(matches!(
@@ -436,7 +673,7 @@ mod tests {
     #[test]
     fn node_growth_is_absorbed_by_extension() {
         let mut live = seeded_live();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let query = Search::from(TemporalNode::from_raw(0, 0));
         cache.execute(&live, &query).unwrap();
         live.apply(crate::event::EdgeEvent::grow_nodes(7)).unwrap();
@@ -458,7 +695,7 @@ mod tests {
     #[test]
     fn every_strategy_matches_scratch_through_the_cache() {
         let mut live = seeded_live();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let root = TemporalNode::from_raw(0, 0);
         let strategies = [
             Strategy::Serial,
@@ -469,7 +706,7 @@ mod tests {
         ];
         for pass in 0..3 {
             for strategy in strategies {
-                assert_matches_scratch(&live, &mut cache, &Search::from(root).strategy(strategy));
+                assert_matches_scratch(&live, &cache, &Search::from(root).strategy(strategy));
             }
             if pass < 2 {
                 live.insert(NodeId(pass as u32), NodeId(3)).unwrap();
@@ -491,7 +728,7 @@ mod tests {
         b.seal_snapshot(0).unwrap();
         assert_eq!(a.version(), b.version());
 
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let query = Search::from(TemporalNode::from_raw(0, 0));
         let on_a = cache.execute(&a, &query).unwrap();
         assert!(!on_a.reaches_node(NodeId(2)));
@@ -506,7 +743,7 @@ mod tests {
         // A clone can diverge while keeping the same version; the cache must
         // treat it as a new graph rather than extend with foreign deltas.
         let mut a = seeded_live();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let query = Search::from(TemporalNode::from_raw(0, 0));
         cache.execute(&a, &query).unwrap();
 
@@ -532,16 +769,105 @@ mod tests {
     #[test]
     fn run_via_routes_through_the_cache() {
         let live = seeded_live();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let root = TemporalNode::from_raw(0, 0);
         let a = Search::from(root)
-            .run_via(&mut live.session(&mut cache))
+            .run_via(&mut live.session(&cache))
             .unwrap();
         let b = Search::from(root)
-            .run_via(&mut live.session(&mut cache))
+            .run_via(&mut live.session(&cache))
             .unwrap();
         assert_eq!(a.num_reached(), b.num_reached());
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    /// A wide graph where every `(v, 0)` root is active — raw material for
+    /// descriptor probing in the LRU tests.
+    fn wide_live(num_nodes: usize) -> LiveGraph {
+        let mut live = LiveGraph::directed(num_nodes);
+        for v in 0..num_nodes as u32 - 1 {
+            live.insert(NodeId(v), NodeId(v + 1)).unwrap();
+        }
+        live.seal_snapshot(0).unwrap();
+        live
+    }
+
+    #[test]
+    fn bounded_caches_evict_least_recently_used_entries() {
+        let live = wide_live(64);
+        // Capacity SHARDS → exactly one entry per shard: insertion into an
+        // occupied shard must evict its previous occupant.
+        let cache = QueryCache::with_capacity(QueryCache::SHARDS);
+        let queries: Vec<Search> = (0..48)
+            .map(|v| Search::from(TemporalNode::from_raw(v, 0)))
+            .collect();
+        for q in &queries {
+            cache.execute(&live, q).unwrap();
+        }
+        assert!(cache.len() <= QueryCache::SHARDS);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 48);
+        assert_eq!(stats.evictions, 48 - cache.len() as u64);
+        assert!(stats.evictions > 0, "48 keys into 16 shards must evict");
+        // The most recent insertion is never the LRU victim.
+        let (_, o) = cache
+            .execute_traced(&live, queries.last().unwrap())
+            .unwrap();
+        assert_eq!(o, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn lru_prefers_evicting_the_stalest_entry_in_a_shard() {
+        let live = wide_live(64);
+        // Find three distinct queries landing in one shard.
+        let mut by_shard: HashMap<usize, Vec<Search>> = HashMap::new();
+        let colliding = (0..64u32)
+            .map(|v| Search::from(TemporalNode::from_raw(v, 0)))
+            .find_map(|q| {
+                let shard = QueryCache::shard_index(&q.descriptor());
+                let bucket = by_shard.entry(shard).or_default();
+                bucket.push(q);
+                (bucket.len() == 3).then(|| bucket.clone())
+            })
+            .expect("64 keys over 16 shards must collide 3 deep somewhere");
+        let [a, b, c] = &colliding[..] else {
+            unreachable!()
+        };
+
+        // Per-shard bound of 2: capacity SHARDS * 2.
+        let cache = QueryCache::with_capacity(QueryCache::SHARDS * 2);
+        cache.execute(&live, a).unwrap();
+        cache.execute(&live, b).unwrap();
+        cache.execute(&live, a).unwrap(); // touch a: b is now the LRU
+        cache.execute(&live, c).unwrap(); // shard full: evicts b
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, oa) = cache.execute_traced(&live, a).unwrap();
+        assert_eq!(oa, CacheOutcome::Hit, "recently touched entry survives");
+        // Probing b re-inserts it (and evicts the next LRU victim).
+        let (_, ob) = cache.execute_traced(&live, b).unwrap();
+        assert_eq!(ob, CacheOutcome::Miss, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn concurrent_hits_proceed_under_shared_locks() {
+        // Smoke-level concurrency (the workspace-level concurrent_serving
+        // suite does the heavy differential testing): many threads serving
+        // the same standing queries all observe the shared materialisation.
+        let live = seeded_live();
+        let cache = QueryCache::new();
+        let query = Search::from(TemporalNode::from_raw(0, 0));
+        let baseline = cache.execute(&live, &query).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        let served = cache.execute(&live, &query).unwrap();
+                        assert!(Arc::ptr_eq(&served, &baseline));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().hits, 400);
     }
 }

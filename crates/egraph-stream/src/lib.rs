@@ -8,13 +8,20 @@
 //!
 //! * [`LiveGraph`] — an append-only event API
 //!   ([`apply`](LiveGraph::apply) / [`seal_snapshot`](LiveGraph::seal_snapshot))
-//!   over the adjacency-list representation's mutation paths, with a
-//!   monotonically increasing [`version`](LiveGraph::version) stamp and
-//!   per-snapshot *touched* sets. Searches only ever see sealed snapshots.
+//!   publishing sealed snapshots into a CSR-flattened serve graph
+//!   ([`egraph_core::csr::CsrAdjacency`]: contiguous neighbor pools, one
+//!   appended region per seal), with a monotonically increasing
+//!   [`version`](LiveGraph::version) stamp and per-snapshot *touched*
+//!   sets. Searches only ever see sealed snapshots.
 //! * [`QueryCache`] — memoises [`Search`](egraph_query::Search) executions
 //!   keyed by the builder's canonical
 //!   [`QueryDescriptor`](egraph_query::QueryDescriptor), so the cache
 //!   composes with all five strategies instead of bypassing the builder.
+//!   Built to serve: hits are `O(1)` clones of a shared
+//!   `Arc<SearchResult>`, [`execute`](QueryCache::execute) takes `&self`
+//!   behind sharded `RwLock`s (concurrent readers), and
+//!   [`with_capacity`](QueryCache::with_capacity) bounds memory with LRU
+//!   eviction.
 //! * **Incremental re-search** — the headline. Because snapshots are
 //!   append-only in time, a *forward* traversal only ever gains
 //!   reachability: when snapshots are sealed, cached forward hop-BFS and
@@ -34,7 +41,7 @@
 //! live.apply(EdgeEvent::insert(NodeId(0), NodeId(1)))?;
 //! live.seal_snapshot(0)?;
 //!
-//! let mut cache = QueryCache::new();
+//! let cache = QueryCache::new();
 //! let root = TemporalNode::from_raw(0, 0);
 //! let first = cache.execute(&live, &Search::from(root))?;
 //! assert_eq!(first.num_reached(), 2);

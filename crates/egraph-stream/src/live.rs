@@ -1,9 +1,8 @@
 //! [`LiveGraph`]: an evolving graph that is still evolving.
 //!
 //! The rest of the workspace searches graphs that were built up front; a
-//! `LiveGraph` is the production shape — an [`AdjacencyListGraph`] whose
-//! mutation paths (`push_timestamp` / `grow_nodes` / `add_edge`) are wrapped
-//! behind an append-only event API:
+//! `LiveGraph` is the production shape — a CSR-flattened serve graph
+//! ([`CsrAdjacency`]) grown through an append-only event API:
 //!
 //! * [`LiveGraph::apply`] buffers an [`EdgeEvent`] into the *open* snapshot,
 //! * [`LiveGraph::seal_snapshot`] publishes the open snapshot under a
@@ -16,9 +15,19 @@
 //! and records which nodes the snapshot *touched* (its active set), which is
 //! exactly the delta the incremental re-search extension needs.
 //!
+//! Sealing is also what lets the serve graph be CSR-flat in the first
+//! place: a sealed snapshot's neighbor lists never change again, so each
+//! seal appends one contiguous region to the flat neighbor pool
+//! ([`CsrAdjacency::append_snapshot`]) instead of scattering per-node `Vec`s
+//! across the heap. Every traversal a query layer runs against
+//! [`LiveGraph::graph`] — BFS, parallel BFS, the foremost sweep, the
+//! resumable extensions — walks that contiguous layout.
+//!
 //! [`version`]: LiveGraph::version
 
-use egraph_core::adjacency::AdjacencyListGraph;
+use std::collections::HashSet;
+
+use egraph_core::csr::CsrAdjacency;
 use egraph_core::error::{GraphError, Result};
 use egraph_core::graph::EvolvingGraph;
 use egraph_core::ids::{NodeId, TimeIndex, Timestamp};
@@ -28,7 +37,7 @@ use crate::event::EdgeEvent;
 /// An append-only live evolving graph with an open-snapshot event buffer.
 #[derive(Debug)]
 pub struct LiveGraph {
-    graph: AdjacencyListGraph,
+    graph: CsrAdjacency,
     /// Process-unique instance identity (see [`LiveGraph::graph_id`]).
     graph_id: u64,
     /// Bumped on every successful [`LiveGraph::seal_snapshot`].
@@ -69,24 +78,24 @@ impl LiveGraph {
     /// Creates a live graph over `num_nodes` nodes with no sealed snapshot
     /// yet. Directed unless [`LiveGraph::undirected`] is used.
     pub fn directed(num_nodes: usize) -> Self {
-        Self::from_graph(
-            AdjacencyListGraph::directed(num_nodes, Vec::new())
-                .expect("an empty snapshot sequence is trivially sorted"),
-        )
+        Self::from_csr(CsrAdjacency::new(num_nodes, true))
     }
 
     /// Creates an undirected live graph with no sealed snapshot yet.
     pub fn undirected(num_nodes: usize) -> Self {
-        Self::from_graph(
-            AdjacencyListGraph::undirected(num_nodes, Vec::new())
-                .expect("an empty snapshot sequence is trivially sorted"),
-        )
+        Self::from_csr(CsrAdjacency::new(num_nodes, false))
     }
 
-    /// Adopts an existing graph as the sealed history (version 0), deriving
-    /// the per-snapshot touched sets from its activeness index. Subsequent
+    /// Adopts an existing graph as the sealed history (version 0),
+    /// flattening it into the CSR serve layout and deriving the
+    /// per-snapshot touched sets from its activeness index. Subsequent
     /// events append to it.
-    pub fn from_graph(graph: AdjacencyListGraph) -> Self {
+    pub fn from_graph<G: EvolvingGraph>(graph: &G) -> Self {
+        Self::from_csr(CsrAdjacency::from_graph(graph))
+    }
+
+    /// Adopts an already-flattened graph as the sealed history (version 0).
+    pub fn from_csr(graph: CsrAdjacency) -> Self {
         let touched = (0..graph.num_timestamps())
             .map(|t| {
                 graph
@@ -110,15 +119,15 @@ impl LiveGraph {
     /// A process-unique identity for this live graph *instance*. Two
     /// `LiveGraph`s never share an id — clones included, since a clone may
     /// diverge while keeping the same [`LiveGraph::version`]. The
-    /// [`QueryCache`](crate::QueryCache) binds to this id so entries from
-    /// one graph can never answer (or be corrupted by) another.
+    /// [`QueryCache`](crate::QueryCache) binds entries to this id so one
+    /// graph's results can never answer (or be corrupted by) another's.
     pub fn graph_id(&self) -> u64 {
         self.graph_id
     }
 
-    /// The sealed graph — what every search sees. The open snapshot's
-    /// buffered events are *not* part of it.
-    pub fn graph(&self) -> &AdjacencyListGraph {
+    /// The sealed serve graph — the CSR-flattened layout every search runs
+    /// against. The open snapshot's buffered events are *not* part of it.
+    pub fn graph(&self) -> &CsrAdjacency {
         &self.graph
     }
 
@@ -154,8 +163,8 @@ impl LiveGraph {
     ///
     /// # Errors
     /// [`GraphError::SelfLoop`] (reported at the open snapshot's index) and
-    /// [`GraphError::NodeOutOfRange`] exactly as the wrapped
-    /// [`AdjacencyListGraph::add_edge`] would.
+    /// [`GraphError::NodeOutOfRange`] exactly as a direct edge insertion
+    /// would report them.
     pub fn apply(&mut self, event: EdgeEvent) -> Result<()> {
         match event {
             EdgeEvent::Insert { src, dst } | EdgeEvent::InsertUnique { src, dst } => {
@@ -184,9 +193,10 @@ impl LiveGraph {
 
     /// Seals the open snapshot under time label `label`, publishing every
     /// buffered event at once: grows the node universe, appends the
-    /// snapshot, inserts the edges, records the touched set and bumps
-    /// [`LiveGraph::version`]. Sealing with no buffered edges publishes an
-    /// empty snapshot (every node inactive there), which is legal.
+    /// snapshot's neighbor lists to the CSR pools in one contiguous region,
+    /// records the touched set and bumps [`LiveGraph::version`]. Sealing
+    /// with no buffered edges publishes an empty snapshot (every node
+    /// inactive there), which is legal.
     ///
     /// Returns the new snapshot's index.
     ///
@@ -195,33 +205,57 @@ impl LiveGraph {
     /// than the last sealed label; the buffer is left untouched so the
     /// caller can retry with a corrected label.
     pub fn seal_snapshot(&mut self, label: Timestamp) -> Result<TimeIndex> {
-        // The label check is push_timestamp's own; running it first keeps
-        // the seal atomic (a rejected label touches nothing, buffer
-        // included). grow_nodes afterwards resizes the new snapshot's rows
-        // along with every older one.
-        let t = self.graph.push_timestamp(label)?;
-        self.graph.grow_nodes(self.pending_nodes);
-        let mut touched: Vec<NodeId> = Vec::new();
-        for event in self.pending.drain(..) {
-            let inserted = match event {
-                EdgeEvent::Insert { src, dst } => {
-                    self.graph
-                        .add_edge(src, dst, t)
-                        .expect("events were validated on apply");
-                    Some((src, dst))
-                }
-                EdgeEvent::InsertUnique { src, dst } => self
-                    .graph
-                    .add_edge_unique(src, dst, t)
-                    .expect("events were validated on apply")
-                    .then_some((src, dst)),
-                EdgeEvent::GrowNodes { .. } => None,
-            };
-            if let Some((src, dst)) = inserted {
-                touched.push(src);
-                touched.push(dst);
+        // The label rule is `append_snapshot`'s, but it must be re-checked
+        // here *before* the universe grows: a rejected seal has to be
+        // atomic (buffer, universe and graph untouched), and growth cannot
+        // come after the append because the buffered edges may reference
+        // grown nodes.
+        if let Some(last) = self.graph.last_timestamp() {
+            if label <= last {
+                return Err(GraphError::UnsortedTimestamps {
+                    position: self.num_sealed(),
+                });
             }
         }
+
+        // Materialise the snapshot's edge list (the buffer stays intact
+        // until the append succeeds), honouring `InsertUnique` exactly like
+        // the incremental path did: deduplication is per (src, dst) pair
+        // within the snapshot, symmetric for undirected graphs, and also
+        // sees edges inserted by earlier plain `Insert`s.
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        // The dedup set is only worth maintaining when something will read
+        // it — pure-Insert batches (the common streaming shape) skip the
+        // per-edge hashing entirely.
+        let any_unique = self
+            .pending
+            .iter()
+            .any(|e| matches!(e, EdgeEvent::InsertUnique { .. }));
+        let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let directed = self.graph.is_directed();
+        for event in &self.pending {
+            let (src, dst, unique) = match *event {
+                EdgeEvent::Insert { src, dst } => (src, dst, false),
+                EdgeEvent::InsertUnique { src, dst } => (src, dst, true),
+                EdgeEvent::GrowNodes { .. } => continue,
+            };
+            if unique && seen.contains(&(src, dst)) {
+                continue;
+            }
+            if any_unique {
+                seen.insert((src, dst));
+                if !directed {
+                    seen.insert((dst, src));
+                }
+            }
+            edges.push((src, dst));
+        }
+
+        self.graph.grow_nodes(self.pending_nodes);
+        let t = self.graph.append_snapshot(label, &edges)?;
+        self.pending.clear();
+
+        let mut touched: Vec<NodeId> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
         touched.sort_unstable();
         touched.dedup();
         self.touched.push(touched);
@@ -244,7 +278,7 @@ impl EvolvingGraph for LiveGraph {
         self.graph.num_timestamps()
     }
     fn timestamp(&self, t: TimeIndex) -> Timestamp {
-        self.graph.timestamp(t)
+        EvolvingGraph::timestamp(&self.graph, t)
     }
     fn is_directed(&self) -> bool {
         self.graph.is_directed()
@@ -265,7 +299,7 @@ impl EvolvingGraph for LiveGraph {
         self.graph.is_active(v, t)
     }
     fn time_index_of(&self, timestamp: Timestamp) -> Option<TimeIndex> {
-        self.graph.time_index_of(timestamp)
+        EvolvingGraph::time_index_of(&self.graph, timestamp)
     }
 }
 
@@ -336,6 +370,31 @@ mod tests {
     }
 
     #[test]
+    fn insert_unique_sees_plain_inserts_and_undirected_symmetry() {
+        let mut live = LiveGraph::directed(3);
+        live.apply(EdgeEvent::insert(NodeId(0), NodeId(1))).unwrap();
+        live.apply(EdgeEvent::insert_unique(NodeId(0), NodeId(1)))
+            .unwrap();
+        // The reversed pair is a different directed edge.
+        live.apply(EdgeEvent::insert_unique(NodeId(1), NodeId(0)))
+            .unwrap();
+        live.seal_snapshot(0).unwrap();
+        assert_eq!(live.graph().num_static_edges(), 2);
+
+        let mut live = LiveGraph::undirected(3);
+        live.apply(EdgeEvent::insert(NodeId(0), NodeId(1))).unwrap();
+        // Undirected: (1, 0) is the same edge and must be deduplicated.
+        live.apply(EdgeEvent::insert_unique(NodeId(1), NodeId(0)))
+            .unwrap();
+        live.seal_snapshot(0).unwrap();
+        assert_eq!(live.graph().num_static_edges(), 1);
+        assert_eq!(
+            live.graph().out_slice(NodeId(1), TimeIndex(0)),
+            &[NodeId(0)]
+        );
+    }
+
+    #[test]
     fn empty_seals_publish_inactive_snapshots() {
         let mut live = LiveGraph::directed(2);
         let t = live.seal_snapshot(1).unwrap();
@@ -347,7 +406,7 @@ mod tests {
     #[test]
     fn from_graph_derives_touched_sets() {
         let g = egraph_core::examples::paper_figure1();
-        let live = LiveGraph::from_graph(g);
+        let live = LiveGraph::from_graph(&g);
         assert_eq!(live.version(), 0);
         assert_eq!(live.touched_at(TimeIndex(0)), &[NodeId(0), NodeId(1)]);
         assert_eq!(live.touched_at(TimeIndex(1)), &[NodeId(0), NodeId(2)]);
@@ -370,5 +429,39 @@ mod tests {
         live.seal_snapshot(1).unwrap();
         assert_eq!(live.num_timestamps(), 2);
         assert_eq!(live.num_static_edges(), 2);
+    }
+
+    #[test]
+    fn the_serve_graph_matches_the_nested_builder_layout() {
+        // Drive the same event stream into a LiveGraph and a nested
+        // AdjacencyListGraph; the sealed serve graph must agree on every
+        // primitive the engines use.
+        use egraph_core::adjacency::AdjacencyListGraph;
+        let mut live = LiveGraph::directed(4);
+        let mut nested = AdjacencyListGraph::directed(4, Vec::new()).unwrap();
+        for (label, batch) in [
+            vec![(0u32, 1u32), (1, 2), (0, 1)],
+            vec![(2, 3)],
+            vec![(3, 0), (1, 3)],
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let t = nested.push_timestamp(label as i64).unwrap();
+            for (u, v) in batch {
+                live.insert(NodeId(u), NodeId(v)).unwrap();
+                nested.add_edge(NodeId(u), NodeId(v), t).unwrap();
+            }
+            live.seal_snapshot(label as i64).unwrap();
+        }
+        let csr = live.graph();
+        assert_eq!(csr.num_static_edges(), nested.num_static_edges());
+        for v in (0..4).map(NodeId::from_index) {
+            assert_eq!(csr.active_slice(v), nested.active_slice(v));
+            for t in (0..3).map(TimeIndex::from_index) {
+                assert_eq!(csr.out_slice(v, t), nested.out_slice(v, t));
+                assert_eq!(csr.in_slice(v, t), nested.in_slice(v, t));
+            }
+        }
     }
 }

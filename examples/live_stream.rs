@@ -27,7 +27,7 @@ fn main() -> Result<()> {
     // 2. Standing queries through the cache: one forward (extendable),
     //    one backward (recomputed when stale).
     // ------------------------------------------------------------------
-    let mut cache = QueryCache::new();
+    let cache = QueryCache::new();
     let root = TemporalNode::from_raw(0, 0);
     let forward = Search::from(root);
     let influencers = Search::from(TemporalNode::from_raw(2, 0)).backward();
@@ -88,7 +88,7 @@ fn main() -> Result<()> {
     // The fluent route through the builder works too.
     let fluent = Search::from(root)
         .strategy(Strategy::Foremost)
-        .run_via(&mut live.session(&mut cache))?;
+        .run_via(&mut live.session(&cache))?;
     println!(
         "foremost arrival of node 6: t{}",
         fluent.arrival(NodeId(6)).expect("reached").0

@@ -1,0 +1,233 @@
+//! Concurrent-reader differential suite for the sharded `QueryCache`.
+//!
+//! The cache's serving contract is that `execute(&self, ...)` can be
+//! hammered from many threads at once — mixed hits, extensions and
+//! recomputes — and every thread observes exactly the answer a
+//! single-threaded from-scratch `Search::run` on the sealed graph produces.
+//! These tests drive that contract with `std::thread::scope` over one shared
+//! cache: the graph is sealed between *query storms*, so within a storm
+//! some standing queries are current (hits), some are stale-extendable
+//! (one thread wins the extension, the rest hit), and some must recompute.
+
+use std::sync::Arc;
+
+use evolving_graphs::prelude::*;
+use evolving_graphs::stream::{LiveGraph, QueryCache};
+
+const THREADS: usize = 8;
+const ROUNDS_PER_THREAD: usize = 10;
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::Serial,
+    Strategy::Parallel,
+    Strategy::Algebraic,
+    Strategy::Foremost,
+    Strategy::SharedFrontier,
+];
+
+/// A deterministic xorshift stream (workspace convention for seeded tests).
+struct Xs(u64);
+impl Xs {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn seal_random_snapshot(rng: &mut Xs, live: &mut LiveGraph, label: i64) {
+    let n = live.graph().num_nodes() as u64;
+    for _ in 0..3 * n {
+        let u = (rng.next() % n) as u32;
+        let v = (rng.next() % n) as u32;
+        if u != v {
+            live.insert(NodeId(u), NodeId(v)).unwrap();
+        }
+    }
+    live.seal_snapshot(label).unwrap();
+}
+
+/// The standing queries every thread re-issues: all five strategies, both
+/// time directions, plus windowed and multi-source shapes — covering the
+/// hit, extend and recompute repair paths.
+fn standing_queries(root: TemporalNode) -> Vec<Search> {
+    let mut queries: Vec<Search> = STRATEGIES
+        .iter()
+        .flat_map(|&s| {
+            [
+                Search::from(root).strategy(s),
+                Search::from(root).strategy(s).backward(),
+            ]
+        })
+        .collect();
+    queries.push(Search::from_sources([root, root]));
+    queries.push(Search::from(root).window(0u32..=0));
+    queries.push(Search::from(root).reverse());
+    queries
+}
+
+/// Payload-level equality of a served result against a from-scratch oracle.
+fn assert_serves_oracle(label: &str, served: &SearchResult, oracle: &SearchResult) {
+    assert_eq!(
+        served.sources(),
+        oracle.sources(),
+        "{label}: sources disagree"
+    );
+    assert_eq!(
+        served.reached_node_ids(),
+        oracle.reached_node_ids(),
+        "{label}: reached node sets disagree"
+    );
+    for v in 0..oracle.sources()[0].node.0 + 8 {
+        assert_eq!(
+            served.arrival(NodeId(v)),
+            oracle.arrival(NodeId(v)),
+            "{label}: arrival of node {v} disagrees"
+        );
+    }
+}
+
+#[test]
+fn threads_hammering_a_shared_cache_match_single_threaded_search() {
+    let mut rng = Xs(0x5EED_CAFE);
+    let mut live = LiveGraph::directed(24);
+    seal_random_snapshot(&mut rng, &mut live, 0);
+    let root = live
+        .graph()
+        .active_nodes()
+        .first()
+        .copied()
+        .expect("the first seal inserts edges");
+    let queries = standing_queries(root);
+    let cache = QueryCache::new();
+
+    for step in 1..5i64 {
+        // Warm some entries so the next storm mixes hits with repairs, then
+        // seal: every warmed entry is stale at storm time.
+        for query in queries.iter().step_by(2) {
+            let _ = cache.execute(&live, query);
+        }
+        seal_random_snapshot(&mut rng, &mut live, step);
+
+        // Single-threaded oracles on the sealed graph, computed up front.
+        let oracles: Vec<Result<Arc<SearchResult>>> =
+            queries.iter().map(|q| q.run(live.graph())).collect();
+
+        std::thread::scope(|scope| {
+            for thread in 0..THREADS {
+                let (live, cache, queries, oracles) = (&live, &cache, &queries, &oracles);
+                scope.spawn(move || {
+                    for round in 0..ROUNDS_PER_THREAD {
+                        // Stagger the starting query per thread so repairs
+                        // and hits of *different* descriptors overlap.
+                        for (i, query) in queries
+                            .iter()
+                            .enumerate()
+                            .cycle()
+                            .skip(thread)
+                            .take(queries.len())
+                        {
+                            let label = format!("step {step} thread {thread} round {round} q{i}");
+                            match (cache.execute(live, query), &oracles[i]) {
+                                (Ok(served), Ok(oracle)) => {
+                                    assert_serves_oracle(&label, &served, oracle)
+                                }
+                                (Err(got), Err(want)) => {
+                                    assert_eq!(&got, want, "{label}: errors disagree")
+                                }
+                                (got, want) => {
+                                    panic!("{label}: cached {got:?} disagrees with {want:?}")
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "no hits: {stats:?}");
+    assert!(stats.misses > 0, "no misses: {stats:?}");
+    assert!(stats.extensions > 0, "no extensions: {stats:?}");
+    assert!(stats.recomputes > 0, "no recomputes: {stats:?}");
+    // Repairs run outside the locks, so racing threads may each repair the
+    // same stale descriptor (install is deduplicated, the counters are
+    // not): at most THREADS repairs per (step, descriptor), against
+    // THREADS × ROUNDS_PER_THREAD servings of it — the storms must be
+    // hit-dominated by an order of magnitude.
+    assert!(
+        stats.hits > stats.extensions + stats.recomputes,
+        "storms should be hit-dominated: {stats:?}"
+    );
+}
+
+#[test]
+fn concurrent_hits_on_one_entry_serve_the_same_allocation() {
+    let mut rng = Xs(0xA11C);
+    let mut live = LiveGraph::directed(16);
+    seal_random_snapshot(&mut rng, &mut live, 0);
+    let root = live.graph().active_nodes()[0];
+    let cache = QueryCache::new();
+    let query = Search::from(root);
+    let baseline = cache.execute(&live, &query).unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let (live, cache, query, baseline) = (&live, &cache, &query, &baseline);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    let served = cache.execute(live, query).unwrap();
+                    assert!(
+                        Arc::ptr_eq(&served, baseline),
+                        "a hit must be an Arc clone of the cached materialisation"
+                    );
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    assert_eq!(stats.hits as usize, THREADS * 200);
+    assert_eq!(stats.misses, 1);
+}
+
+#[test]
+fn a_bounded_cache_stays_correct_under_concurrent_thrashing() {
+    // Eviction under concurrency must never corrupt answers: a capacity far
+    // below the working set forces constant miss/evict churn while threads
+    // compare every answer to the oracle.
+    let mut rng = Xs(0xE71C7);
+    let mut live = LiveGraph::directed(16);
+    seal_random_snapshot(&mut rng, &mut live, 0);
+    let roots = live.graph().active_nodes();
+    let queries: Vec<Search> = roots.iter().map(|&r| Search::from(r)).collect();
+    let oracles: Vec<Arc<SearchResult>> = queries
+        .iter()
+        .map(|q| q.run(live.graph()).unwrap())
+        .collect();
+    let cache = QueryCache::with_capacity(4);
+
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let (live, cache, queries, oracles) = (&live, &cache, &queries, &oracles);
+            scope.spawn(move || {
+                for round in 0..ROUNDS_PER_THREAD {
+                    for (i, query) in queries.iter().enumerate() {
+                        let served = cache.execute(live, query).unwrap();
+                        assert_eq!(
+                            served.reached_node_ids(),
+                            oracles[i].reached_node_ids(),
+                            "thread {thread} round {round} query {i}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        cache.stats().evictions > 0,
+        "a working set larger than the bound must evict: {:?}",
+        cache.stats()
+    );
+}

@@ -146,7 +146,7 @@ fn foremost_multi_source_unions_per_source_arrivals() {
             .strategy(Strategy::Foremost)
             .run(&g)
             .unwrap();
-        let singles: Vec<SearchResult> = roots
+        let singles: Vec<std::sync::Arc<SearchResult>> = roots
             .iter()
             .map(|&r| {
                 Search::from(r)

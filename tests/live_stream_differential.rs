@@ -28,8 +28,8 @@ fn assert_equivalent(
     label: &str,
     strategy: Strategy,
     with_parents: bool,
-    cached: Result<SearchResult>,
-    scratch: Result<SearchResult>,
+    cached: Result<std::sync::Arc<SearchResult>>,
+    scratch: Result<std::sync::Arc<SearchResult>>,
 ) {
     match (cached, scratch) {
         (Err(a), Err(b)) => assert_eq!(a, b, "{label}: errors disagree"),
@@ -72,7 +72,7 @@ fn assert_equivalent(
                     }
                 }
                 Strategy::SharedFrontier => {
-                    let (am, bm) = (a.into_shared_map(), b.into_shared_map());
+                    let (am, bm) = (a.shared_map(), b.shared_map());
                     assert_eq!(am.sources(), bm.sources(), "{label}: sources");
                     assert_eq!(am.as_flat_slice(), bm.as_flat_slice(), "{label}: distances");
                     for (tn, _, src) in am.reached_with_sources() {
@@ -170,7 +170,7 @@ fn randomized_event_streams_match_from_scratch_search() {
     for seed in [0x11u64, 0x22, 0x33, 0x5EED] {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut live = LiveGraph::directed(8 + (seed % 5) as usize);
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         random_seal(&mut rng, &mut live, 0);
 
         // Standing queries: re-issued after every seal, so the same
@@ -240,7 +240,7 @@ fn extension_and_recompute_agree_after_node_growth_bursts() {
     // Node growth changes result dimensions; every cached shape must track
     // the sealed graph's dimensions exactly.
     let mut live = LiveGraph::directed(3);
-    let mut cache = QueryCache::new();
+    let cache = QueryCache::new();
     live.insert(NodeId(0), NodeId(1)).unwrap();
     live.seal_snapshot(0).unwrap();
     let root = TemporalNode::from_raw(0, 0);
@@ -272,7 +272,7 @@ fn extension_and_recompute_agree_after_node_growth_bursts() {
 #[test]
 fn a_query_stream_over_one_evolving_graph_reports_every_outcome() {
     let mut live = LiveGraph::directed(5);
-    let mut cache = QueryCache::new();
+    let cache = QueryCache::new();
     live.insert(NodeId(0), NodeId(1)).unwrap();
     live.seal_snapshot(0).unwrap();
     let forward = Search::from(TemporalNode::from_raw(0, 0));
