@@ -4,8 +4,8 @@
 //! from the full `O(|E| + |V|)` temporal-node expansion of Algorithm 1 —
 //! causal edges included. `Strategy::Foremost` answers the same arrival-only
 //! query with the `O(|Ẽ| + N·n)` time-ordered sweep, which never enumerates
-//! causal edges or re-checks activeness. Because the in-tree `rayon` shim is
-//! sequential, wall-clock alone would under-report the gap, so this bench
+//! causal edges or re-checks activeness. Wall clock varies with the host and
+//! pool size and would under-report the asymptotic gap, so this bench
 //! also reports *node-expansion counters* from `CountingView` and asserts the
 //! sweep does strictly less graph work than the hop-BFS derivation on every
 //! workload size.

@@ -2,10 +2,10 @@
 //!
 //! The per-source loop (`multi_source_bfs`, and the hop strategies of the
 //! `Search` builder) costs `O(|E| + |V|)` *per source*; the shared-frontier
-//! engine pays it once for the whole source set. Because the in-tree `rayon`
-//! shim is sequential, the bench reports node-expansion counters alongside
-//! wall clock: the shared frontier's work stays flat as the source count
-//! grows while the per-source loop's grows linearly.
+//! engine pays it once for the whole source set. Wall clock depends on the
+//! pool size of the host, so the bench reports node-expansion counters
+//! alongside it: the shared frontier's work stays flat as the source count
+//! grows while the per-source loop's grows linearly, at any thread count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use egraph_core::bfs::multi_source_shared;

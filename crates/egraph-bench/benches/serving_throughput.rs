@@ -17,6 +17,15 @@
 //!    `CountingView` counters for a full BFS must be identical on
 //!    `CsrAdjacency` and `AdjacencyListGraph` (same traversal, different
 //!    memory layout) — asserted — and the wall-clock ratio is recorded.
+//! 4. **Hits stay cheap while the pool is busy (mixed workload).** With the
+//!    rayon shim executing on a real thread pool (PR 5), a storm thread
+//!    drives continuous cache *misses* whose `Strategy::Parallel` traversals
+//!    run on the pool, while the hit thread keeps serving the standing
+//!    query. Hits never take a write lock and never touch the graph, so on
+//!    a host with ≥ 2 cores their latency must stay within a small factor
+//!    of the solo measurement — asserted there, recorded (not asserted) on
+//!    the single-core build container where timeslicing inflates every
+//!    thread's wall clock.
 //!
 //! Results land in a machine-readable `BENCH_serving.json` (committed, like
 //! `BENCH_incremental.json`) so the serve-path trajectory is visible per PR.
@@ -28,6 +37,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use egraph_bench::first_active_node;
 use egraph_core::adjacency::AdjacencyListGraph;
 use egraph_core::bfs::bfs;
+use egraph_core::graph::EvolvingGraph;
 use egraph_core::ids::NodeId;
 use egraph_core::instrument::CountingView;
 use egraph_query::Search;
@@ -49,6 +59,9 @@ struct SizeReport {
     csr_bfs_ns: f64,
     bfs_work: u64,
     reader_throughput: Vec<(usize, f64)>,
+    /// `(hit_ns under concurrent pool recomputes, recomputes completed)` —
+    /// measured for the largest history only.
+    mixed: Option<(f64, u64)>,
 }
 
 fn random_edges(history: usize, seed: u64) -> Vec<Vec<(u32, u32)>> {
@@ -184,6 +197,72 @@ fn serving_throughput(c: &mut Criterion) {
         let nested_bfs_ns = time_per_call(bfs_reps, || bfs(&nested, root).unwrap().num_reached());
         let csr_bfs_ns = time_per_call(bfs_reps, || bfs(csr, root).unwrap().num_reached());
 
+        // --- 4. Mixed workload: hits while the pool runs recomputes. ------
+        // A storm cache with a tiny LRU bound cycles more backward-Parallel
+        // queries than it can hold, so every execution is a genuine miss
+        // whose frontier-parallel traversal lands on the thread pool; the
+        // hit thread keeps serving the standing query from the main cache
+        // the whole time. Largest history only (the most traversal work).
+        let mixed = (history == *HISTORIES.last().unwrap()).then(|| {
+            use egraph_query::Strategy;
+            use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+            let storm_cache = QueryCache::with_capacity(8);
+            let storm_roots: Vec<_> = live
+                .graph()
+                .active_nodes()
+                .into_iter()
+                .step_by(37)
+                .take(64)
+                .collect();
+            let stop = AtomicBool::new(false);
+            let recomputes = AtomicU64::new(0);
+            let hit_ns_mixed = std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let query = Search::from(storm_roots[i % storm_roots.len()])
+                            .backward()
+                            .strategy(Strategy::Parallel)
+                            .parallel_threshold(64);
+                        std::hint::black_box(storm_cache.execute(&live, &query).unwrap());
+                        recomputes.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                });
+                // 10x the solo reps so the measurement window spans many
+                // full pool traversals rather than a sliver of one.
+                let ns = time_per_call(HIT_REPS * 10, || {
+                    let served = cache.execute(&live, &query).unwrap();
+                    debug_assert!(Arc::ptr_eq(&served, &baseline));
+                    served
+                });
+                stop.store(true, Ordering::Relaxed);
+                ns
+            });
+            (hit_ns_mixed, recomputes.load(Ordering::Relaxed))
+        });
+        if let Some((mixed_ns, storms)) = mixed {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            println!(
+                "serving_throughput/h{history}: mixed hits {mixed_ns:.0} ns \
+                 (solo {hit_ns:.0} ns) alongside {storms} pool recomputes \
+                 ({cores} cores available)"
+            );
+            assert!(storms > 0, "the storm thread must complete recomputes");
+            if cores >= 2 {
+                // The flatness claim is only physical with a core to spare:
+                // hits take no write lock and no graph work, so concurrent
+                // traversal load must not move them more than noise.
+                assert!(
+                    mixed_ns < hit_ns * 6.0 + 1_000.0,
+                    "hit latency must stay flat under pool recomputes: \
+                     solo {hit_ns:.0} ns vs mixed {mixed_ns:.0} ns"
+                );
+            }
+        }
+
         println!(
             "serving_throughput/h{history}: hit {hit_ns:.0} ns vs deep clone \
              {deep_clone_ns:.0} ns ({:.1}x); bfs csr {csr_bfs_ns:.0} ns vs nested \
@@ -203,6 +282,7 @@ fn serving_throughput(c: &mut Criterion) {
             csr_bfs_ns,
             bfs_work: csr_work,
             reader_throughput,
+            mixed,
         });
 
         // Criterion entries for the wall-clock trajectory.
@@ -245,6 +325,9 @@ fn serving_throughput(c: &mut Criterion) {
 }
 
 fn write_json_summary(reports: &[SizeReport]) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut rows = String::new();
     for (i, r) in reports.iter().enumerate() {
         if i > 0 {
@@ -256,10 +339,16 @@ fn write_json_summary(reports: &[SizeReport]) {
             .map(|&(t, hps)| format!("{{\"threads\": {t}, \"hits_per_sec\": {hps:.0}}}"))
             .collect::<Vec<_>>()
             .join(", ");
+        let mixed = match r.mixed {
+            Some((mixed_ns, storms)) => {
+                format!(", \"mixed_hit_ns\": {mixed_ns:.0}, \"mixed_pool_recomputes\": {storms}")
+            }
+            None => String::new(),
+        };
         rows.push_str(&format!(
             "    {{\"history_snapshots\": {}, \"hit_ns\": {:.0}, \"deep_clone_ns\": {:.0}, \
              \"hit_vs_clone_speedup\": {:.1}, \"bfs_nested_ns\": {:.0}, \"bfs_csr_ns\": {:.0}, \
-             \"csr_speedup\": {:.2}, \"bfs_work_counters\": {}, \"readers\": [{readers}]}}",
+             \"csr_speedup\": {:.2}, \"bfs_work_counters\": {}, \"readers\": [{readers}]{mixed}}}",
             r.history,
             r.hit_ns,
             r.deep_clone_ns,
@@ -273,9 +362,13 @@ fn write_json_summary(reports: &[SizeReport]) {
     let json = format!(
         "{{\n  \"bench\": \"serving_throughput\",\n  \"num_nodes\": {NUM_NODES},\n  \
          \"edges_per_snapshot\": {EDGES_PER_SNAPSHOT},\n  \
+         \"available_parallelism\": {cores},\n  \
          \"notes\": \"hit = QueryCache hit (Arc clone); deep_clone = SearchResult deep copy \
          (the pre-Arc per-hit cost); bfs work counters are CountingView totals and are \
-         asserted identical across layouts\",\n  \"sizes\": [\n{rows}\n  ]\n}}\n"
+         asserted identical across layouts; mixed_hit_ns = hit latency while a storm thread \
+         drives continuous Strategy::Parallel recomputes on the thread pool (flatness \
+         asserted only on hosts with >= 2 cores; on a single core timeslicing inflates it \
+         and the number is recorded unasserted)\",\n  \"sizes\": [\n{rows}\n  ]\n}}\n"
     );
     let path = "BENCH_serving.json";
     std::fs::write(path, &json).expect("write bench summary");

@@ -387,6 +387,41 @@ impl EvolvingGraph for CsrAdjacency {
         CsrAdjacency::is_active(self, v, t)
     }
 
+    /// Slice-direct override of the provided forward-neighbor visitor: one
+    /// binary search replaces the activeness scan, and both edge classes are
+    /// enumerated straight off the contiguous pools with a single dyn
+    /// callback layer — the hot path of the (parallel) frontier expansion,
+    /// which is why the CSR layout exists. Visitation order matches the
+    /// provided method exactly: static out-edges at `t`, then causal edges
+    /// in increasing snapshot order.
+    fn for_each_forward_neighbor(&self, tn: TemporalNode, f: &mut dyn FnMut(TemporalNode)) {
+        let times = self.active_slice(tn.node);
+        let Ok(pos) = times.binary_search(&tn.time) else {
+            return; // inactive temporal nodes have no forward neighbors
+        };
+        for &w in self.out_slice(tn.node, tn.time) {
+            f(TemporalNode::new(w, tn.time));
+        }
+        for &t in &times[pos + 1..] {
+            f(TemporalNode::new(tn.node, t));
+        }
+    }
+
+    /// Backward twin of the forward override (reversed static edges at `t`,
+    /// then causal edges to earlier snapshots in increasing order).
+    fn for_each_backward_neighbor(&self, tn: TemporalNode, f: &mut dyn FnMut(TemporalNode)) {
+        let times = self.active_slice(tn.node);
+        let Ok(pos) = times.binary_search(&tn.time) else {
+            return;
+        };
+        for &u in self.in_slice(tn.node, tn.time) {
+            f(TemporalNode::new(u, tn.time));
+        }
+        for &t in &times[..pos] {
+            f(TemporalNode::new(tn.node, t));
+        }
+    }
+
     fn time_index_of(&self, timestamp: Timestamp) -> Option<TimeIndex> {
         self.timestamps
             .binary_search(&timestamp)

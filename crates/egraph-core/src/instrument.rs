@@ -1,17 +1,25 @@
 //! [`CountingView`]: a transparent [`EvolvingGraph`] adaptor that counts how
 //! much graph work a traversal performs.
 //!
-//! Wall-clock comparisons between engines are noisy (and meaningless under
-//! the in-tree sequential `rayon` shim), so the benchmark suite compares
-//! *work counters* instead: the number of neighbor-enumeration calls an
-//! engine issues and the number of neighbors those calls deliver. Because
-//! every engine is generic over [`EvolvingGraph`], wrapping the workload in a
-//! `CountingView` instruments any engine without touching it — the provided
-//! trait methods (`for_each_forward_neighbor`, `is_active`, …) route through
-//! the counted primitives.
+//! Wall-clock comparisons between engines are noisy, so the benchmark suite
+//! compares *work counters* instead: the number of neighbor-enumeration
+//! calls an engine issues and the number of neighbors those calls deliver.
+//! Because every engine is generic over [`EvolvingGraph`], wrapping the
+//! workload in a `CountingView` instruments any engine without touching it —
+//! the provided trait methods (`for_each_forward_neighbor`, `is_active`, …)
+//! route through the counted primitives.
 //!
 //! Counters are atomics so the view also instruments the frontier-parallel
-//! engines; counting costs one relaxed increment per event.
+//! engines, which since PR 5 genuinely run across the thread pool: each
+//! worker's increments land in the shared counters, and the pool's
+//! completion latch orders them before any [`CountingView::counters`] read
+//! that follows the traversal. Counting costs one relaxed increment per
+//! event — enough contention to perturb parallel *wall-clock* numbers, so
+//! benches measure time on the bare graph and work on the counted view.
+//! Note the view instruments the *provided* neighbor visitors: a layout's
+//! own fast-path overrides (e.g. [`crate::csr::CsrAdjacency`]'s
+//! slice-direct `for_each_forward_neighbor`) are bypassed under counting,
+//! which is exactly what makes counters layout-independent.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

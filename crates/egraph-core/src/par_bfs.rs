@@ -6,24 +6,75 @@
 //! broken by an atomic compare-and-swap on the visited word, which is how
 //! classical parallel BFS implementations operate). The result is bit-for-bit
 //! identical to the serial traversal — distances are determined by the level
-//! structure, not by discovery order — which the test-suite and the ABL-B
-//! ablation benchmark both check.
+//! structure, not by discovery order — which the `parallel_determinism`
+//! suite and the ABL-B ablation benchmark both check under several pool
+//! sizes.
+//!
+//! ## Execution shape
+//!
+//! Each level the frontier is cut into contiguous cache-friendly chunks and
+//! expanded across the rayon pool; every chunk appends its discoveries to a
+//! **private next-frontier buffer** (no shared growth, no per-element
+//! synchronization beyond the discovery CAS), and the buffers are spliced
+//! into the next frontier once, in chunk order, with a single exact-capacity
+//! reservation. Frontiers below [`default_parallel_threshold`] (or the
+//! explicitly supplied threshold) expand serially — spawning pool work for a
+//! handful of nodes costs more than it saves.
+//!
+//! Result materialisation is `O(reached)`: the per-level frontiers are kept
+//! and replayed into the [`DistanceMap`] / [`MultiSourceMap`], instead of
+//! scanning the full `O(nodes × timestamps)` atomic array (which dominated
+//! the runtime for shallow searches of large universes).
 
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use crate::distance::{DistanceMap, MultiSourceMap, UNREACHED};
 use crate::error::{GraphError, Result};
 use crate::graph::EvolvingGraph;
 use crate::ids::TemporalNode;
 
-/// Frontier size below which the expansion falls back to the serial loop;
-/// spawning rayon tasks for a handful of nodes costs more than it saves.
-const PARALLEL_FRONTIER_THRESHOLD: usize = 256;
+/// Default frontier size below which the expansion falls back to the serial
+/// loop. Overridable per process via the `EGRAPH_PAR_THRESHOLD` environment
+/// variable (read once) and per query via
+/// [`par_bfs_with_threshold`] / the query builder's `parallel_threshold`
+/// combinator. Re-tuned against the real pool in the `parallel_bfs` bench
+/// (see `BENCH_parallel.json`): wide shallow frontiers gain nothing from
+/// smaller values, and larger values forfeit parallelism on mid-size levels.
+pub const PARALLEL_FRONTIER_THRESHOLD: usize = 256;
 
-/// Runs Algorithm 1 with parallel frontier expansion. Results are identical
-/// to [`crate::bfs::bfs`].
+/// The process-wide default threshold: `EGRAPH_PAR_THRESHOLD` if set to a
+/// parseable `usize`, else [`PARALLEL_FRONTIER_THRESHOLD`].
+pub fn default_parallel_threshold() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("EGRAPH_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(PARALLEL_FRONTIER_THRESHOLD)
+    })
+}
+
+/// Runs Algorithm 1 with parallel frontier expansion under the process-wide
+/// default threshold. Results are identical to [`crate::bfs::bfs`].
 pub fn par_bfs<G>(graph: &G, root: TemporalNode) -> Result<DistanceMap>
+where
+    G: EvolvingGraph + Sync,
+{
+    par_bfs_with_threshold(graph, root, default_parallel_threshold())
+}
+
+/// [`par_bfs`] with an explicit parallel-expansion threshold: levels with at
+/// least `threshold` frontier nodes expand across the pool, smaller levels
+/// serially. `0` forces every level parallel (useful for differential
+/// testing); `usize::MAX` forces the whole search serial. The threshold
+/// cannot change the answer, only the execution profile.
+pub fn par_bfs_with_threshold<G>(
+    graph: &G,
+    root: TemporalNode,
+    threshold: usize,
+) -> Result<DistanceMap>
 where
     G: EvolvingGraph + Sync,
 {
@@ -36,41 +87,57 @@ where
     let dist: Vec<AtomicU32> = (0..size).map(|_| AtomicU32::new(UNREACHED)).collect();
     dist[root.flat_index(num_nodes)].store(0, Ordering::Relaxed);
 
-    let mut frontier: Vec<TemporalNode> = vec![root];
+    // `levels[k]` collects the temporal nodes discovered at distance `k`; it
+    // both feeds the next expansion and is replayed into the DistanceMap at
+    // the end, so materialisation touches exactly the reached set.
+    let mut levels: Vec<Vec<TemporalNode>> = vec![vec![root]];
     let mut level: u32 = 1;
 
-    while !frontier.is_empty() {
-        let next: Vec<TemporalNode> = if frontier.len() >= PARALLEL_FRONTIER_THRESHOLD {
-            frontier
-                .par_iter()
-                .fold(Vec::new, |mut acc, &tn| {
-                    expand(graph, tn, level, num_nodes, &dist, &mut acc);
-                    acc
-                })
-                .reduce(Vec::new, |mut a, mut b| {
-                    a.append(&mut b);
-                    a
-                })
-        } else {
-            let mut acc = Vec::new();
-            for &tn in &frontier {
-                expand(graph, tn, level, num_nodes, &dist, &mut acc);
-            }
-            acc
-        };
-        frontier = next;
+    while let Some(frontier) = levels.last().filter(|f| !f.is_empty()) {
+        let next = expand_level(frontier, threshold, |tn, acc| {
+            expand(graph, tn, level, num_nodes, &dist, acc)
+        });
+        levels.push(next);
         level += 1;
     }
 
-    // Convert the atomic array into a DistanceMap.
+    // O(reached) materialisation from the retained per-level frontiers.
     let mut map = DistanceMap::new(num_nodes, graph.num_timestamps(), root, false);
-    for (i, d) in dist.iter().enumerate() {
-        let d = d.load(Ordering::Relaxed);
-        if d != UNREACHED && d != 0 {
-            map.set_distance_unchecked(TemporalNode::from_flat_index(i, num_nodes), d);
+    for (k, frontier) in levels.iter().enumerate().skip(1) {
+        for &tn in frontier {
+            map.set_distance_unchecked(tn, k as u32);
         }
     }
     Ok(map)
+}
+
+/// Expands one level: chunked across the pool when the frontier is at least
+/// `threshold` wide, serial below. Each chunk folds into its own buffer; the
+/// buffers are spliced once, in chunk order.
+fn expand_level<F>(frontier: &[TemporalNode], threshold: usize, expand_one: F) -> Vec<TemporalNode>
+where
+    F: Fn(TemporalNode, &mut Vec<TemporalNode>) + Sync,
+{
+    if frontier.len() >= threshold {
+        let buffers: Vec<Vec<TemporalNode>> = frontier
+            .par_iter()
+            .fold(Vec::new, |mut acc, &tn| {
+                expand_one(tn, &mut acc);
+                acc
+            })
+            .collect();
+        let mut next = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
+        for buffer in buffers {
+            next.extend(buffer);
+        }
+        next
+    } else {
+        let mut next = Vec::new();
+        for &tn in frontier {
+            expand_one(tn, &mut next);
+        }
+        next
+    }
 }
 
 #[inline]
@@ -95,7 +162,8 @@ fn expand<G: EvolvingGraph>(
 }
 
 /// Frontier-parallel twin of [`crate::bfs::multi_source_shared`]: one shared
-/// frontier seeded with every source, levels expanded across the rayon pool.
+/// frontier seeded with every source, levels expanded across the rayon pool
+/// under the process-wide default threshold.
 ///
 /// Claims are packed `(distance << 32) | source_index` keys resolved with an
 /// atomic `fetch_min`, so the nearest-source distance *and* the
@@ -103,6 +171,19 @@ fn expand<G: EvolvingGraph>(
 /// bit-for-bit identical to the serial engine no matter how the pool
 /// interleaves, which the workspace's multi-source oracle suite checks.
 pub fn par_multi_source_shared<G>(graph: &G, sources: &[TemporalNode]) -> Result<MultiSourceMap>
+where
+    G: EvolvingGraph + Sync,
+{
+    par_multi_source_shared_with_threshold(graph, sources, default_parallel_threshold())
+}
+
+/// [`par_multi_source_shared`] with an explicit parallel-expansion
+/// threshold (same contract as [`par_bfs_with_threshold`]).
+pub fn par_multi_source_shared_with_threshold<G>(
+    graph: &G,
+    sources: &[TemporalNode],
+    threshold: usize,
+) -> Result<MultiSourceMap>
 where
     G: EvolvingGraph + Sync,
 {
@@ -124,36 +205,32 @@ where
         }
     }
 
+    // Every node enters `touched` exactly once (at its discovery level), so
+    // the final materialisation reads exactly the reached slots instead of
+    // scanning all `nodes × timestamps` keys.
+    let mut touched: Vec<TemporalNode> = frontier.clone();
     let mut level: u32 = 1;
     while !frontier.is_empty() {
-        let next: Vec<TemporalNode> = if frontier.len() >= PARALLEL_FRONTIER_THRESHOLD {
-            frontier
-                .par_iter()
-                .fold(Vec::new, |mut acc, &tn| {
-                    expand_shared(graph, tn, level, num_nodes, &key, &mut acc);
-                    acc
-                })
-                .reduce(Vec::new, |mut a, mut b| {
-                    a.append(&mut b);
-                    a
-                })
-        } else {
-            let mut acc = Vec::new();
-            for &tn in &frontier {
-                expand_shared(graph, tn, level, num_nodes, &key, &mut acc);
-            }
-            acc
-        };
+        let next = expand_level(&frontier, threshold, |tn, acc| {
+            expand_shared(graph, tn, level, num_nodes, &key, acc)
+        });
+        touched.extend_from_slice(&next);
         frontier = next;
         level += 1;
     }
 
-    let keys: Vec<u64> = key.iter().map(|k| k.load(Ordering::Relaxed)).collect();
-    Ok(MultiSourceMap::from_keys(
+    let entries: Vec<(TemporalNode, u32, usize)> = touched
+        .iter()
+        .map(|&tn| {
+            let packed = key[tn.flat_index(num_nodes)].load(Ordering::Relaxed);
+            (tn, (packed >> 32) as u32, (packed & 0xFFFF_FFFF) as usize)
+        })
+        .collect();
+    Ok(MultiSourceMap::from_entries(
         num_nodes,
         graph.num_timestamps(),
         sources.to_vec(),
-        &keys,
+        &entries,
     ))
 }
 
@@ -203,6 +280,28 @@ mod tests {
     use crate::examples::paper_figure1;
     use crate::ids::{NodeId, TimeIndex};
 
+    fn dense_random_graph(seed: u64) -> AdjacencyListGraph {
+        let n = 400usize;
+        let n_t = 4usize;
+        let mut g = AdjacencyListGraph::directed_with_unit_times(n, n_t);
+        let mut state = seed;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..6000 {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            let t = (next() % n_t as u64) as u32;
+            if u != v {
+                g.add_edge(NodeId(u), NodeId(v), TimeIndex(t)).unwrap();
+            }
+        }
+        g
+    }
+
     #[test]
     fn parallel_matches_serial_on_paper_example() {
         let g = paper_figure1();
@@ -224,30 +323,47 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_on_a_dense_random_graph() {
-        // Large enough to cross PARALLEL_FRONTIER_THRESHOLD.
-        let n = 400usize;
-        let n_t = 4usize;
-        let mut g = AdjacencyListGraph::directed_with_unit_times(n, n_t);
-        let mut state = 0x2545F4914F6CDD1Du64;
-        let mut next = || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for _ in 0..6000 {
-            let u = (next() % n as u64) as u32;
-            let v = (next() % n as u64) as u32;
-            let t = (next() % n_t as u64) as u32;
-            if u != v {
-                g.add_edge(NodeId(u), NodeId(v), TimeIndex(t)).unwrap();
-            }
-        }
+        // Large enough to cross the default threshold.
+        let g = dense_random_graph(0x2545F4914F6CDD1D);
         let root = g.active_nodes()[0];
         let serial = bfs(&g, root).unwrap();
         let parallel = par_bfs(&g, root).unwrap();
         assert_eq!(serial.num_reached(), parallel.num_reached());
         assert_eq!(serial.as_flat_slice(), parallel.as_flat_slice());
+    }
+
+    #[test]
+    fn threshold_extremes_cannot_change_the_answer() {
+        // 0 = every level parallel (even single-node frontiers), MAX =
+        // everything serial; both must equal the default and the serial
+        // engine, including auxiliary counters.
+        let g = dense_random_graph(0xD1CE);
+        let root = g.active_nodes()[0];
+        let serial = bfs(&g, root).unwrap();
+        for threshold in [0, 1, 7, usize::MAX] {
+            let parallel = par_bfs_with_threshold(&g, root, threshold).unwrap();
+            assert_eq!(
+                serial.as_flat_slice(),
+                parallel.as_flat_slice(),
+                "threshold {threshold}"
+            );
+            assert_eq!(serial.num_reached(), parallel.num_reached());
+            assert_eq!(serial.max_distance(), parallel.max_distance());
+        }
+    }
+
+    #[test]
+    fn touched_list_materialisation_counts_match_the_full_scan() {
+        // The O(reached) materialisation must produce the same counters the
+        // old full atomic scan produced — num_reached is derived per set
+        // slot, so a double-counted or dropped frontier entry would show.
+        let g = dense_random_graph(0xBEEF);
+        for &root in g.active_nodes().iter().step_by(101) {
+            let serial = bfs(&g, root).unwrap();
+            let parallel = par_bfs_with_threshold(&g, root, 1).unwrap();
+            assert_eq!(serial.num_reached(), parallel.num_reached(), "{root:?}");
+            assert_eq!(serial.distance_histogram(), parallel.distance_histogram());
+        }
     }
 
     #[test]
@@ -268,29 +384,13 @@ mod tests {
 
     #[test]
     fn shared_frontier_twins_agree_on_a_dense_random_graph() {
-        // Wide frontiers cross PARALLEL_FRONTIER_THRESHOLD.
-        let n = 400usize;
-        let n_t = 4usize;
-        let mut g = AdjacencyListGraph::directed_with_unit_times(n, n_t);
-        let mut state = 0x9E3779B97F4A7C15u64;
-        let mut next = || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for _ in 0..6000 {
-            let u = (next() % n as u64) as u32;
-            let v = (next() % n as u64) as u32;
-            let t = (next() % n_t as u64) as u32;
-            if u != v {
-                g.add_edge(NodeId(u), NodeId(v), TimeIndex(t)).unwrap();
-            }
-        }
+        // Wide frontiers cross the parallel threshold (forced to 1 so the
+        // pool path runs even on small levels).
+        let g = dense_random_graph(0x9E3779B97F4A7C15);
         let actives = g.active_nodes();
         let sources: Vec<TemporalNode> = actives.iter().copied().step_by(97).collect();
         let serial = crate::bfs::multi_source_shared(&g, &sources).unwrap();
-        let parallel = par_multi_source_shared(&g, &sources).unwrap();
+        let parallel = par_multi_source_shared_with_threshold(&g, &sources, 1).unwrap();
         assert_eq!(serial.num_reached(), parallel.num_reached());
         assert_eq!(serial.as_flat_slice(), parallel.as_flat_slice());
         for &tn in &actives {
@@ -300,6 +400,20 @@ mod tests {
                 "attribution at {tn:?}"
             );
         }
+    }
+
+    #[test]
+    fn duplicate_sources_survive_the_touched_materialisation() {
+        // A duplicated source is seeded once; its entry must carry the
+        // smallest source index, and the duplicate must not inflate
+        // num_reached.
+        let g = paper_figure1();
+        let s = g.active_nodes()[0];
+        let serial = crate::bfs::multi_source_shared(&g, &[s, s]).unwrap();
+        let parallel = par_multi_source_shared_with_threshold(&g, &[s, s], 1).unwrap();
+        assert_eq!(serial.as_flat_slice(), parallel.as_flat_slice());
+        assert_eq!(serial.num_reached(), parallel.num_reached());
+        assert_eq!(parallel.nearest_source_index(s), Some(0));
     }
 
     #[test]

@@ -3,13 +3,15 @@
 
 use std::sync::Arc;
 
-use egraph_core::bfs::{bfs, bfs_with_parents, check_root, multi_source_shared, Direction};
+use egraph_core::bfs::{bfs, bfs_with_parents, check_root, Direction};
 use egraph_core::distance::MultiSourceMap;
 use egraph_core::error::{GraphError, Result};
 use egraph_core::foremost::{earliest_arrival, ForemostResult};
 use egraph_core::graph::EvolvingGraph;
 use egraph_core::ids::{NodeId, TemporalNode, TimeIndex};
-use egraph_core::par_bfs::par_bfs;
+use egraph_core::par_bfs::{
+    default_parallel_threshold, par_bfs_with_threshold, par_multi_source_shared_with_threshold,
+};
 use egraph_core::reverse::ReversedView;
 use egraph_core::window::TimeWindowView;
 use egraph_matrix::algebraic_bfs::algebraic_bfs;
@@ -36,7 +38,12 @@ pub enum Strategy {
     #[default]
     Serial,
     /// Frontier-parallel Algorithm 1 (`egraph-core::par_bfs`): each BFS
-    /// level expands its frontier across the rayon pool.
+    /// level wide enough to pay for scheduling (see
+    /// [`Search::parallel_threshold`]) is chunked across the thread pool
+    /// (dynamically self-scheduled chunks, so uneven levels balance), with
+    /// per-worker next-frontier buffers spliced once per level. Results are
+    /// bit-for-bit identical to `Serial` at every pool size (pinned by
+    /// `tests/parallel_determinism.rs`).
     Parallel,
     /// Algorithm 2 (`egraph-matrix::algebraic_bfs`): BFS as power iteration
     /// of the transposed block adjacency matrix of Section III-C.
@@ -47,12 +54,16 @@ pub enum Strategy {
     /// composed with `Backward` direction or [`Search::reverse`], the sweep
     /// runs on the reversed view and reports *latest departures*.
     Foremost,
-    /// Shared-frontier multi-source BFS (`egraph-core::bfs::
-    /// multi_source_shared`): one traversal seeded with every source,
+    /// Shared-frontier multi-source BFS (`egraph-core::par_bfs::
+    /// par_multi_source_shared`): one traversal seeded with every source,
     /// recording per temporal node the nearest source and its distance —
     /// `O(|E| + |V|)` total regardless of the number of sources, where the
-    /// per-source strategies cost that *per source*. The result carries a
-    /// single nearest-source map instead of per-source maps.
+    /// per-source strategies cost that *per source*. Levels above the
+    /// parallel threshold expand across the thread pool; the packed
+    /// `fetch_min` claim protocol keeps the result — distances *and*
+    /// smallest-index tie-breaks — bit-for-bit equal to the serial
+    /// `multi_source_shared` engine at every pool size. The result carries
+    /// a single nearest-source map instead of per-source maps.
     SharedFrontier,
 }
 
@@ -208,6 +219,7 @@ pub struct Search {
     window: WindowSpec,
     reversed: bool,
     with_parents: bool,
+    parallel_threshold: Option<usize>,
 }
 
 impl Search {
@@ -221,6 +233,7 @@ impl Search {
             window: WindowSpec::full(),
             reversed: false,
             with_parents: false,
+            parallel_threshold: None,
         }
     }
 
@@ -242,6 +255,7 @@ impl Search {
             window: WindowSpec::full(),
             reversed: false,
             with_parents: false,
+            parallel_threshold: None,
         }
     }
 
@@ -285,6 +299,23 @@ impl Search {
     /// in the original coordinates.
     pub fn reverse(mut self) -> Self {
         self.reversed = !self.reversed;
+        self
+    }
+
+    /// Sets the frontier width at which the parallel engines
+    /// ([`Strategy::Parallel`], [`Strategy::SharedFrontier`]) start
+    /// expanding a BFS level across the thread pool; narrower levels run
+    /// serially because scheduling costs more than it saves. `0` forces
+    /// every level onto the pool, `usize::MAX` forces the whole traversal
+    /// serial. Defaults to `egraph_core::par_bfs::default_parallel_threshold`
+    /// (the `EGRAPH_PAR_THRESHOLD` environment variable, or 256 — re-tuned
+    /// against the real pool in the `parallel_bfs` bench).
+    ///
+    /// The threshold changes only the execution profile, never the answer,
+    /// so it is deliberately **not** part of [`Search::descriptor`]: cached
+    /// results are shared across threshold settings.
+    pub fn parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = Some(threshold);
         self
     }
 
@@ -499,7 +530,12 @@ impl Search {
                         bfs(view, view_source)?
                     }
                 }
-                Strategy::Parallel => par_bfs(view, view_source)?,
+                Strategy::Parallel => par_bfs_with_threshold(
+                    view,
+                    view_source,
+                    self.parallel_threshold
+                        .unwrap_or_else(default_parallel_threshold),
+                )?,
                 Strategy::Algebraic => algebraic_bfs(view, view_source)?,
                 Strategy::Foremost | Strategy::SharedFrontier => {
                     unreachable!("dispatched in run_on")
@@ -585,7 +621,17 @@ impl Search {
             .iter()
             .map(|&s| self.source_to_view(s, map))
             .collect::<Result<Vec<TemporalNode>>>()?;
-        let shared = multi_source_shared(view, &view_sources)?;
+        // The parallel engine with threshold gating: wide levels go to the
+        // pool, narrow ones run the serial loop inside the same engine. The
+        // packed-key claim protocol makes the answer independent of both the
+        // threshold and the pool size (differential suites pin it to the
+        // serial `multi_source_shared`).
+        let shared = par_multi_source_shared_with_threshold(
+            view,
+            &view_sources,
+            self.parallel_threshold
+                .unwrap_or_else(default_parallel_threshold),
+        )?;
         let shared = if identity {
             shared
         } else {

@@ -52,7 +52,7 @@
 //! | strategy | engine | cost model | answers | use when |
 //! |---|---|---|---|---|
 //! | [`Strategy::Serial`] (default) | Algorithm 1 adjacency-list BFS | `O(\|E\| + \|V\|)` per source | hop distances, BFS-tree parents | general queries; the only engine that records parents for [`SearchResult::path_to`] |
-//! | [`Strategy::Parallel`] | frontier-parallel Algorithm 1 | `O(\|E\| + \|V\|)` work per source, levels expanded across the rayon pool | hop distances | wide frontiers on multi-core hosts (identical results to `Serial`) |
+//! | [`Strategy::Parallel`] | frontier-parallel Algorithm 1 | `O(\|E\| + \|V\|)` work per source; levels above [`Search::parallel_threshold`] chunked across the self-scheduling thread pool | hop distances | wide frontiers on multi-core hosts — real speedup, bit-for-bit identical results to `Serial` at every pool size |
 //! | [`Strategy::Algebraic`] | Algorithm 2 block-matrix power iteration | `O(d · \|E\|)` for BFS depth `d` | hop distances | linear-algebra backends / ablations; dense small graphs |
 //! | [`Strategy::Foremost`] | time-ordered earliest-arrival sweep | `O(\|Ẽ\| + N·n)` per source — no temporal-node expansion | arrival snapshots only (latest departures when time-reversed) | arrival-only queries ("when is `v` first reached?"); strictly less work than deriving arrivals from a full hop-BFS |
 //! | [`Strategy::SharedFrontier`] | multi-source BFS, one shared frontier | `O(\|E\| + \|V\|)` **total**, independent of source count | nearest-source distance + source id per temporal node | many sources where only the nearest one matters (facility-location / coverage queries); the per-source loop costs the same *per source* |

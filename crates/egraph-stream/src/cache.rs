@@ -51,7 +51,17 @@
 //! identically) each time, which also lets queries that *become* valid as
 //! the graph grows — e.g. a root in a not-yet-sealed snapshot — succeed
 //! later.
+//!
+//! Since the rayon shim gained a real executor (PR 5), repairs genuinely
+//! overlap hit serving on a multi-core host: a recompute of a
+//! `Strategy::Parallel` / `SharedFrontier` query expands its frontiers
+//! across the thread pool, and a multi-source extension advances its
+//! independent per-source resumable states in parallel (`extend_states`)
+//! — all while holding **no** shard lock, so hit threads keep reading. The
+//! `serving_throughput` bench's mixed workload pins hit latency while pool
+//! recomputes run alongside.
 
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -511,17 +521,25 @@ impl Resumable for ResumableForemost {
 
 /// Advances every per-source resumable state across the snapshots sealed
 /// since the states' coverage, growing the node layout first.
-fn extend_states<S: Resumable>(states: &mut [S], live: &LiveGraph) {
+///
+/// Per-source states are independent, so a multi-source extension fans out
+/// across the rayon pool (`par_iter_mut`); repairs run with no shard lock
+/// held, so this traversal work overlaps hit serving on other threads. A
+/// single-source extension (`states.len() == 1`, the common case) stays on
+/// the calling thread — the pool's chunking already short-circuits
+/// single-chunk inputs.
+fn extend_states<S: Resumable + Send>(states: &mut [S], live: &LiveGraph) {
     let graph = live.graph();
-    for state in states.iter_mut() {
+    let num_sealed = live.num_sealed();
+    states.par_iter_mut().for_each(|state| {
         state.grow_nodes(graph.num_nodes());
-        for t in state.covered_timestamps()..live.num_sealed() {
+        for t in state.covered_timestamps()..num_sealed {
             let t = TimeIndex::from_index(t);
             state
                 .extend_snapshot(graph, live.touched_at(t))
                 .expect("coverage and layout were aligned above");
         }
-    }
+    });
 }
 
 /// A borrowed (live graph, cache) pair implementing the builder's
