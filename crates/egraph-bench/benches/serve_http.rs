@@ -1,0 +1,346 @@
+//! SERVE-HTTP — open-loop load generation against the real server.
+//!
+//! Everything the serving stack claims is exercised over actual loopback
+//! sockets: HTTP parsing, descriptor decoding, the three-tier serve path
+//! (peek → single-flight → compute), result serialization, and concurrent
+//! ingest invalidating standing queries mid-run.
+//!
+//! Two measurement phases:
+//!
+//! 1. **Mixed open-loop run.** Client lanes fire requests on a fixed
+//!    schedule (open-loop: the next request's send time does not wait for
+//!    the previous response, so queueing delay is *included* in latency —
+//!    the honest way to measure a server). The mix is ~70% hot standing
+//!    queries (cache hits), ~20% backward queries (recomputed when stale),
+//!    ~10% cold uniques (misses), while an ingest lane seals snapshots
+//!    mid-run so the hot forward queries really take the *extension* path
+//!    and the backward ones the *recompute* path. Reported: achieved QPS
+//!    and p50/p99/p999 latency.
+//! 2. **Coalescing burst.** A salvo of concurrent identical cold requests
+//!    against a production-configured server (no determinism hook);
+//!    whatever coalescing the race actually produced is reported.
+//!
+//! Wall-clock numbers and race-dependent counts are **recorded, not
+//! asserted** (`*_asserted: false` in the JSON) — the build container is a
+//! single-core box where timeslicing dominates tail latency. What *is*
+//! asserted is invariant under load: every response is a `200`, the
+//! percentile order holds, the outcome mix actually contains hits,
+//! extensions, recomputes and misses, and the server's books balance.
+//!
+//! Results land in a machine-readable `BENCH_serve_http.json` (committed),
+//! and CI's baseline-compare step (`bench_compare`) gates the stable
+//! metrics against the committed file.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use egraph_core::ids::{NodeId, TemporalNode};
+use egraph_query::{QueryDescriptor, Search};
+use egraph_serve::{Client, Server, ServerConfig};
+use egraph_stream::LiveGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_NODES: usize = 600;
+const EDGES_PER_SNAPSHOT: usize = 1_500;
+const SEED_SNAPSHOTS: usize = 6;
+const LANES: usize = 2;
+const REQUESTS_PER_LANE: usize = 400;
+/// Open-loop schedule: one request per lane per this interval.
+const LANE_INTERVAL: Duration = Duration::from_micros(2_500);
+const BURST_SIZE: usize = 16;
+
+fn build_live(seed: u64) -> LiveGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut live = LiveGraph::directed(NUM_NODES);
+    for label in 0..SEED_SNAPSHOTS {
+        let mut inserted = 0;
+        while inserted < EDGES_PER_SNAPSHOT {
+            let u = rng.gen_range(0..NUM_NODES) as u32;
+            let v = rng.gen_range(0..NUM_NODES) as u32;
+            if u != v {
+                live.insert(NodeId(u), NodeId(v)).unwrap();
+                inserted += 1;
+            }
+        }
+        live.seal_snapshot(label as i64).unwrap();
+    }
+    live
+}
+
+/// The request mix for one lane: hot forward standing queries, backward
+/// queries (stale after every seal), and cold uniques.
+struct Mix {
+    hot: Vec<QueryDescriptor>,
+    backward: Vec<QueryDescriptor>,
+}
+
+impl Mix {
+    fn build() -> Mix {
+        let hot = (0..4)
+            .map(|v| Search::from(TemporalNode::from_raw(v * 7, 0)).descriptor())
+            .collect();
+        let backward = (0..16)
+            .map(|v| {
+                Search::from(TemporalNode::from_raw(v * 11 + 1, 2))
+                    .backward()
+                    .descriptor()
+            })
+            .collect();
+        Mix { hot, backward }
+    }
+
+    /// Deterministic 70/20/10 hot/backward/cold schedule by request index.
+    fn pick(&self, lane: usize, index: usize) -> QueryDescriptor {
+        match index % 10 {
+            0 | 1 => self.backward[(lane * 31 + index) % self.backward.len()].clone(),
+            2 => {
+                // A cold unique: a root and snapshot the pools never use.
+                let node = ((lane * REQUESTS_PER_LANE + index) * 13) % NUM_NODES;
+                Search::from(TemporalNode::from_raw(node as u32, 1)).descriptor()
+            }
+            _ => self.hot[(lane + index) % self.hot.len()].clone(),
+        }
+    }
+}
+
+struct LoadReport {
+    achieved_qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    max_us: f64,
+    requests: usize,
+    seals: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn open_loop_run(client: &Client) -> LoadReport {
+    let mix = Mix::build();
+    let seals = AtomicU64::new(0);
+    let stop_ingest = std::sync::atomic::AtomicBool::new(false);
+
+    let wall = Instant::now();
+    let (latencies, span): (Vec<Vec<f64>>, f64) = std::thread::scope(|scope| {
+        // The ingest lane: seal a fresh snapshot every ~150 ms so standing
+        // queries go stale mid-run and the extension/recompute paths are
+        // genuinely exercised under load.
+        scope.spawn(|| {
+            let mut label = SEED_SNAPSHOTS as i64;
+            let mut rng = SmallRng::seed_from_u64(0xF00D);
+            while !stop_ingest.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(150));
+                let events: Vec<String> = (0..64)
+                    .map(|_| {
+                        let u = rng.gen_range(0..NUM_NODES);
+                        let v = (u + 1 + rng.gen_range(0..NUM_NODES - 1)) % NUM_NODES;
+                        format!("[{u}, {v}]")
+                    })
+                    .collect();
+                let body = format!("{{\"events\": [{}], \"seal\": {label}}}", events.join(", "));
+                if client.post("/ingest", &body).map(|r| r.status).ok() == Some(200) {
+                    seals.fetch_add(1, Ordering::Relaxed);
+                    label += 1;
+                }
+            }
+        });
+
+        let lanes: Vec<_> = (0..LANES)
+            .map(|lane| {
+                let client = client.clone();
+                let mix = &mix;
+                scope.spawn(move || {
+                    let mut recorded = Vec::with_capacity(REQUESTS_PER_LANE);
+                    let start = Instant::now();
+                    for index in 0..REQUESTS_PER_LANE {
+                        // Open loop: fire at the scheduled instant (or
+                        // immediately if already late — the lateness shows
+                        // up in the next requests' queueing latency).
+                        let scheduled = LANE_INTERVAL * index as u32;
+                        if let Some(wait) = scheduled.checked_sub(start.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let descriptor = mix.pick(lane, index);
+                        let sent = Instant::now();
+                        let response = client.query(&descriptor).unwrap();
+                        assert_eq!(
+                            response.status, 200,
+                            "mixed-load responses must all succeed: {}",
+                            response.body
+                        );
+                        recorded.push(sent.elapsed().as_nanos() as f64 / 1_000.0);
+                    }
+                    recorded
+                })
+            })
+            .collect();
+        let recorded: Vec<Vec<f64>> = lanes.into_iter().map(|h| h.join().unwrap()).collect();
+        // Wall clock from first scheduled send to last response drained,
+        // measured before the ingest lane winds down; if the server keeps
+        // up this approaches the configured schedule span, and the
+        // shortfall below the offered rate is the overload signal.
+        let span = wall.elapsed().as_secs_f64();
+        stop_ingest.store(true, Ordering::Relaxed);
+        (recorded, span)
+    });
+
+    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.total_cmp(b));
+    let requests = all.len();
+    LoadReport {
+        achieved_qps: requests as f64 / span,
+        p50_us: percentile(&all, 0.50),
+        p99_us: percentile(&all, 0.99),
+        p999_us: percentile(&all, 0.999),
+        max_us: all.last().copied().unwrap_or(0.0),
+        requests,
+        seals: seals.load(Ordering::Relaxed),
+    }
+}
+
+/// A salvo of concurrent identical cold requests; returns how many
+/// coalesced onto the leader's computation (race-dependent — recorded,
+/// not asserted).
+fn coalescing_burst(server: &Server, client: &Client) -> (u64, u64) {
+    let before = server.cache_stats();
+    // A descriptor no other phase uses, so the burst is genuinely cold.
+    let descriptor = Search::from(TemporalNode::from_raw(5, 3))
+        .backward()
+        .descriptor();
+    std::thread::scope(|scope| {
+        for _ in 0..BURST_SIZE {
+            let client = client.clone();
+            let descriptor = descriptor.clone();
+            scope.spawn(move || {
+                let response = client.query(&descriptor).unwrap();
+                assert_eq!(response.status, 200);
+            });
+        }
+    });
+    let after = server.cache_stats();
+    (
+        after.coalesced - before.coalesced,
+        after.misses - before.misses,
+    )
+}
+
+fn serve_http(c: &mut Criterion) {
+    let server = Server::start(build_live(0xCAFE), ServerConfig::default()).unwrap();
+    let client = Client::new(server.addr());
+
+    // Warm the hot set so the run starts from a serving steady state.
+    let mix = Mix::build();
+    for descriptor in &mix.hot {
+        assert_eq!(client.query(descriptor).unwrap().status, 200);
+    }
+
+    let report = open_loop_run(&client);
+    let (burst_coalesced, burst_misses) = coalescing_burst(&server, &client);
+    let cache = server.cache_stats();
+    let served = server.stats();
+
+    // Invariants that hold regardless of scheduling noise.
+    assert!(report.p50_us <= report.p99_us && report.p99_us <= report.p999_us);
+    assert!(report.seals > 0, "the ingest lane must seal mid-run");
+    assert!(cache.hits > 0, "the hot set must produce hits");
+    assert!(cache.misses > 0, "cold uniques must produce misses");
+    assert!(
+        cache.extensions > 0,
+        "hot forward queries must extend across mid-run seals"
+    );
+    assert!(
+        cache.recomputes > 0,
+        "backward queries must recompute across mid-run seals"
+    );
+    assert_eq!(served.bad_requests, 0);
+    assert!(burst_misses >= 1, "someone in the burst computes");
+
+    println!(
+        "serve_http: {:.0} qps over {} requests; p50 {:.0} us, p99 {:.0} us, \
+         p999 {:.0} us (max {:.0} us); {} mid-run seals; outcomes: {} hit / \
+         {} ext / {} rec / {} miss / {} coalesced; burst: {}/{} coalesced",
+        report.achieved_qps,
+        report.requests,
+        report.p50_us,
+        report.p99_us,
+        report.p999_us,
+        report.max_us,
+        report.seals,
+        cache.hits,
+        cache.extensions,
+        cache.recomputes,
+        cache.misses,
+        cache.coalesced,
+        burst_coalesced,
+        BURST_SIZE - 1,
+    );
+
+    write_json_summary(&report, &cache, burst_coalesced, burst_misses);
+
+    // Criterion trajectory entry: the closed-loop round-trip cost of one
+    // hot query over a real socket (connect + parse + peek + serialize).
+    let hot = &mix.hot[0];
+    let mut group = c.benchmark_group("serve_http");
+    group.sample_size(10);
+    group.bench_function("roundtrip_hit", |b| {
+        b.iter(|| std::hint::black_box(client.query(hot).unwrap().status))
+    });
+    group.finish();
+}
+
+fn write_json_summary(
+    report: &LoadReport,
+    cache: &egraph_stream::CacheStats,
+    burst_coalesced: u64,
+    burst_misses: u64,
+) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"serve_http\",\n  \"num_nodes\": {NUM_NODES},\n  \
+         \"edges_per_snapshot\": {EDGES_PER_SNAPSHOT},\n  \
+         \"seed_snapshots\": {SEED_SNAPSHOTS},\n  \"lanes\": {LANES},\n  \
+         \"requests\": {},\n  \"mid_run_seals\": {},\n  \
+         \"available_parallelism\": {cores},\n  \"qps\": {:.0},\n  \
+         \"latency_us\": {{\"p50\": {:.0}, \"p99\": {:.0}, \"p999\": {:.0}, \"max\": {:.0}}},\n  \
+         \"latency_asserted\": false,\n  \
+         \"outcomes\": {{\"hits\": {}, \"extensions\": {}, \"recomputes\": {}, \
+         \"misses\": {}, \"coalesced\": {}}},\n  \
+         \"burst\": {{\"size\": {BURST_SIZE}, \"coalesced\": {burst_coalesced}, \
+         \"misses\": {burst_misses}, \"coalesced_asserted\": false}},\n  \
+         \"notes\": \"open-loop mixed load over real loopback sockets; requests fire on a \
+         fixed schedule so queueing delay is included in latency; the ingest lane seals \
+         snapshots mid-run, forcing the extension (forward) and recompute (backward) paths; \
+         wall-clock numbers and race-dependent burst coalescing are recorded, not asserted, \
+         on the single-core build container (hits/extensions/recomputes/misses > 0 ARE \
+         asserted; the socket-layer test suite asserts exact 1-miss-15-coalesced behavior \
+         deterministically via the hold_leader_until_waiters hook)\"\n}}\n",
+        report.requests,
+        report.seals,
+        report.achieved_qps,
+        report.p50_us,
+        report.p99_us,
+        report.p999_us,
+        report.max_us,
+        cache.hits,
+        cache.extensions,
+        cache.recomputes,
+        cache.misses,
+        cache.coalesced,
+    );
+    let path = "BENCH_serve_http.json";
+    std::fs::write(path, &json).expect("write bench summary");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, serve_http);
+criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! `bench_compare` — gate a fresh bench run against committed baselines.
+//!
+//! ```text
+//! bench_compare <baseline_dir> <candidate_dir> [--threshold 0.20]
+//! ```
+//!
+//! Both directories hold `BENCH_*.json` summaries (the committed baselines
+//! vs. the files a fresh `cargo bench` run just wrote). The two trees are
+//! walked in lockstep and **stable** numeric leaves are compared
+//! direction-aware:
+//!
+//! * higher is better — `qps`, `hit_rate`, `*_per_sec`, `*_speedup`;
+//! * lower is better — `p50`, `*_ns`.
+//!
+//! A candidate worse than its baseline by more than the threshold (default
+//! 20%) is a regression and the process exits non-zero, listing every
+//! offender. Everything else — tail percentiles (`p99`, `p999`, `max`),
+//! raw counts, race-dependent coalescing numbers — is deliberately *not*
+//! gated: on shared CI hardware those are noise, and the bench JSONs mark
+//! them `*_asserted: false` for the same reason. A baseline file missing
+//! from the candidate directory is an error (a bench silently disappearing
+//! must not read as green); a metric missing from one side is reported and
+//! skipped (bench schemas are allowed to evolve).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use egraph_io::{parse_value, Value};
+
+/// How a metric key is gated.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+    Ignored,
+}
+
+fn classify(key: &str) -> Direction {
+    if key == "qps" || key == "hit_rate" || key.ends_with("_per_sec") || key.ends_with("_speedup") {
+        Direction::HigherIsBetter
+    } else if key == "p50" || key.ends_with("_ns") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Ignored
+    }
+}
+
+struct Comparison {
+    path: String,
+    baseline: f64,
+    candidate: f64,
+    /// Relative change in the *bad* direction; positive means worse.
+    regression: f64,
+}
+
+/// Flatten every gated numeric leaf under `value` into `out`, keyed by a
+/// dotted path like `sizes[1].hit_ns`.
+fn collect(value: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Object(entries) => {
+            for (key, child) in entries {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                match child {
+                    Value::Int(x) if classify(key) != Direction::Ignored => {
+                        out.push((path, *x as f64));
+                    }
+                    Value::Number(x) if classify(key) != Direction::Ignored => {
+                        out.push((path, *x));
+                    }
+                    _ => collect(child, &path, out),
+                }
+            }
+        }
+        Value::Array(items) => {
+            for (index, item) in items.iter().enumerate() {
+                collect(item, &format!("{prefix}[{index}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The key a dotted path gates on is its last object segment.
+fn leaf_key(path: &str) -> &str {
+    let tail = path.rsplit('.').next().unwrap_or(path);
+    tail.split('[').next().unwrap_or(tail)
+}
+
+fn compare_file(
+    name: &str,
+    baseline: &Value,
+    candidate: &Value,
+    comparisons: &mut Vec<Comparison>,
+    skipped: &mut Vec<String>,
+) {
+    let mut base_metrics = Vec::new();
+    let mut cand_metrics = Vec::new();
+    collect(baseline, "", &mut base_metrics);
+    collect(candidate, "", &mut cand_metrics);
+
+    for (path, base) in &base_metrics {
+        let Some((_, cand)) = cand_metrics.iter().find(|(p, _)| p == path) else {
+            skipped.push(format!("{name}: {path} missing from candidate"));
+            continue;
+        };
+        let direction = classify(leaf_key(path));
+        let regression = if *base == 0.0 {
+            0.0
+        } else {
+            match direction {
+                Direction::HigherIsBetter => (base - cand) / base,
+                Direction::LowerIsBetter => (cand - base) / base,
+                Direction::Ignored => unreachable!("collect only keeps gated keys"),
+            }
+        };
+        comparisons.push(Comparison {
+            path: format!("{name}: {path}"),
+            baseline: *base,
+            candidate: *cand,
+            regression,
+        });
+    }
+    for (path, _) in &cand_metrics {
+        if !base_metrics.iter().any(|(p, _)| p == path) {
+            skipped.push(format!("{name}: {path} new in candidate (no baseline)"));
+        }
+    }
+}
+
+fn bench_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse_value(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let baseline_dir = PathBuf::from(
+        args.next()
+            .ok_or("usage: bench_compare <baseline_dir> <candidate_dir> [--threshold 0.20]")?,
+    );
+    let candidate_dir = PathBuf::from(
+        args.next()
+            .ok_or("usage: bench_compare <baseline_dir> <candidate_dir> [--threshold 0.20]")?,
+    );
+    let mut threshold = 0.20_f64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--threshold" => {
+                let raw = args.next().ok_or("--threshold needs a value")?;
+                threshold = raw
+                    .parse()
+                    .map_err(|_| format!("--threshold: not a number: {raw}"))?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+
+    let baselines =
+        bench_files(&baseline_dir).map_err(|e| format!("list {}: {e}", baseline_dir.display()))?;
+    if baselines.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines found in {}",
+            baseline_dir.display()
+        ));
+    }
+
+    let mut comparisons = Vec::new();
+    let mut skipped = Vec::new();
+    for base_path in &baselines {
+        let name = base_path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        let cand_path = candidate_dir.join(&name);
+        if !cand_path.exists() {
+            return Err(format!(
+                "{name}: present in baselines but not produced by the candidate run \
+                 ({} missing) — a vanished bench must not pass silently",
+                cand_path.display()
+            ));
+        }
+        let baseline = load(base_path)?;
+        let candidate = load(&cand_path)?;
+        compare_file(&name, &baseline, &candidate, &mut comparisons, &mut skipped);
+    }
+
+    println!(
+        "bench_compare: {} gated metrics across {} files (threshold {:.0}%)",
+        comparisons.len(),
+        baselines.len(),
+        threshold * 100.0
+    );
+    let mut failed = false;
+    for c in &comparisons {
+        let verdict = if c.regression > threshold {
+            failed = true;
+            "REGRESSION"
+        } else if c.regression < -threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  [{verdict:>10}] {}  baseline {:.3}  candidate {:.3}  ({:+.1}%)",
+            c.path,
+            c.baseline,
+            c.candidate,
+            c.regression * 100.0
+        );
+    }
+    for s in &skipped {
+        println!("  [   skipped] {s}");
+    }
+    if comparisons.is_empty() {
+        return Err("baselines parsed but contained no gated metrics".into());
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("bench_compare: at least one gated metric regressed past the threshold");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("bench_compare: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,14 +1,29 @@
 //! JSON serialisation of graphs and search results.
 //!
 //! This module pins down a concrete interchange representation so downstream
-//! tooling — notebooks, plotting scripts, the benchmark report generator —
-//! can consume graphs and search results without linking the Rust crates.
-//! The build environment has no access to crates.io, so instead of serde the
-//! module carries a small hand-rolled JSON writer and recursive-descent
-//! parser covering exactly the documents it emits (objects, arrays, integers,
-//! booleans and plain strings).
+//! tooling — notebooks, plotting scripts, the benchmark report generator,
+//! and the `egraph-serve` HTTP wire format — can consume graphs and search
+//! results without linking the Rust crates. The build environment has no
+//! access to crates.io, so instead of serde the module carries a small
+//! hand-rolled JSON writer and recursive-descent parser.
 //!
-//! Two document shapes are defined:
+//! The value model ([`Value`]) and parser are public: other crates build
+//! their own document codecs on top of them (`egraph-query`'s descriptor and
+//! result codecs, `egraph-serve`'s request/response framing). Input can be a
+//! complete in-memory string ([`parse_value`], which requires the document
+//! to span the whole input) or a byte stream ([`read_value`], which consumes
+//! exactly one JSON value from a [`BufRead`] and leaves the stream
+//! positioned after it — the shape a network protocol needs to read
+//! consecutive frames off one connection).
+//!
+//! The parser accepts the full JSON string grammar (`\uXXXX` escapes with
+//! surrogate pairs, all short escapes) and rejects what the grammar rejects
+//! (unescaped control characters, lone surrogates, truncated documents). A
+//! nesting-depth bound ([`MAX_DEPTH`]) turns adversarially deep documents
+//! into a clean [`JsonError`] instead of a stack overflow — a serving layer
+//! parses untrusted bytes.
+//!
+//! Two ready-made document shapes are defined here:
 //!
 //! * a graph document: `{"num_nodes", "directed", "timestamps", "edges"}`
 //!   with edges as `[src, dst, time_index]` triples;
@@ -21,6 +36,12 @@ use egraph_core::graph::EvolvingGraph;
 use egraph_core::ids::{NodeId, TemporalNode, TimeIndex, Timestamp};
 
 use core::fmt;
+use std::io::BufRead;
+
+/// Deepest object/array nesting [`parse_value`] / [`read_value`] accept.
+/// Beyond it the parser reports a syntax error instead of recursing toward
+/// a stack overflow.
+pub const MAX_DEPTH: usize = 128;
 
 /// Errors produced while encoding or decoding JSON documents.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,6 +52,8 @@ pub enum JsonError {
     Shape(String),
     /// The document decodes to an invalid graph (e.g. unsorted timestamps).
     Graph(String),
+    /// The underlying stream failed while reading (message, byte offset).
+    Io(String, usize),
 }
 
 impl fmt::Display for JsonError {
@@ -39,6 +62,7 @@ impl fmt::Display for JsonError {
             JsonError::Syntax(msg, at) => write!(f, "JSON syntax error at byte {at}: {msg}"),
             JsonError::Shape(msg) => write!(f, "unexpected JSON document shape: {msg}"),
             JsonError::Graph(msg) => write!(f, "decoded graph is invalid: {msg}"),
+            JsonError::Io(msg, at) => write!(f, "I/O error at byte {at} of JSON input: {msg}"),
         }
     }
 }
@@ -114,7 +138,7 @@ impl BfsResultDocument {
 
     /// Decodes a document from a JSON string.
     pub fn from_json(json: &str) -> Result<Self> {
-        let value = parse(json)?;
+        let value = parse_value(json)?;
         let obj = value.as_object("BFS-result document")?;
         let reached = obj
             .get("reached")?
@@ -171,7 +195,7 @@ pub fn graph_to_json(graph: &AdjacencyListGraph) -> Result<String> {
 
 /// Deserialises a graph from a JSON string.
 pub fn graph_from_json(json: &str) -> Result<AdjacencyListGraph> {
-    let value = parse(json)?;
+    let value = parse_value(json)?;
     let obj = value.as_object("graph document")?;
     let num_nodes = obj.get("num_nodes")?.as_usize("num_nodes")?;
     let directed = obj.get("directed")?.as_bool("directed")?;
@@ -212,118 +236,327 @@ pub fn bfs_result_from_json(json: &str) -> Result<DistanceMap> {
 }
 
 // ---------------------------------------------------------------------------
-// Minimal JSON value model and recursive-descent parser.
+// The JSON value model.
 // ---------------------------------------------------------------------------
 
-/// A parsed JSON value (the subset this module emits).
+/// A parsed JSON value.
+///
+/// Integer tokens (no fraction or exponent) are kept exact in [`Value::Int`]:
+/// `i64` covers every timestamp label, so labels never round through `f64`.
 #[derive(Clone, Debug, PartialEq)]
-enum Value {
+pub enum Value {
+    /// The `null` literal.
     Null,
+    /// `true` / `false`.
     Bool(bool),
-    /// An integer token (no fraction or exponent), kept exact: `i64` covers
-    /// every timestamp label, so labels never round through `f64`.
+    /// An exact integer token.
     Int(i64),
+    /// A number with a fraction or exponent part.
     Number(f64),
+    /// A string (escapes already decoded).
     String(String),
+    /// An ordered array.
     Array(Vec<Value>),
+    /// An object as ordered key/value entries (duplicates kept; lookups
+    /// return the first).
     Object(Vec<(String, Value)>),
 }
 
 impl Value {
-    fn as_object(&self, what: &str) -> Result<Object<'_>> {
+    /// Views this value as an object, or reports what `what` must be.
+    pub fn as_object(&self, what: &str) -> Result<Object<'_>> {
         match self {
             Value::Object(entries) => Ok(Object { entries }),
             _ => Err(JsonError::Shape(format!("{what} must be a JSON object"))),
         }
     }
 
-    fn as_array(&self, what: &str) -> Result<&[Value]> {
+    /// Views this value as an array, or reports what `what` must be.
+    pub fn as_array(&self, what: &str) -> Result<&[Value]> {
         match self {
             Value::Array(items) => Ok(items),
             _ => Err(JsonError::Shape(format!("{what} must be a JSON array"))),
         }
     }
 
-    fn as_i64(&self, what: &str) -> Result<i64> {
+    /// Reads this value as an exact integer, or reports what `what` must be.
+    pub fn as_i64(&self, what: &str) -> Result<i64> {
         match self {
             Value::Int(x) => Ok(*x),
             _ => Err(JsonError::Shape(format!("{what} must be an integer"))),
         }
     }
 
-    fn as_u32(&self, what: &str) -> Result<u32> {
+    /// Reads this value as a `u32`, or reports what `what` must be.
+    pub fn as_u32(&self, what: &str) -> Result<u32> {
         let x = self.as_i64(what)?;
         u32::try_from(x).map_err(|_| JsonError::Shape(format!("{what} must fit in u32")))
     }
 
-    fn as_usize(&self, what: &str) -> Result<usize> {
+    /// Reads this value as a `usize`, or reports what `what` must be.
+    pub fn as_usize(&self, what: &str) -> Result<usize> {
         let x = self.as_i64(what)?;
         usize::try_from(x).map_err(|_| JsonError::Shape(format!("{what} must be non-negative")))
     }
 
-    fn as_bool(&self, what: &str) -> Result<bool> {
+    /// Reads this value as a number (integer tokens included), or reports
+    /// what `what` must be.
+    pub fn as_f64(&self, what: &str) -> Result<f64> {
+        match self {
+            Value::Int(x) => Ok(*x as f64),
+            Value::Number(x) => Ok(*x),
+            _ => Err(JsonError::Shape(format!("{what} must be a number"))),
+        }
+    }
+
+    /// Reads this value as a boolean, or reports what `what` must be.
+    pub fn as_bool(&self, what: &str) -> Result<bool> {
         match self {
             Value::Bool(b) => Ok(*b),
             _ => Err(JsonError::Shape(format!("{what} must be a boolean"))),
         }
     }
+
+    /// Reads this value as a string, or reports what `what` must be.
+    pub fn as_str(&self, what: &str) -> Result<&str> {
+        match self {
+            Value::String(s) => Ok(s),
+            _ => Err(JsonError::Shape(format!("{what} must be a string"))),
+        }
+    }
+
+    /// Whether this value is the `null` literal.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Serialises this value back to JSON text (strings escaped per the
+    /// grammar; [`Value::Number`] uses Rust's shortest round-trip `f64`
+    /// formatting, with non-finite values written as `null` since JSON has
+    /// no representation for them).
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(x) => out.push_str(&x.to_string()),
+            Value::Number(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, key);
+                    out.push(':');
+                    value.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// [`Value::write_json`] into a fresh string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
 }
 
 /// Borrowed view over an object's key/value entries.
-struct Object<'a> {
+pub struct Object<'a> {
     entries: &'a [(String, Value)],
 }
 
-impl Object<'_> {
-    fn get(&self, key: &str) -> Result<&Value> {
+impl<'a> Object<'a> {
+    /// The value of field `key`, or a shape error naming the missing field.
+    pub fn get(&self, key: &str) -> Result<&'a Value> {
+        self.get_opt(key)
+            .ok_or_else(|| JsonError::Shape(format!("missing field \"{key}\"")))
+    }
+
+    /// The value of field `key`, if present. A field explicitly set to
+    /// `null` is treated as absent, so optional wire fields can be omitted
+    /// or nulled interchangeably.
+    pub fn get_opt(&self, key: &str) -> Option<&'a Value> {
         self.entries
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
-            .ok_or_else(|| JsonError::Shape(format!("missing field \"{key}\"")))
+            .filter(|v| !v.is_null())
     }
 }
 
-fn parse(input: &str) -> Result<Value> {
+/// Appends `s` to `out` as a quoted JSON string, escaping `"`, `\\` and
+/// every control character (`\n`, `\r`, `\t`, `\b`, `\f` short forms,
+/// `\u00XX` otherwise). Multi-byte UTF-8 passes through verbatim.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a complete JSON document from `input`. The document must span the
+/// whole input (trailing non-whitespace is an error); use [`read_value`] to
+/// consume one value from a longer stream.
+pub fn parse_value(input: &str) -> Result<Value> {
     let mut parser = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
+        src: SliceSource {
+            bytes: input.as_bytes(),
+            pos: 0,
+        },
+        depth: 0,
     };
-    parser.skip_whitespace();
+    parser.skip_whitespace()?;
     let value = parser.value()?;
-    parser.skip_whitespace();
-    if parser.pos != parser.bytes.len() {
+    parser.skip_whitespace()?;
+    if parser.src.peek()?.is_some() {
         return Err(JsonError::Syntax(
             "trailing characters after document".into(),
-            parser.pos,
+            parser.src.pos(),
         ));
     }
     Ok(value)
 }
 
-struct Parser<'a> {
+/// Reads exactly one JSON value from `reader`, leaving the stream positioned
+/// at the first byte after it (trailing bytes are *not* an error — the next
+/// frame of a protocol can follow immediately). Leading whitespace is
+/// skipped; whitespace after the value is left unread.
+///
+/// # Errors
+/// [`JsonError::Syntax`] for invalid or truncated documents and
+/// [`JsonError::Io`] if the underlying reader fails mid-value.
+pub fn read_value<R: BufRead>(reader: &mut R) -> Result<Value> {
+    let mut parser = Parser {
+        src: ReaderSource {
+            reader,
+            peeked: None,
+            eof: false,
+            pos: 0,
+        },
+        depth: 0,
+    };
+    parser.skip_whitespace()?;
+    parser.value()
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser over pluggable byte sources.
+// ---------------------------------------------------------------------------
+
+/// One byte of lookahead over either a slice or a stream. `peek` is the only
+/// operation that can fail (stream I/O); `advance` consumes the peeked byte.
+trait ByteSource {
+    fn peek(&mut self) -> Result<Option<u8>>;
+    fn advance(&mut self);
+    fn pos(&self) -> usize;
+}
+
+struct SliceSource<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
-impl Parser<'_> {
-    fn error<T>(&self, msg: &str) -> Result<T> {
-        Err(JsonError::Syntax(msg.into(), self.pos))
+impl ByteSource for SliceSource<'_> {
+    fn peek(&mut self) -> Result<Option<u8>> {
+        Ok(self.bytes.get(self.pos).copied())
     }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
+    fn advance(&mut self) {
+        self.pos += 1;
     }
+    fn pos(&self) -> usize {
+        self.pos
+    }
+}
 
-    fn skip_whitespace(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+struct ReaderSource<'a, R: BufRead> {
+    reader: &'a mut R,
+    peeked: Option<u8>,
+    eof: bool,
+    pos: usize,
+}
+
+impl<R: BufRead> ByteSource for ReaderSource<'_, R> {
+    fn peek(&mut self) -> Result<Option<u8>> {
+        if self.peeked.is_none() && !self.eof {
+            let mut byte = [0u8; 1];
+            loop {
+                match self.reader.read(&mut byte) {
+                    Ok(0) => {
+                        self.eof = true;
+                        break;
+                    }
+                    Ok(_) => {
+                        self.peeked = Some(byte[0]);
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(JsonError::Io(e.to_string(), self.pos)),
+                }
+            }
+        }
+        Ok(self.peeked)
+    }
+    fn advance(&mut self) {
+        if self.peeked.take().is_some() {
             self.pos += 1;
         }
     }
+    fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+struct Parser<S: ByteSource> {
+    src: S,
+    depth: usize,
+}
+
+impl<S: ByteSource> Parser<S> {
+    fn error<T>(&self, msg: &str) -> Result<T> {
+        Err(JsonError::Syntax(msg.into(), self.src.pos()))
+    }
+
+    fn skip_whitespace(&mut self) -> Result<()> {
+        while matches!(self.src.peek()?, Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.src.advance();
+        }
+        Ok(())
+    }
 
     fn expect(&mut self, byte: u8) -> Result<()> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
+        if self.src.peek()? == Some(byte) {
+            self.src.advance();
             Ok(())
         } else {
             self.error(&format!("expected '{}'", byte as char))
@@ -331,7 +564,7 @@ impl Parser<'_> {
     }
 
     fn value(&mut self) -> Result<Value> {
-        match self.peek() {
+        match self.src.peek()? {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
             Some(b'"') => Ok(Value::String(self.string()?)),
@@ -344,35 +577,49 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, text: &str, value: Value) -> Result<Value> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(value)
-        } else {
-            self.error(&format!("expected '{text}'"))
+        for &expected in text.as_bytes() {
+            if self.src.peek()? != Some(expected) {
+                return self.error(&format!("expected '{text}'"));
+            }
+            self.src.advance();
         }
+        Ok(value)
+    }
+
+    /// Bounds object/array recursion: deeper than [`MAX_DEPTH`] is a syntax
+    /// error, not a stack overflow.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.error(&format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
     }
 
     fn object(&mut self) -> Result<Value> {
+        self.descend()?;
         self.expect(b'{')?;
         let mut entries = Vec::new();
-        self.skip_whitespace();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
+        self.skip_whitespace()?;
+        if self.src.peek()? == Some(b'}') {
+            self.src.advance();
+            self.depth -= 1;
             return Ok(Value::Object(entries));
         }
         loop {
-            self.skip_whitespace();
+            self.skip_whitespace()?;
             let key = self.string()?;
-            self.skip_whitespace();
+            self.skip_whitespace()?;
             self.expect(b':')?;
-            self.skip_whitespace();
+            self.skip_whitespace()?;
             let value = self.value()?;
             entries.push((key, value));
-            self.skip_whitespace();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
+            self.skip_whitespace()?;
+            match self.src.peek()? {
+                Some(b',') => self.src.advance(),
                 Some(b'}') => {
-                    self.pos += 1;
+                    self.src.advance();
+                    self.depth -= 1;
                     return Ok(Value::Object(entries));
                 }
                 _ => return self.error("expected ',' or '}' in object"),
@@ -381,21 +628,24 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value> {
+        self.descend()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
-        self.skip_whitespace();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
+        self.skip_whitespace()?;
+        if self.src.peek()? == Some(b']') {
+            self.src.advance();
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
-            self.skip_whitespace();
+            self.skip_whitespace()?;
             items.push(self.value()?);
-            self.skip_whitespace();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
+            self.skip_whitespace()?;
+            match self.src.peek()? {
+                Some(b',') => self.src.advance(),
                 Some(b']') => {
-                    self.pos += 1;
+                    self.src.advance();
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return self.error("expected ',' or ']' in array"),
@@ -403,70 +653,143 @@ impl Parser<'_> {
         }
     }
 
+    /// One `\uXXXX` code unit (the caller consumed `\u`).
+    fn hex_code_unit(&mut self) -> Result<u16> {
+        let mut unit: u16 = 0;
+        for _ in 0..4 {
+            let digit = match self.src.peek()? {
+                Some(c @ b'0'..=b'9') => c - b'0',
+                Some(c @ b'a'..=b'f') => c - b'a' + 10,
+                Some(c @ b'A'..=b'F') => c - b'A' + 10,
+                _ => return self.error("expected 4 hex digits after \\u"),
+            };
+            self.src.advance();
+            unit = unit << 4 | digit as u16;
+        }
+        Ok(unit)
+    }
+
     fn string(&mut self) -> Result<String> {
         self.expect(b'"')?;
-        // Accumulate raw bytes: escapes contribute ASCII, everything else is
-        // copied verbatim, so multi-byte UTF-8 sequences survive intact
-        // (continuation bytes never collide with '"' or '\\').
+        // Accumulate raw bytes: escapes contribute UTF-8-encoded scalars,
+        // everything else is copied verbatim, so multi-byte UTF-8 sequences
+        // survive intact (continuation bytes never collide with '"' or '\\').
         let mut out: Vec<u8> = Vec::new();
         loop {
-            match self.peek() {
+            match self.src.peek()? {
                 None => return self.error("unterminated string"),
                 Some(b'"') => {
-                    self.pos += 1;
+                    self.src.advance();
                     return String::from_utf8(out).map_err(|_| {
-                        JsonError::Syntax("invalid UTF-8 in string".into(), self.pos)
+                        JsonError::Syntax("invalid UTF-8 in string".into(), self.src.pos())
                     });
                 }
                 Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
+                    self.src.advance();
+                    match self.src.peek()? {
                         Some(b'"') => out.push(b'"'),
                         Some(b'\\') => out.push(b'\\'),
                         Some(b'/') => out.push(b'/'),
                         Some(b'n') => out.push(b'\n'),
                         Some(b't') => out.push(b'\t'),
                         Some(b'r') => out.push(b'\r'),
+                        Some(b'b') => out.push(0x08),
+                        Some(b'f') => out.push(0x0C),
+                        Some(b'u') => {
+                            self.src.advance();
+                            let scalar = self.unicode_escape()?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(scalar.encode_utf8(&mut buf).as_bytes());
+                            // The escape routines consumed their own bytes.
+                            continue;
+                        }
                         _ => return self.error("unsupported escape sequence"),
                     }
-                    self.pos += 1;
+                    self.src.advance();
                 }
+                // The grammar forbids unescaped control characters inside
+                // strings; truncated or binary-garbage input must not slip
+                // through as "valid".
+                Some(c) if c < 0x20 => return self.error("unescaped control character in string"),
                 Some(c) => {
                     out.push(c);
-                    self.pos += 1;
+                    self.src.advance();
                 }
             }
         }
     }
 
-    fn number(&mut self) -> Result<Value> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
+    /// Decodes `XXXX[\uXXXX]` after a consumed `\u` into a scalar value,
+    /// pairing surrogates per the grammar and rejecting lone ones.
+    fn unicode_escape(&mut self) -> Result<char> {
+        let unit = self.hex_code_unit()?;
+        match unit {
+            0xD800..=0xDBFF => {
+                // High surrogate: a low surrogate escape must follow.
+                if self.src.peek()? != Some(b'\\') {
+                    return self.error("lone high surrogate in \\u escape");
+                }
+                self.src.advance();
+                if self.src.peek()? != Some(b'u') {
+                    return self.error("lone high surrogate in \\u escape");
+                }
+                self.src.advance();
+                let low = self.hex_code_unit()?;
+                if !(0xDC00..=0xDFFF).contains(&low) {
+                    return self.error("invalid low surrogate in \\u escape");
+                }
+                let scalar = 0x10000 + ((unit as u32 - 0xD800) << 10) + (low as u32 - 0xDC00);
+                char::from_u32(scalar)
+                    .ok_or_else(|| JsonError::Syntax("invalid surrogate pair".into(), 0))
+            }
+            0xDC00..=0xDFFF => self.error("lone low surrogate in \\u escape"),
+            _ => char::from_u32(unit as u32)
+                .ok_or_else(|| JsonError::Syntax("invalid \\u escape".into(), 0)),
         }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let mut text = String::new();
+        if self.src.peek()? == Some(b'-') {
+            text.push('-');
+            self.src.advance();
+        }
+        while let Some(c) = self.src.peek()? {
+            if !c.is_ascii_digit() {
+                break;
+            }
+            text.push(c as char);
+            self.src.advance();
         }
         let mut integral = true;
-        if self.peek() == Some(b'.') {
+        if self.src.peek()? == Some(b'.') {
             integral = false;
-            self.pos += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
+            text.push('.');
+            self.src.advance();
+            while let Some(c) = self.src.peek()? {
+                if !c.is_ascii_digit() {
+                    break;
+                }
+                text.push(c as char);
+                self.src.advance();
             }
         }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
+        if matches!(self.src.peek()?, Some(b'e' | b'E')) {
             integral = false;
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
+            text.push('e');
+            self.src.advance();
+            if let Some(c @ (b'+' | b'-')) = self.src.peek()? {
+                text.push(c as char);
+                self.src.advance();
             }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
+            while let Some(c) = self.src.peek()? {
+                if !c.is_ascii_digit() {
+                    break;
+                }
+                text.push(c as char);
+                self.src.advance();
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans ASCII bytes");
         if integral {
             // Exact integer path: i64 covers every timestamp label without
             // rounding through f64.
@@ -554,15 +877,32 @@ mod tests {
     }
 
     #[test]
+    fn extreme_i64_labels_round_trip_exactly() {
+        // The full label domain: i64::MIN is also the one integer whose
+        // absolute value does not fit in i64, a classic parser edge case.
+        let mut g = AdjacencyListGraph::new(2, vec![i64::MIN, 0, i64::MAX], true).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), TimeIndex(0)).unwrap();
+        let back = graph_from_json(&graph_to_json(&g).unwrap()).unwrap();
+        assert_eq!(back.timestamps(), vec![i64::MIN, 0, i64::MAX]);
+        // One past either end of the domain must fail cleanly.
+        assert!(parse_value("9223372036854775808").is_err());
+        assert!(parse_value("-9223372036854775809").is_err());
+        assert_eq!(
+            parse_value("-9223372036854775808").unwrap(),
+            Value::Int(i64::MIN)
+        );
+    }
+
+    #[test]
     fn non_ascii_strings_survive_parsing() {
-        let value = parse("{\"clé\": \"é → ✓\"}").unwrap();
+        let value = parse_value("{\"clé\": \"é → ✓\"}").unwrap();
         let obj = value.as_object("test").unwrap();
         assert_eq!(obj.get("clé").unwrap(), &Value::String("é → ✓".to_string()));
     }
 
     #[test]
     fn parser_handles_whitespace_and_strings() {
-        let value = parse(" { \"a\" : [ 1 , 2.5 , true , null , \"x\\ny\" ] } ").unwrap();
+        let value = parse_value(" { \"a\" : [ 1 , 2.5 , true , null , \"x\\ny\" ] } ").unwrap();
         let obj = value.as_object("test").unwrap();
         let arr = obj.get("a").unwrap().as_array("a").unwrap();
         assert_eq!(arr.len(), 5);
@@ -570,5 +910,138 @@ mod tests {
         assert!(arr[1].as_i64("n").is_err());
         assert!(arr[2].as_bool("b").unwrap());
         assert_eq!(arr[4], Value::String("x\ny".to_string()));
+    }
+
+    #[test]
+    fn all_escape_sequences_decode_and_re_encode() {
+        let value = parse_value(r#""q\" b\\ s\/ n\n t\t r\r bb\b ff\f""#).unwrap();
+        assert_eq!(
+            value,
+            Value::String("q\" b\\ s/ n\n t\t r\r bb\u{8} ff\u{c}".into())
+        );
+        // Writer round-trip: re-encoding and re-parsing is the identity.
+        let reparsed = parse_value(&value.to_json()).unwrap();
+        assert_eq!(reparsed, value);
+    }
+
+    #[test]
+    fn unicode_escapes_decode_including_surrogate_pairs() {
+        assert_eq!(
+            parse_value(r#""Aé世""#).unwrap(),
+            Value::String("Aé世".into())
+        );
+        // 𝄞 (U+1D11E) as a surrogate pair.
+        assert_eq!(
+            parse_value(r#""𝄞""#).unwrap(),
+            Value::String("\u{1D11E}".into())
+        );
+        // Lone and malformed surrogates are rejected, not mangled.
+        assert!(parse_value(r#""\ud834""#).is_err());
+        assert!(parse_value(r#""\ud834x""#).is_err());
+        assert!(parse_value(r#""\ud834A""#).is_err());
+        assert!(parse_value(r#""\udd1e""#).is_err());
+        assert!(parse_value(r#""\u12g4""#).is_err());
+    }
+
+    #[test]
+    fn unescaped_control_characters_are_rejected() {
+        assert!(parse_value("\"a\u{0}b\"").is_err());
+        assert!(parse_value("\"a\nb\"").is_err());
+        assert!(parse_value("\"a\u{1f}b\"").is_err());
+        // ...while their escaped forms are fine.
+        assert!(parse_value(r#""a\tb""#).is_ok());
+    }
+
+    #[test]
+    fn control_characters_are_escaped_on_write() {
+        let value = Value::String("a\u{1}\u{8}\u{c}\n\"\\z".into());
+        let json = value.to_json();
+        assert_eq!(json, r#""a\u0001\b\f\n\"\\z""#);
+        assert_eq!(parse_value(&json).unwrap(), value);
+    }
+
+    #[test]
+    fn deep_nesting_errors_cleanly_instead_of_overflowing() {
+        // Within the bound: parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse_value(&ok).is_ok());
+        // One past the bound (and absurdly past it): clean Err, no overflow.
+        for depth in [MAX_DEPTH + 1, 100_000] {
+            let deep = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+            let err = parse_value(&deep).unwrap_err();
+            assert!(matches!(err, JsonError::Syntax(ref m, _) if m.contains("nesting")));
+            let deep_obj = "{\"k\":".repeat(depth) + "1" + &"}".repeat(depth);
+            assert!(parse_value(&deep_obj).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_documents_error_cleanly() {
+        let full = r#"{"a":[1,2,{"b":"cA"}],"d":true}"#;
+        // Every strict prefix is an error (never a panic, never an Ok).
+        for cut in 1..full.len() {
+            assert!(
+                parse_value(&full[..cut]).is_err(),
+                "prefix {cut} must not parse: {:?}",
+                &full[..cut]
+            );
+        }
+        assert!(parse_value(full).is_ok());
+        assert!(parse_value("").is_err());
+        assert!(parse_value("   ").is_err());
+        assert!(parse_value("tru").is_err());
+        assert!(parse_value("-").is_err());
+        assert!(parse_value("\"abc").is_err());
+        assert!(parse_value("\"abc\\").is_err());
+    }
+
+    #[test]
+    fn read_value_consumes_exactly_one_value_from_a_stream() {
+        use std::io::Read;
+        let mut stream = std::io::BufReader::new(" {\"a\": 1}[2,3] rest".as_bytes());
+        let first = read_value(&mut stream).unwrap();
+        assert_eq!(first, Value::Object(vec![("a".into(), Value::Int(1))]));
+        let second = read_value(&mut stream).unwrap();
+        assert_eq!(second, Value::Array(vec![Value::Int(2), Value::Int(3)]));
+        // The stream is positioned right after the second value.
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, " rest");
+    }
+
+    #[test]
+    fn read_value_reports_truncated_streams() {
+        let mut stream = std::io::BufReader::new("{\"a\": [1, 2".as_bytes());
+        assert!(read_value(&mut stream).is_err());
+        let mut empty = std::io::BufReader::new("".as_bytes());
+        assert!(read_value(&mut empty).is_err());
+    }
+
+    #[test]
+    fn null_fields_read_as_absent() {
+        let value = parse_value("{\"a\": null, \"b\": 1}").unwrap();
+        let obj = value.as_object("test").unwrap();
+        assert!(obj.get_opt("a").is_none());
+        assert!(obj.get("a").is_err());
+        assert_eq!(obj.get_opt("b").unwrap().as_i64("b").unwrap(), 1);
+        assert!(obj.get_opt("missing").is_none());
+    }
+
+    #[test]
+    fn write_json_round_trips_every_value_shape() {
+        let value = Value::Object(vec![
+            ("int".into(), Value::Int(-42)),
+            ("big".into(), Value::Int(i64::MAX)),
+            ("num".into(), Value::Number(2.5)),
+            ("s".into(), Value::String("a\"b\\c\u{7}é".into())),
+            ("t".into(), Value::Bool(true)),
+            ("n".into(), Value::Null),
+            (
+                "arr".into(),
+                Value::Array(vec![Value::Int(1), Value::Array(vec![])]),
+            ),
+            ("obj".into(), Value::Object(vec![])),
+        ]);
+        assert_eq!(parse_value(&value.to_json()).unwrap(), value);
     }
 }

@@ -4,7 +4,9 @@
 //!
 //! * [`edgelist`] — plain-text `src dst time` temporal edge lists (read and
 //!   write), the interchange format used by public temporal-graph datasets;
-//! * [`json`] — serde_json round-tripping of graphs and BFS results;
+//! * [`json`] — hand-rolled JSON round-tripping of graphs and BFS results,
+//!   plus the public [`json::Value`] model and stream reader other crates
+//!   build wire formats on;
 //! * [`report`] — the table/CSV formatter and the least-squares helper used
 //!   by the benchmark harness to regenerate the paper's Figure 5 series.
 
@@ -19,6 +21,7 @@ pub use edgelist::{
     parse_edge_list, read_edge_list, to_edge_list_string, write_edge_list, EdgeListError,
 };
 pub use json::{
-    bfs_result_from_json, bfs_result_to_json, graph_from_json, graph_to_json, BfsResultDocument,
+    bfs_result_from_json, bfs_result_to_json, graph_from_json, graph_to_json, parse_value,
+    read_value, write_json_string, BfsResultDocument, JsonError, Value,
 };
 pub use report::{linear_fit, SeriesTable};

@@ -87,7 +87,7 @@ impl WindowSpec {
         }
     }
 
-    fn new(start: Option<u32>, end_inclusive: Option<u32>) -> Self {
+    pub(crate) fn new(start: Option<u32>, end_inclusive: Option<u32>) -> Self {
         // Canonicalise: a start bound of 0 restricts nothing, so `0..x` and
         // `..x` (and `0..` and `..`) are the *same* window and must compare,
         // hash and cache identically. End bounds cannot be canonicalised
@@ -101,12 +101,38 @@ impl WindowSpec {
         }
     }
 
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         WindowSpec {
             start: None,
             end_inclusive: None,
             empty: true,
         }
+    }
+
+    /// Reassembles a spec from its serialized parts (the wire codec's
+    /// deserialization path), refusing non-canonical combinations so a
+    /// decoded spec always equals — compares, hashes, caches as — the spec
+    /// the builder would have produced: a start of `0` must have
+    /// canonicalised away, and the `empty` bit must be either derived
+    /// (`end < start`) or the bare statically-empty marker.
+    pub(crate) fn from_parts(
+        start: Option<u32>,
+        end_inclusive: Option<u32>,
+        empty: bool,
+    ) -> Option<Self> {
+        if start == Some(0) {
+            return None;
+        }
+        let derived = matches!((start, end_inclusive), (Some(s), Some(e)) if e < s);
+        let bare_empty_marker = empty && start.is_none() && end_inclusive.is_none();
+        if empty != derived && !bare_empty_marker {
+            return None;
+        }
+        Some(WindowSpec {
+            start,
+            end_inclusive,
+            empty,
+        })
     }
 
     /// The inclusive start bound, if one was given.

@@ -112,6 +112,24 @@ impl QueryDescriptor {
             )
     }
 
+    /// Rebuilds an executable [`Search`](crate::Search) from this identity —
+    /// the deserialization half of shipping queries over a wire: a server
+    /// decodes a descriptor (see [`codec`](crate::codec)) and calls this to
+    /// get something it can `run`. Round-trips:
+    /// `descriptor.to_search().descriptor() == descriptor`.
+    pub fn to_search(&self) -> crate::Search {
+        let mut search = crate::Search::from_sources(self.sources.iter().copied())
+            .strategy(self.strategy)
+            .window(self.window);
+        if self.effective_reverse {
+            search = search.reverse();
+        }
+        if self.with_parents {
+            search = search.with_parents();
+        }
+        search
+    }
+
     /// Whether the hop engines serve this query (per-source
     /// [`DistanceMap`](egraph_core::distance::DistanceMap) payload).
     pub fn is_hop_query(&self) -> bool {

@@ -91,6 +91,7 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+pub mod codec;
 mod descriptor;
 mod prepared;
 mod result;

@@ -669,6 +669,35 @@ impl SearchResult {
         }
     }
 
+    /// The per-source distance maps if this is a hop-payload result, `None`
+    /// otherwise — the non-panicking probe serialization layers dispatch on
+    /// (exactly one of the three `try_*` accessors returns `Some`).
+    pub fn try_distance_maps(&self) -> Option<&[DistanceMap]> {
+        match &self.payload {
+            Payload::Hops(maps) => Some(maps),
+            _ => None,
+        }
+    }
+
+    /// The per-source arrival tables if this is a
+    /// [`Foremost`](crate::Strategy::Foremost) result, `None` otherwise.
+    pub fn try_foremost_results(&self) -> Option<&[ForemostResult]> {
+        match &self.payload {
+            Payload::Arrivals(arrivals) => Some(arrivals),
+            _ => None,
+        }
+    }
+
+    /// The nearest-source map if this is a
+    /// [`SharedFrontier`](crate::Strategy::SharedFrontier) result, `None`
+    /// otherwise.
+    pub fn try_shared_map(&self) -> Option<&MultiSourceMap> {
+        match &self.payload {
+            Payload::Shared(shared) => Some(shared),
+            _ => None,
+        }
+    }
+
     /// The per-source arrival tables of a
     /// [`Foremost`](crate::Strategy::Foremost) result, in source order.
     ///

@@ -1,0 +1,127 @@
+//! A minimal blocking client for the serving dialect.
+//!
+//! Exists so tests, benches and examples exercise the server over real
+//! sockets with the same wire format a `curl` user would see — not through
+//! in-process shortcuts that would let the HTTP layer rot untested.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use egraph_query::codec::descriptor_to_json;
+use egraph_query::QueryDescriptor;
+
+use crate::http::{self, Response};
+
+/// A client bound to one server address. Cheap to clone; each request opens
+/// its own connection (the dialect is one request per connection).
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+}
+
+impl Client {
+    /// A client for the server at `addr` with a 10-second I/O timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            timeout: Some(Duration::from_secs(10)),
+        }
+    }
+
+    /// Overrides the per-connection I/O timeout (`None` disables).
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        Ok(stream)
+    }
+
+    fn send_request(&self, method: &str, path: &str, body: &str) -> std::io::Result<TcpStream> {
+        let mut stream = self.connect()?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len(),
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        Ok(stream)
+    }
+
+    /// Sends one request and reads the complete response.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> std::io::Result<Response> {
+        let stream = self.send_request(method, path, body)?;
+        http::read_response(&mut BufReader::new(stream))
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&self, path: &str, body: &str) -> std::io::Result<Response> {
+        self.request("POST", path, body)
+    }
+
+    /// `GET path`.
+    pub fn get(&self, path: &str) -> std::io::Result<Response> {
+        self.request("GET", path, "")
+    }
+
+    /// `POST /query` with `descriptor`, encoded through the canonical codec.
+    pub fn query(&self, descriptor: &QueryDescriptor) -> std::io::Result<Response> {
+        self.post("/query", &descriptor_to_json(descriptor))
+    }
+
+    /// `POST /subscribe` with `descriptor`. On a `200` the returned
+    /// [`Subscription`] yields the initial frame first, then one frame per
+    /// snapshot the server seals; a non-`200` is returned as `Err` with the
+    /// server's error body in the message.
+    pub fn subscribe(&self, descriptor: &QueryDescriptor) -> std::io::Result<Subscription> {
+        let stream = self.send_request("POST", "/subscribe", &descriptor_to_json(descriptor))?;
+        let mut reader = BufReader::new(stream);
+        let (status, framing) = http::read_response_head(&mut reader)?;
+        if status != 200 {
+            let body = match framing {
+                http::BodyFraming::Sized(n) => {
+                    let mut raw = vec![0u8; n];
+                    std::io::Read::read_exact(&mut reader, &mut raw)?;
+                    String::from_utf8_lossy(&raw).into_owned()
+                }
+                http::BodyFraming::Chunked => String::new(),
+            };
+            return Err(std::io::Error::other(format!(
+                "subscribe rejected with {status}: {body}"
+            )));
+        }
+        if !matches!(framing, http::BodyFraming::Chunked) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "subscription responses must be chunked",
+            ));
+        }
+        Ok(Subscription { reader })
+    }
+}
+
+/// A standing-query stream: reads push frames as the server seals
+/// snapshots. Dropping it closes the connection, which the server notices
+/// at its next push and unregisters the subscription.
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+}
+
+impl Subscription {
+    /// Blocks for the next frame. `Ok(None)` means the server closed the
+    /// stream (shutdown); `Err` a transport failure or read timeout.
+    pub fn next_frame(&mut self) -> std::io::Result<Option<String>> {
+        match http::read_chunk(&mut self.reader)? {
+            Some(payload) => Ok(Some(payload.trim_end_matches('\n').to_string())),
+            None => Ok(None),
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! A deliberately small HTTP/1.1 codec over blocking sockets.
+//!
+//! The build environment has no registry access, so rather than pulling in a
+//! server framework this module implements exactly the slice of HTTP/1.1 the
+//! serving layer speaks: one request per connection (`Connection: close` on
+//! every response), `Content-Length` bodies on requests, and either
+//! `Content-Length` or `Transfer-Encoding: chunked` on responses — chunked
+//! is what keeps a subscription connection open while the server pushes one
+//! frame per sealed snapshot.
+//!
+//! Both sides of the dialect live here (request parsing + response writing
+//! for the server, response parsing + chunk reading for [`crate::Client`]),
+//! so the two cannot drift apart.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line plus headers. Requests are tiny JSON
+/// documents; anything past this is hostile or broken.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request: method, path, and the (possibly empty) UTF-8 body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, e.g. `/query`.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// Why a request could not be read. The server maps each variant to a
+/// status code without killing the accept loop.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The connection failed or closed before a full request arrived; there
+    /// is nobody to answer, so the handler just drops the socket.
+    Io(io::Error),
+    /// The request was syntactically broken — answered with `400` and a
+    /// structured JSON error body.
+    Malformed(String),
+    /// The declared body exceeds the server's bound — answered with `413`
+    /// *without reading the body*, so an oversized request costs the server
+    /// only its header bytes.
+    BodyTooLarge {
+        /// What the request declared.
+        declared: usize,
+        /// The server's configured bound.
+        limit: usize,
+    },
+}
+
+impl From<io::Error> for RequestError {
+    fn from(err: io::Error) -> Self {
+        RequestError::Io(err)
+    }
+}
+
+/// Reads one request (head + body) from `reader`, enforcing
+/// [`MAX_HEAD_BYTES`] and the caller's `max_body` bound.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, RequestError> {
+    let request_line = read_head_line(reader, &mut 0)?;
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line has no path".into()))?
+        .to_string();
+    match parts.next() {
+        Some(version) if version.starts_with("HTTP/1.") => {}
+        Some(other) => {
+            return Err(RequestError::Malformed(format!(
+                "unsupported protocol version {other:?}"
+            )))
+        }
+        None => {
+            return Err(RequestError::Malformed(
+                "request line has no version".into(),
+            ))
+        }
+    }
+
+    let mut content_length: Option<usize> = None;
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = read_head_line(reader, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!(
+                "header line without a colon: {line:?}"
+            )));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let parsed: usize = value.parse().map_err(|_| {
+                    RequestError::Malformed(format!("unparseable content-length {value:?}"))
+                })?;
+                if content_length.replace(parsed).is_some() {
+                    return Err(RequestError::Malformed(
+                        "duplicate content-length header".into(),
+                    ));
+                }
+            }
+            // Chunked *requests* are not part of the dialect; rejecting the
+            // header beats silently misreading the framing.
+            "transfer-encoding" => {
+                return Err(RequestError::Malformed(
+                    "chunked request bodies are not supported".into(),
+                ))
+            }
+            _ => {}
+        }
+    }
+
+    let declared = content_length.unwrap_or(0);
+    if declared > max_body {
+        return Err(RequestError::BodyTooLarge {
+            declared,
+            limit: max_body,
+        });
+    }
+    let mut raw = vec![0u8; declared];
+    reader.read_exact(&mut raw)?;
+    let body = String::from_utf8(raw)
+        .map_err(|_| RequestError::Malformed("request body is not UTF-8".into()))?;
+    Ok(Request { method, path, body })
+}
+
+/// Reads one CRLF-terminated head line, charging it against
+/// [`MAX_HEAD_BYTES`]. A bare `\n` terminator is tolerated (curl always
+/// sends `\r\n`; hand-rolled test clients may not).
+fn read_head_line<R: BufRead>(
+    reader: &mut R,
+    head_bytes: &mut usize,
+) -> Result<String, RequestError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 || !line.ends_with('\n') {
+        // Zero bytes, or bytes with no terminator before EOF: the peer
+        // closed mid-request; there is no request to answer.
+        return Err(RequestError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-request",
+        )));
+    }
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(RequestError::Malformed(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Human-readable reason phrase for the status codes the server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` response with a JSON body.
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Starts a streaming (chunked) `200` response; the body follows as
+/// [`write_chunk`] calls, terminated by [`write_final_chunk`].
+pub fn write_chunked_head(stream: &mut impl Write) -> io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Writes one chunk carrying `payload` plus a trailing newline (the newline
+/// gives subscribers line-delimited frames regardless of chunk boundaries).
+pub fn write_chunk(stream: &mut impl Write, payload: &str) -> io::Result<()> {
+    write!(stream, "{:x}\r\n", payload.len() + 1)?;
+    stream.write_all(payload.as_bytes())?;
+    stream.write_all(b"\n\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response.
+pub fn write_final_chunk(stream: &mut impl Write) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// A client-side view of a response: status code and the full body.
+/// Chunked responses are read frame-by-frame instead, via [`read_chunk`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+/// What a response head declared about its body framing.
+pub enum BodyFraming {
+    /// `Content-Length: n`.
+    Sized(usize),
+    /// `Transfer-Encoding: chunked` — read frames with [`read_chunk`].
+    Chunked,
+}
+
+/// Reads a response head, returning the status and how the body is framed.
+pub fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<(u16, BodyFraming)> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let status_line = read_head_line(reader, &mut 0).map_err(request_error_to_io)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("unparseable status line {status_line:?}")))?;
+    let mut framing = BodyFraming::Sized(0);
+    loop {
+        let line = read_head_line(reader, &mut 0).map_err(request_error_to_io)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                let n = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("unparseable content-length {value:?}")))?;
+                framing = BodyFraming::Sized(n);
+            }
+            "transfer-encoding" if value.trim().eq_ignore_ascii_case("chunked") => {
+                framing = BodyFraming::Chunked;
+            }
+            _ => {}
+        }
+    }
+    Ok((status, framing))
+}
+
+/// Reads a complete non-chunked response.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Response> {
+    let (status, framing) = read_response_head(reader)?;
+    let body = match framing {
+        BodyFraming::Sized(n) => {
+            let mut raw = vec![0u8; n];
+            reader.read_exact(&mut raw)?;
+            String::from_utf8(raw)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?
+        }
+        BodyFraming::Chunked => {
+            let mut body = String::new();
+            while let Some(chunk) = read_chunk(reader)? {
+                body.push_str(&chunk);
+            }
+            body
+        }
+    };
+    Ok(Response { status, body })
+}
+
+/// Reads one chunk of a chunked response; `None` means the final chunk
+/// arrived and the stream is done.
+pub fn read_chunk<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let size_line = read_head_line(reader, &mut 0).map_err(request_error_to_io)?;
+    let size = usize::from_str_radix(size_line.trim(), 16)
+        .map_err(|_| bad(format!("unparseable chunk size {size_line:?}")))?;
+    if size == 0 {
+        // Trailer section: skip to the blank line.
+        loop {
+            let line = read_head_line(reader, &mut 0).map_err(request_error_to_io)?;
+            if line.is_empty() {
+                break;
+            }
+        }
+        return Ok(None);
+    }
+    let mut raw = vec![0u8; size];
+    reader.read_exact(&mut raw)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(bad("chunk not CRLF-terminated".into()));
+    }
+    let payload = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "chunk is not UTF-8"))?;
+    Ok(Some(payload))
+}
+
+fn request_error_to_io(err: RequestError) -> io::Error {
+    match err {
+        RequestError::Io(err) => err,
+        RequestError::Malformed(msg) => io::Error::new(io::ErrorKind::InvalidData, msg),
+        RequestError::BodyTooLarge { declared, limit } => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("body of {declared} bytes exceeds {limit}"),
+        ),
+    }
+}
+
+/// Serializes `message` as the server's structured JSON error body.
+pub fn error_body(message: &str) -> String {
+    let mut out = String::with_capacity(message.len() + 12);
+    out.push_str("{\"error\": ");
+    egraph_io::write_json_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str, max_body: usize) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), max_body)
+    }
+
+    #[test]
+    fn parses_a_post_with_a_body() {
+        let raw = "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let req = parse(raw, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get_with_bare_newlines() {
+        let req = parse("GET /stats HTTP/1.1\nHost: x\n\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn oversized_declared_bodies_are_rejected_before_reading_them() {
+        // Only the head is present: the rejection must come from the
+        // declaration alone, not from draining a body we refuse to read.
+        let raw = "POST /query HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        match parse(raw, 1024) {
+            Err(RequestError::BodyTooLarge { declared, limit }) => {
+                assert_eq!((declared, limit), (999_999, 1024));
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_heads_are_malformed_not_io() {
+        for raw in [
+            "POST\r\n\r\n",
+            "POST /query\r\n\r\n",
+            "POST /query SPDY/3\r\n\r\n",
+            "POST /query HTTP/1.1\r\nContent-Length: seven\r\n\r\n",
+            "POST /query HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\nz",
+            "POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "POST /query HTTP/1.1\r\nno colon here\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw, 1024), Err(RequestError::Malformed(_))),
+                "{raw:?} must be Malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_requests_are_io_errors() {
+        for raw in [
+            "",
+            "POST /query HT",
+            "POST /query HTTP/1.1\r\nContent-Length: 9\r\n\r\n{}",
+        ] {
+            assert!(
+                matches!(parse(raw, 1024), Err(RequestError::Io(_))),
+                "{raw:?} must be Io"
+            );
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 422, "{\"error\": \"nope\"}").unwrap();
+        let response = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(response.status, 422);
+        assert_eq!(response.body, "{\"error\": \"nope\"}");
+    }
+
+    #[test]
+    fn chunked_frames_round_trip_in_order() {
+        let mut wire = Vec::new();
+        write_chunked_head(&mut wire).unwrap();
+        write_chunk(&mut wire, "{\"seq\":0}").unwrap();
+        write_chunk(&mut wire, "{\"seq\":1}").unwrap();
+        write_final_chunk(&mut wire).unwrap();
+
+        let mut reader = BufReader::new(wire.as_slice());
+        let (status, framing) = read_response_head(&mut reader).unwrap();
+        assert_eq!(status, 200);
+        assert!(matches!(framing, BodyFraming::Chunked));
+        assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), "{\"seq\":0}\n");
+        assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), "{\"seq\":1}\n");
+        assert_eq!(read_chunk(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn error_bodies_escape_their_message() {
+        assert_eq!(
+            error_body("bad \"window\"\n"),
+            "{\"error\": \"bad \\\"window\\\"\\n\"}"
+        );
+    }
+}

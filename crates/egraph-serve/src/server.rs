@@ -1,0 +1,736 @@
+//! The server: accept loop, routing, request handlers, graceful shutdown.
+//!
+//! One dedicated thread owns `accept()`; every accepted connection becomes a
+//! detached job on the shared rayon pool (`rayon::spawn`), so request
+//! handling, cache repairs and frontier-parallel traversals all draw from
+//! the same thread budget instead of spawning unbounded per-connection
+//! threads. A handler blocked on slow client I/O is bounded by the
+//! per-connection socket timeouts ([`ServerConfig::io_timeout`]).
+//!
+//! ## Routes
+//!
+//! | route | body | answer |
+//! |---|---|---|
+//! | `POST /query` | a [`QueryDescriptor`] JSON document | the `SearchResult` JSON document |
+//! | `POST /subscribe` | a descriptor | chunked stream: one frame now, one per sealed snapshot |
+//! | `POST /ingest` | `{"grow_nodes": n?, "events": [[u,v],...], "seal": label?}` | `{"version", "num_sealed", "sealed_index"}` |
+//! | `GET /stats` | — | cache + server counters |
+//! | `GET /health` | — | `{"ok": true, ...}` |
+//!
+//! Malformed bodies get structured `400`s (`{"error": ...}`), oversized
+//! bodies `413`, semantically failing queries (root outside the sealed
+//! range, say) `422` — all without disturbing the accept loop.
+//!
+//! ## Admission and the serve path
+//!
+//! `/query` serves in three tiers, cheapest first:
+//!
+//! 1. [`QueryCache::peek`] — a current entry is served straight off the
+//!    shard read lock; hot standing queries never touch admission.
+//! 2. Single-flight ([`crate::singleflight`]) — the first cold request
+//!    leads and computes through [`QueryCache::execute_traced`]; identical
+//!    requests arriving meanwhile park their connections and are answered
+//!    by the leader from the same serialized bytes (counted as
+//!    [`CacheStats::coalesced`]).
+//! 3. The computation itself — which still lands in the cache, so the
+//!    *next* burst starts at tier 1.
+//!
+//! ## Writes and push
+//!
+//! `/ingest` takes the graph's write lock for the mutation only, then (if
+//! the request sealed a snapshot) re-executes every standing subscription
+//! through the cache — extendable queries advance incrementally per the
+//! cache's invalidation matrix — and pushes one frame per subscriber.
+//! `seal_lock` serializes ingest→broadcast sections and subscription
+//! registration, so every subscriber sees every seal exactly once, in
+//! order, with no gap between its initial frame and the first push.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Duration;
+
+use egraph_query::codec::{descriptor_from_json, search_result_to_json};
+use egraph_query::QueryDescriptor;
+use egraph_stream::{CacheOutcome, CacheStats, EdgeEvent, LiveGraph, QueryCache};
+
+use crate::http::{self, Request, RequestError};
+use crate::singleflight::{Admission, SingleFlight};
+
+/// Tunables for [`Server::start`]. `Default` is production-shaped; tests
+/// tighten limits and set the determinism hook.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Largest accepted request body; bigger declarations get `413` without
+    /// the body ever being read.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read/write timeout — a stalled or vanished
+    /// client cannot pin a handler forever. `None` disables.
+    pub io_timeout: Option<Duration>,
+    /// Test-only determinism hook: a `/query` leader blocks until this many
+    /// requests have parked behind it before computing, making coalescing
+    /// counts exact instead of race-dependent. Must be `None` in production.
+    pub hold_leader_until_waiters: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_body_bytes: 1 << 20,
+            io_timeout: Some(Duration::from_secs(10)),
+            hold_leader_until_waiters: None,
+        }
+    }
+}
+
+/// Server-side request counters (the cache keeps its own in
+/// [`CacheStats`]). Exposed at `GET /stats` and via [`Server::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests that parsed to a valid head (any route, any outcome).
+    pub requests: u64,
+    /// Requests answered `4xx`.
+    pub bad_requests: u64,
+    /// Subscriptions accepted over the server's lifetime.
+    pub subscriptions_opened: u64,
+    /// Frames pushed to subscribers (initial frames included).
+    pub frames_pushed: u64,
+}
+
+/// One standing query: the held-open connection, what it asked for, and
+/// the next frame sequence number.
+struct Subscriber {
+    stream: TcpStream,
+    descriptor: QueryDescriptor,
+    seq: u64,
+}
+
+/// Everything handlers share.
+struct Shared {
+    live: RwLock<LiveGraph>,
+    cache: QueryCache,
+    flight: SingleFlight,
+    subscribers: Mutex<Vec<Subscriber>>,
+    /// Serializes ingest+broadcast sections and subscription registration:
+    /// frames reach every subscriber in seal order with no duplicates or
+    /// gaps.
+    seal_lock: Mutex<()>,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    /// Open-connection count + condvar for drain-on-shutdown.
+    in_flight: Mutex<usize>,
+    drained: Condvar,
+    requests: AtomicU64,
+    bad_requests: AtomicU64,
+    subscriptions_opened: AtomicU64,
+    frames_pushed: AtomicU64,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Decrements the in-flight connection count when a handler finishes —
+/// including by panic, so shutdown's drain can never wedge on a crashed
+/// handler.
+struct ConnectionGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        let mut count = lock(&self.shared.in_flight);
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            self.shared.drained.notify_all();
+        }
+    }
+}
+
+/// A running HTTP server over one [`LiveGraph`].
+///
+/// Dropping the server shuts it down gracefully: the listener closes, open
+/// requests drain (bounded by the I/O timeout), and subscription streams
+/// are terminated with a final chunk.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds an ephemeral loopback port and starts serving `live`.
+    pub fn start(live: LiveGraph, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            live: RwLock::new(live),
+            cache: QueryCache::new(),
+            flight: SingleFlight::new(),
+            subscribers: Mutex::new(Vec::new()),
+            seal_lock: Mutex::new(()),
+            config,
+            shutting_down: AtomicBool::new(false),
+            in_flight: Mutex::new(0),
+            drained: Condvar::new(),
+            requests: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            subscriptions_opened: AtomicU64::new(0),
+            frames_pushed: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("egraph-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (`127.0.0.1:port`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The cache's counters — what `/stats` reports under `"cache"`.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The server's own counters — what `/stats` reports under `"server"`.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            bad_requests: self.shared.bad_requests.load(Ordering::Relaxed),
+            subscriptions_opened: self.shared.subscriptions_opened.load(Ordering::Relaxed),
+            frames_pushed: self.shared.frames_pushed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests
+    /// (bounded), close every subscription with a final chunk. Idempotent;
+    /// also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // `accept()` blocks until a connection arrives; poke it awake so
+        // the thread observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Drain: every accepted connection decrements `in_flight` when its
+        // handler finishes (panic included). The bound keeps a wedged
+        // client from holding shutdown hostage beyond its socket timeout.
+        let drain_bound = self
+            .shared
+            .config
+            .io_timeout
+            .map(|t| t * 3)
+            .unwrap_or(Duration::from_secs(30));
+        let mut in_flight = lock(&self.shared.in_flight);
+        while *in_flight > 0 {
+            let (guard, timeout) = self
+                .shared
+                .drained
+                .wait_timeout(in_flight, drain_bound)
+                .unwrap_or_else(PoisonError::into_inner);
+            in_flight = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        drop(in_flight);
+        for subscriber in lock(&self.shared.subscribers).drain(..) {
+            let mut stream = subscriber.stream;
+            let _ = http::write_final_chunk(&mut stream);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        *lock(&shared.in_flight) += 1;
+        let job_shared = Arc::clone(&shared);
+        rayon::spawn(move || {
+            let guard = ConnectionGuard {
+                shared: Arc::clone(&job_shared),
+            };
+            handle_connection(&job_shared, stream);
+            drop(guard);
+        });
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(shared.config.io_timeout);
+    let _ = stream.set_write_timeout(shared.config.io_timeout);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    let request = match http::read_request(&mut reader, shared.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(RequestError::Io(_)) => return, // nobody left to answer
+        Err(RequestError::Malformed(message)) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(&mut stream, 400, &http::error_body(&message));
+            return;
+        }
+        Err(RequestError::BodyTooLarge { declared, limit }) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let message =
+                format!("request body of {declared} bytes exceeds the {limit}-byte bound");
+            let _ = http::write_response(&mut stream, 413, &http::error_body(&message));
+            return;
+        }
+    };
+    // `reader` holds the read half; requests are one-shot, so only the
+    // write half travels further (into single-flight or a subscription).
+    drop(reader);
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let _ = http::write_response(
+            &mut stream,
+            503,
+            &http::error_body("the server is shutting down"),
+        );
+        return;
+    }
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/query") => handle_query(shared, stream, &request),
+        ("POST", "/subscribe") => handle_subscribe(shared, stream, &request),
+        ("POST", "/ingest") => handle_ingest(shared, stream, &request),
+        ("GET", "/stats") => {
+            let body = stats_body(shared);
+            let _ = http::write_response(&mut stream, 200, &body);
+        }
+        ("GET", "/health") => {
+            let (version, num_sealed) = {
+                let live = read_live(shared);
+                (live.version(), live.num_sealed())
+            };
+            let body =
+                format!("{{\"ok\": true, \"version\": {version}, \"num_sealed\": {num_sealed}}}");
+            let _ = http::write_response(&mut stream, 200, &body);
+        }
+        (_, "/query" | "/subscribe" | "/ingest" | "/stats" | "/health") => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let message = format!("method {} not allowed here", request.method);
+            let _ = http::write_response(&mut stream, 405, &http::error_body(&message));
+        }
+        (_, path) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let message = format!("no route {path}");
+            let _ = http::write_response(&mut stream, 404, &http::error_body(&message));
+        }
+    }
+}
+
+fn read_live(shared: &Shared) -> std::sync::RwLockReadGuard<'_, LiveGraph> {
+    shared.live.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_live(shared: &Shared) -> std::sync::RwLockWriteGuard<'_, LiveGraph> {
+    shared.live.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// POST /query
+// ---------------------------------------------------------------------------
+
+fn handle_query(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request) {
+    let descriptor = match descriptor_from_json(&request.body) {
+        Ok(descriptor) => descriptor,
+        Err(err) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(&mut stream, 400, &http::error_body(&err.to_string()));
+            return;
+        }
+    };
+    let search = descriptor.to_search();
+
+    // Tier 1: a current entry serves straight off the shard read lock —
+    // the hot path for standing queries, bypassing admission entirely.
+    let peeked = {
+        let live = read_live(shared);
+        shared.cache.peek(&live, &search)
+    };
+    if let Some(result) = peeked {
+        let _ = http::write_response(&mut stream, 200, &search_result_to_json(&result));
+        return;
+    }
+
+    // Tier 2: single-flight. Parked connections are answered by the
+    // leader; this handler is done with them either way.
+    let Admission::Leader(own, leader) = shared.flight.admit(&descriptor, stream) else {
+        return;
+    };
+    let mut own = own;
+    if let Some(count) = shared.config.hold_leader_until_waiters {
+        leader.wait_for_waiters(count);
+    }
+
+    // Tier 3: compute through the cache, under the graph's read lock (the
+    // graph cannot move mid-computation; concurrent `/query`s share the
+    // read side, only `/ingest` writes).
+    let computed = {
+        let live = read_live(shared);
+        shared.cache.execute_traced(&live, &search)
+    };
+    let waiters = leader.finish();
+    match computed {
+        Ok((result, _outcome)) => {
+            // Serialized once; leader and every coalesced follower receive
+            // byte-identical responses from this one buffer.
+            let body = search_result_to_json(&result);
+            let _ = http::write_response(&mut own, 200, &body);
+            for mut waiter in waiters {
+                shared.cache.note_coalesced();
+                let _ = http::write_response(&mut waiter, 200, &body);
+            }
+        }
+        Err(err) => {
+            // A semantically failing query (e.g. root outside the sealed
+            // range): 422, shared by everyone who coalesced onto it. The
+            // cache never stores errors, so nothing is counted — the same
+            // request can heal as the graph grows.
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let body = http::error_body(&err.to_string());
+            let _ = http::write_response(&mut own, 422, &body);
+            for mut waiter in waiters {
+                let _ = http::write_response(&mut waiter, 422, &body);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// POST /subscribe
+// ---------------------------------------------------------------------------
+
+fn handle_subscribe(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request) {
+    let descriptor = match descriptor_from_json(&request.body) {
+        Ok(descriptor) => descriptor,
+        Err(err) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(&mut stream, 400, &http::error_body(&err.to_string()));
+            return;
+        }
+    };
+    let search = descriptor.to_search();
+
+    // Registration happens under `seal_lock`, so the initial frame and the
+    // subscription list entry are atomic with respect to `/ingest`'s
+    // seal+broadcast section: no seal can fall between them (which would
+    // either skip a frame or double-send one).
+    let _ordering = lock(&shared.seal_lock);
+    let initial = {
+        let live = read_live(shared);
+        shared
+            .cache
+            .execute_traced(&live, &search)
+            .map(|(result, outcome)| (result, outcome, live.version()))
+    };
+    match initial {
+        Err(err) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(&mut stream, 422, &http::error_body(&err.to_string()));
+        }
+        Ok((result, outcome, version)) => {
+            let frame = frame_body(0, version, None, outcome_name(outcome), Ok(&result));
+            if http::write_chunked_head(&mut stream).is_err()
+                || http::write_chunk(&mut stream, &frame).is_err()
+            {
+                return; // client vanished before the stream opened
+            }
+            shared.frames_pushed.fetch_add(1, Ordering::Relaxed);
+            shared.subscriptions_opened.fetch_add(1, Ordering::Relaxed);
+            lock(&shared.subscribers).push(Subscriber {
+                stream,
+                descriptor,
+                seq: 1,
+            });
+        }
+    }
+}
+
+/// One push frame. `result` is `Err(message)` when the standing query
+/// failed at this version (the stream stays open — it may heal).
+fn frame_body(
+    seq: u64,
+    version: u64,
+    label: Option<i64>,
+    outcome: &str,
+    result: Result<&egraph_query::SearchResult, &str>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"seq\": {seq}, \"version\": {version}"));
+    if let Some(label) = label {
+        out.push_str(&format!(", \"label\": {label}"));
+    }
+    out.push_str(", \"outcome\": ");
+    egraph_io::write_json_string(&mut out, outcome);
+    match result {
+        Ok(result) => {
+            out.push_str(", \"result\": ");
+            out.push_str(&search_result_to_json(result));
+        }
+        Err(message) => {
+            out.push_str(", \"error\": ");
+            egraph_io::write_json_string(&mut out, message);
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn outcome_name(outcome: CacheOutcome) -> &'static str {
+    match outcome {
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Extended => "extended",
+        CacheOutcome::Recomputed => "recomputed",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// POST /ingest
+// ---------------------------------------------------------------------------
+
+/// The parsed shape of an ingest body.
+struct IngestRequest {
+    grow_nodes: Option<usize>,
+    events: Vec<(u32, u32)>,
+    seal: Option<i64>,
+}
+
+fn parse_ingest(body: &str) -> Result<IngestRequest, String> {
+    let value = egraph_io::parse_value(body).map_err(|e| e.to_string())?;
+    let object = value
+        .as_object("ingest request")
+        .map_err(|e| e.to_string())?;
+    let grow_nodes = match object.get_opt("grow_nodes") {
+        Some(v) => Some(v.as_usize("grow_nodes").map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let events = match object.get_opt("events") {
+        Some(value) => {
+            let entries = value.as_array("events").map_err(|e| e.to_string())?;
+            let mut events = Vec::with_capacity(entries.len());
+            for entry in entries {
+                let pair = entry.as_array("events entry").map_err(|e| e.to_string())?;
+                if pair.len() != 2 {
+                    return Err(format!(
+                        "an events entry must be a [src, dst] pair, got {} elements",
+                        pair.len()
+                    ));
+                }
+                events.push((
+                    pair[0].as_u32("event src").map_err(|e| e.to_string())?,
+                    pair[1].as_u32("event dst").map_err(|e| e.to_string())?,
+                ));
+            }
+            events
+        }
+        None => Vec::new(),
+    };
+    let seal = match object.get_opt("seal") {
+        Some(v) => Some(v.as_i64("seal label").map_err(|e| e.to_string())?),
+        None => None,
+    };
+    if grow_nodes.is_none() && events.is_empty() && seal.is_none() {
+        return Err("an ingest request must grow nodes, insert events, or seal".into());
+    }
+    Ok(IngestRequest {
+        grow_nodes,
+        events,
+        seal,
+    })
+}
+
+fn handle_ingest(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request) {
+    let ingest = match parse_ingest(&request.body) {
+        Ok(ingest) => ingest,
+        Err(message) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(&mut stream, 400, &http::error_body(&message));
+            return;
+        }
+    };
+
+    // The whole mutate→broadcast section is serialized: frames reach
+    // subscribers in seal order, and subscription registration cannot
+    // interleave into the middle of it.
+    let _ordering = lock(&shared.seal_lock);
+    let applied: Result<(u64, usize, Option<usize>), egraph_core::error::GraphError> = {
+        let mut live = write_live(shared);
+        (|| {
+            if let Some(num_nodes) = ingest.grow_nodes {
+                live.apply(EdgeEvent::grow_nodes(num_nodes))?;
+            }
+            for &(src, dst) in &ingest.events {
+                live.insert(src, dst)?;
+            }
+            let sealed_index = match ingest.seal {
+                Some(label) => Some(live.seal_snapshot(label)?.index()),
+                None => None,
+            };
+            Ok((live.version(), live.num_sealed(), sealed_index))
+        })()
+    };
+
+    match applied {
+        Err(err) => {
+            // Rejected events never become visible to queries — only sealed
+            // snapshots are searched, and a failing request reaches no seal
+            // — but events applied before the failure stay pending, so a
+            // corrected retry continues from them rather than replaying.
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(&mut stream, 422, &http::error_body(&err.to_string()));
+        }
+        Ok((version, num_sealed, sealed_index)) => {
+            if sealed_index.is_some() {
+                broadcast_frames(shared, ingest.seal.expect("sealed implies a label"));
+            }
+            let sealed_json = match sealed_index {
+                Some(index) => index.to_string(),
+                None => "null".to_string(),
+            };
+            let body = format!(
+                "{{\"version\": {version}, \"num_sealed\": {num_sealed}, \"sealed_index\": {sealed_json}}}"
+            );
+            let _ = http::write_response(&mut stream, 200, &body);
+        }
+    }
+}
+
+/// Re-executes every standing subscription at the current version and
+/// pushes one frame each; subscribers whose sockets are gone are dropped.
+/// Runs under `seal_lock`, after the write lock has been released — pushes
+/// overlap new `/query` reads, never block them.
+fn broadcast_frames(shared: &Arc<Shared>, label: i64) {
+    let live = read_live(shared);
+    let version = live.version();
+    let mut subscribers = lock(&shared.subscribers);
+    let mut frames_pushed = 0u64;
+    subscribers.retain_mut(|subscriber| {
+        let search = subscriber.descriptor.to_search();
+        let frame = match shared.cache.execute_traced(&live, &search) {
+            Ok((result, outcome)) => frame_body(
+                subscriber.seq,
+                version,
+                Some(label),
+                outcome_name(outcome),
+                Ok(&result),
+            ),
+            Err(err) => frame_body(
+                subscriber.seq,
+                version,
+                Some(label),
+                "error",
+                Err(&err.to_string()),
+            ),
+        };
+        subscriber.seq += 1;
+        let delivered = http::write_chunk(&mut subscriber.stream, &frame).is_ok();
+        if delivered {
+            frames_pushed += 1;
+        }
+        delivered
+    });
+    shared
+        .frames_pushed
+        .fetch_add(frames_pushed, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// GET /stats
+// ---------------------------------------------------------------------------
+
+fn stats_body(shared: &Arc<Shared>) -> String {
+    let cache = shared.cache.stats();
+    let (version, num_sealed, num_nodes) = {
+        let live = read_live(shared);
+        (live.version(), live.num_sealed(), live.graph().num_nodes())
+    };
+    let subscribers = lock(&shared.subscribers).len();
+    format!(
+        "{{\"cache\": {{\"hits\": {}, \"extensions\": {}, \"recomputes\": {}, \"misses\": {}, \
+         \"evictions\": {}, \"coalesced\": {}, \"requests\": {}, \"hit_rate\": {:.6}}}, \
+         \"server\": {{\"requests\": {}, \"bad_requests\": {}, \"subscribers\": {subscribers}, \
+         \"subscriptions_opened\": {}, \"frames_pushed\": {}}}, \
+         \"graph\": {{\"version\": {version}, \"num_sealed\": {num_sealed}, \"num_nodes\": {num_nodes}}}}}",
+        cache.hits,
+        cache.extensions,
+        cache.recomputes,
+        cache.misses,
+        cache.evictions,
+        cache.coalesced,
+        cache.requests(),
+        cache.hit_rate(),
+        shared.requests.load(Ordering::Relaxed),
+        shared.bad_requests.load(Ordering::Relaxed),
+        shared.subscriptions_opened.load(Ordering::Relaxed),
+        shared.frames_pushed.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_bodies_parse_and_reject_cleanly() {
+        let ok = parse_ingest(r#"{"events": [[0, 1], [1, 2]], "seal": 7}"#).unwrap();
+        assert_eq!(ok.events, vec![(0, 1), (1, 2)]);
+        assert_eq!(ok.seal, Some(7));
+        assert_eq!(ok.grow_nodes, None);
+
+        let grow = parse_ingest(r#"{"grow_nodes": 12}"#).unwrap();
+        assert_eq!(grow.grow_nodes, Some(12));
+        assert!(grow.events.is_empty());
+
+        for bad in [
+            "",
+            "[]",
+            "{}",
+            r#"{"events": [[0]]}"#,
+            r#"{"events": [[0, 1, 2]]}"#,
+            r#"{"events": [["a", "b"]]}"#,
+            r#"{"seal": "tomorrow"}"#,
+            r#"{"grow_nodes": -4}"#,
+        ] {
+            assert!(parse_ingest(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn frames_carry_sequence_version_label_and_outcome() {
+        let frame = frame_body(3, 9, Some(41), "extended", Err("window moved"));
+        assert_eq!(
+            frame,
+            "{\"seq\": 3, \"version\": 9, \"label\": 41, \"outcome\": \"extended\", \
+             \"error\": \"window moved\"}"
+        );
+        let initial = frame_body(0, 1, None, "miss", Err("x"));
+        assert!(!initial.contains("label"));
+    }
+}

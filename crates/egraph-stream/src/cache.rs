@@ -89,6 +89,12 @@ pub enum CacheOutcome {
 }
 
 /// Running counters over every [`QueryCache::execute`] call.
+///
+/// Each outcome counter is bumped at the moment its result is actually
+/// served — under the same shard lock as the lookup for hits, and at entry
+/// installation for the repair paths — never earlier, so the counters can
+/// not disagree with what callers observed (a query that *errors* serves
+/// nothing and counts nothing).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries served from a current entry.
@@ -101,6 +107,30 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped by the LRU bound (see [`QueryCache::with_capacity`]).
     pub evictions: u64,
+    /// Requests that coalesced onto another request's in-flight computation
+    /// instead of executing anything themselves — reported by single-flight
+    /// admission layers via [`QueryCache::note_coalesced`]. Zero unless such
+    /// a layer (e.g. `egraph-serve`) fronts the cache.
+    pub coalesced: u64,
+}
+
+impl CacheStats {
+    /// Total requests these stats describe: every served outcome plus the
+    /// requests that coalesced onto one of them.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.extensions + self.recomputes + self.misses + self.coalesced
+    }
+
+    /// Fraction of requests served without any graph work — cache hits plus
+    /// coalesced waits (which ride on a sibling's single computation) over
+    /// all requests. `0.0` when nothing has been served yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.hits + self.coalesced) as f64 / total as f64
+    }
 }
 
 /// How a stale entry can be repaired. Decided once, from the descriptor, at
@@ -161,6 +191,7 @@ pub struct QueryCache {
     recomputes: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl Default for QueryCache {
@@ -201,6 +232,7 @@ impl QueryCache {
             recomputes: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -222,7 +254,28 @@ impl QueryCache {
             recomputes: self.recomputes.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one request that coalesced onto another request's in-flight
+    /// computation ([`CacheStats::coalesced`]). Called by single-flight
+    /// admission layers fronting this cache, once per waiting request, at
+    /// the moment the shared result is handed over.
+    pub fn note_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps the counter for `outcome` — called exactly where the outcome's
+    /// result is served, so counters stay atomic with what callers observe.
+    fn record(&self, outcome: CacheOutcome) {
+        match outcome {
+            CacheOutcome::Hit => &self.hits,
+            CacheOutcome::Extended => &self.extensions,
+            CacheOutcome::Recomputed => &self.recomputes,
+            CacheOutcome::Miss => &self.misses,
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Drops every entry (counters are kept).
@@ -297,7 +350,7 @@ impl QueryCache {
             match map.get(&descriptor) {
                 Some(entry) if entry.graph_id == graph_id && entry.version == version => {
                     entry.last_used.store(self.tick(), Ordering::Relaxed);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.record(CacheOutcome::Hit);
                     return Ok((Arc::clone(&entry.result), CacheOutcome::Hit));
                 }
                 // Stale but extendable: the graph only ever gained sealed
@@ -332,14 +385,11 @@ impl QueryCache {
             RepairPlan::Recompute => (CacheOutcome::Recomputed, search.run(live.graph())),
             RepairPlan::Miss => (CacheOutcome::Miss, search.run(live.graph())),
         };
-        match outcome {
-            CacheOutcome::Extended => self.extensions.fetch_add(1, Ordering::Relaxed),
-            CacheOutcome::Recomputed => self.recomputes.fetch_add(1, Ordering::Relaxed),
-            CacheOutcome::Miss => self.misses.fetch_add(1, Ordering::Relaxed),
-            CacheOutcome::Hit => unreachable!("hits returned above"),
-        };
 
         // Install under the shard write lock — held only for map surgery.
+        // The outcome counter is bumped at the serve points below, never
+        // before: a failing query serves nothing and counts nothing, so the
+        // counters cannot drift from what callers actually observed.
         let mut map = write_lock(shard);
         match computed {
             Err(err) => {
@@ -358,6 +408,7 @@ impl QueryCache {
                         // the shared copy so every reader keeps pointing at
                         // one materialisation, and drop ours.
                         entry.last_used.store(self.tick(), Ordering::Relaxed);
+                        self.record(outcome);
                         return Ok((Arc::clone(&entry.result), outcome));
                     }
                 }
@@ -374,8 +425,34 @@ impl QueryCache {
                     },
                 );
                 self.evict_over_capacity(&mut map);
+                self.record(outcome);
                 Ok((result, outcome))
             }
+        }
+    }
+
+    /// A *current* entry for `search`, if one exists — the pure read path:
+    /// no graph work, no repair, no entry installation. Serving layers probe
+    /// this first so hot hits bypass single-flight admission entirely; on
+    /// `None` the caller decides what to do (typically enter single-flight
+    /// and call [`QueryCache::execute`]).
+    ///
+    /// A served result counts as a [`CacheStats::hits`] and refreshes the
+    /// entry's LRU stamp, exactly like a hit through `execute`; a `None`
+    /// counts nothing, since nothing was served.
+    pub fn peek(&self, live: &LiveGraph, search: &Search) -> Option<Arc<SearchResult>> {
+        let descriptor = search.descriptor();
+        let graph_id = live.graph_id();
+        let version = live.version();
+        self.rebind(graph_id);
+        let map = read_lock(&self.shards[Self::shard_index(&descriptor)]);
+        match map.get(&descriptor) {
+            Some(entry) if entry.graph_id == graph_id && entry.version == version => {
+                entry.last_used.store(self.tick(), Ordering::Relaxed);
+                self.record(CacheOutcome::Hit);
+                Some(Arc::clone(&entry.result))
+            }
+            _ => None,
         }
     }
 
@@ -865,6 +942,56 @@ mod tests {
         // Probing b re-inserts it (and evicts the next LRU victim).
         let (_, ob) = cache.execute_traced(&live, b).unwrap();
         assert_eq!(ob, CacheOutcome::Miss, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn peek_serves_current_entries_without_computing() {
+        let mut live = seeded_live();
+        let cache = QueryCache::new();
+        let query = Search::from(TemporalNode::from_raw(0, 0));
+        // Nothing cached yet: peek computes nothing and counts nothing.
+        assert!(cache.peek(&live, &query).is_none());
+        assert_eq!(cache.stats(), CacheStats::default());
+
+        let computed = cache.execute(&live, &query).unwrap();
+        let peeked = cache.peek(&live, &query).unwrap();
+        assert!(Arc::ptr_eq(&computed, &peeked));
+        assert_eq!(cache.stats().hits, 1);
+
+        // Stale entries are not served: peek never repairs.
+        live.insert(NodeId(2), NodeId(3)).unwrap();
+        live.seal_snapshot(2).unwrap();
+        assert!(cache.peek(&live, &query).is_none());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn failed_queries_count_nothing() {
+        // Counters are bumped when a result is served; an error serves
+        // nothing, so the stats must not claim a miss happened.
+        let live = seeded_live();
+        let cache = QueryCache::new();
+        let bad = Search::from(TemporalNode::from_raw(0, 7));
+        assert!(cache.execute(&live, &bad).is_err());
+        assert!(cache.execute(&live, &bad).is_err());
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn coalesced_requests_feed_the_hit_rate() {
+        let live = seeded_live();
+        let cache = QueryCache::new();
+        let query = Search::from(TemporalNode::from_raw(0, 0));
+        cache.execute(&live, &query).unwrap(); // miss
+        cache.execute(&live, &query).unwrap(); // hit
+        cache.note_coalesced();
+        cache.note_coalesced();
+        let stats = cache.stats();
+        assert_eq!(stats.coalesced, 2);
+        assert_eq!(stats.requests(), 4);
+        // (1 hit + 2 coalesced) / 4 requests.
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   application;
 //! * [`stream`] (`egraph-stream`) — live graphs: append-only event
 //!   ingestion, query caching and incremental re-search;
+//! * [`serve`] (`egraph-serve`) — the HTTP serving layer: single-flight
+//!   admission over the query cache and standing-query push;
 //! * [`baselines`] (`egraph-baselines`) — the incorrect/restricted schemes
 //!   the paper argues against;
 //! * [`io`] (`egraph-io`) — edge lists, JSON and benchmark report tables.
@@ -63,6 +65,7 @@ pub use egraph_gen as gen;
 pub use egraph_io as io;
 pub use egraph_matrix as matrix;
 pub use egraph_query as query;
+pub use egraph_serve as serve;
 pub use egraph_stream as stream;
 
 /// Commonly used items from every sub-crate.
@@ -72,5 +75,6 @@ pub mod prelude {
     pub use egraph_gen::prelude::*;
     pub use egraph_matrix::prelude::*;
     pub use egraph_query::prelude::*;
+    pub use egraph_serve::prelude::*;
     pub use egraph_stream::prelude::*;
 }
