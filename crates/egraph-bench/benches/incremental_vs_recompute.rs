@@ -13,10 +13,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use egraph_bench::first_active_node;
-use egraph_core::bfs::bfs;
+use egraph_core::bfs::{backward_bfs, bfs, multi_source_shared};
 use egraph_core::foremost::earliest_arrival;
+use egraph_core::ids::{TemporalNode, TimeIndex};
 use egraph_core::instrument::CountingView;
-use egraph_core::resume::{ResumableBfs, ResumableForemost};
+use egraph_core::resume::{ResumableBfs, ResumableForemost, ResumableShared, StableCoreResettle};
+use egraph_core::window::TimeWindowView;
 use egraph_query::Search;
 use egraph_stream::{EdgeEvent, LiveGraph, QueryCache};
 use rand::rngs::SmallRng;
@@ -35,6 +37,20 @@ struct SizeReport {
     hop_recompute_work: u64,
     foremost_extend_work: u64,
     foremost_recompute_work: u64,
+}
+
+/// Work counters for the three matrix rows this repo closed last: the
+/// shared-frontier extension, the bounded-window re-dimension and the
+/// effective-reversal stable-core resettle, each against the from-scratch
+/// run the cache would otherwise pay.
+struct MatrixReport {
+    history: usize,
+    shared_extend_work: u64,
+    shared_recompute_work: u64,
+    redimension_work: u64,
+    windowed_recompute_work: u64,
+    resettle_work: u64,
+    backward_recompute_work: u64,
 }
 
 fn build_live(history: usize, seed: u64) -> LiveGraph {
@@ -65,6 +81,7 @@ fn incremental_vs_recompute(c: &mut Criterion) {
     group.sample_size(10);
 
     let mut reports: Vec<SizeReport> = Vec::new();
+    let mut matrix_reports: Vec<MatrixReport> = Vec::new();
 
     for history in HISTORIES {
         // History with `history` sealed snapshots, then one sealed delta.
@@ -72,6 +89,31 @@ fn incremental_vs_recompute(c: &mut Criterion) {
         let root = first_active_node(live.graph());
         let mut hop_state = ResumableBfs::start(live.graph(), root).unwrap();
         let mut foremost_state = ResumableForemost::start(live.graph(), root);
+
+        // The matrix-row prefixes, captured before the delta seals: a
+        // two-source shared frontier, the full-prefix map a bounded window
+        // would have cached, and a backward map rooted in the *last* prefix
+        // snapshot (the shape an effective reversal retains).
+        let first_touched = live.touched_at(root.time);
+        let sources = [
+            root,
+            TemporalNode::new(first_touched[first_touched.len() / 2], root.time),
+        ];
+        let mut shared_state = ResumableShared::start(live.graph(), &sources).unwrap();
+        let prefix_map = bfs(live.graph(), root).unwrap();
+        let back_root = TemporalNode::new(
+            *live
+                .touched_at(TimeIndex::from_index(history - 1))
+                .first()
+                .unwrap(),
+            TimeIndex::from_index(history - 1),
+        );
+        let back_map = backward_bfs(live.graph(), back_root).unwrap();
+        let mut resettle_core = StableCoreResettle::from_reached_times(
+            NUM_NODES,
+            history,
+            back_map.reached().into_iter().map(|(tn, _)| tn),
+        );
 
         let mut rng = SmallRng::seed_from_u64(0xDE17A + history as u64);
         seal_random_snapshot(&mut rng, &mut live, history as i64);
@@ -119,6 +161,99 @@ fn incremental_vs_recompute(c: &mut Criterion) {
              recomputation ({foremost_recompute_work})"
         );
 
+        // --- The three rows the invalidation matrix closed last. ----------
+        // Shared frontier: extension settles the delta from the retained
+        // packed frontier; recompute re-runs the multi-source search.
+        let extend_view = CountingView::new(live.graph());
+        shared_state
+            .extend_snapshot(&extend_view, &touched)
+            .unwrap();
+        let shared_extend_work = extend_view.counters().total();
+
+        let recompute_view = CountingView::new(live.graph());
+        let shared_scratch = multi_source_shared(&recompute_view, &sources).unwrap();
+        let shared_recompute_work = recompute_view.counters().total();
+
+        assert_eq!(
+            shared_state.to_map().as_flat_slice(),
+            shared_scratch.as_flat_slice(),
+            "shared extension must equal recomputation (history {history})"
+        );
+        assert!(
+            shared_extend_work * 4 < shared_recompute_work,
+            "history {history}: shared extension ({shared_extend_work}) vs \
+             recomputation ({shared_recompute_work})"
+        );
+
+        // Bounded window: the repair is a pure re-dimension — zero graph
+        // work by construction — against re-running the windowed search.
+        let redimensioned = prefix_map.redimensioned(NUM_NODES, history + 1);
+        let redimension_work = 0u64;
+
+        let recompute_view = CountingView::new(live.graph());
+        let windowed = TimeWindowView::new(
+            &recompute_view,
+            TimeIndex(0),
+            TimeIndex::from_index(history - 1),
+        )
+        .unwrap();
+        let windowed_scratch = bfs(&windowed, root).unwrap();
+        let windowed_recompute_work = recompute_view.counters().total();
+
+        assert_eq!(
+            redimensioned.as_flat_slice()[..NUM_NODES * history],
+            *windowed_scratch.as_flat_slice(),
+            "re-dimensioned prefix must equal the windowed recomputation \
+             (history {history})"
+        );
+        assert!(
+            redimensioned
+                .as_flat_slice()
+                .iter()
+                .skip(NUM_NODES * history)
+                .all(|&d| d == u32::MAX),
+            "the appended row of a re-dimensioned bounded result is unreached"
+        );
+
+        // Effective reversal: the stable-core fringe scan touches no graph
+        // edges at all; recompute re-runs the backward search over the
+        // whole history.
+        let resettle_view = CountingView::new(live.graph());
+        let fringe = resettle_core
+            .extend_snapshot(&resettle_view, &touched)
+            .unwrap();
+        let resettle_work = resettle_view.counters().total();
+        assert!(
+            fringe.is_empty(),
+            "append-only growth never reaches into a backward search's past"
+        );
+        assert_eq!(
+            resettle_work, 0,
+            "the fringe scan must perform zero graph traversal"
+        );
+
+        let recompute_view = CountingView::new(live.graph());
+        let back_scratch = backward_bfs(&recompute_view, back_root).unwrap();
+        let backward_recompute_work = recompute_view.counters().total();
+
+        assert_eq!(
+            back_map
+                .redimensioned(NUM_NODES, history + 1)
+                .as_flat_slice(),
+            back_scratch.as_flat_slice(),
+            "resettled backward result must equal recomputation (history {history})"
+        );
+
+        matrix_reports.push(MatrixReport {
+            history,
+            shared_extend_work,
+            shared_recompute_work,
+            redimension_work,
+            windowed_recompute_work,
+            resettle_work,
+            backward_recompute_work,
+        });
+
         println!(
             "incremental_vs_recompute/h{history}: hop extend {hop_extend_work} vs \
              recompute {hop_recompute_work} ({:.1}x), foremost extend \
@@ -154,6 +289,34 @@ fn incremental_vs_recompute(c: &mut Criterion) {
             &history,
             |b, _| b.iter(|| std::hint::black_box(bfs(live.graph(), root).unwrap().num_reached())),
         );
+        group.bench_with_input(
+            BenchmarkId::new("extend_shared_one_snapshot", history),
+            &history,
+            |b, _| {
+                b.iter_batched(
+                    || shared_prefix_state(live.graph(), &sources, history),
+                    |mut state| {
+                        state.extend_snapshot(live.graph(), &touched).unwrap();
+                        std::hint::black_box(state.covered_timestamps())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute_shared_full", history),
+            &history,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        multi_source_shared(live.graph(), &sources)
+                            .unwrap()
+                            .reached()
+                            .len(),
+                    )
+                })
+            },
+        );
 
         // --- The full subsystem path: cached query across a seal. ---------
         let warm_cache = QueryCache::new();
@@ -172,6 +335,7 @@ fn incremental_vs_recompute(c: &mut Criterion) {
 
     group.finish();
     write_json_summary(&reports);
+    write_matrix_json(&matrix_reports);
 }
 
 /// Builds a state covering only the first `prefix` snapshots (the pre-delta
@@ -188,6 +352,18 @@ fn prefix_state(
     )
     .unwrap();
     ResumableBfs::start(&windowed, root).unwrap()
+}
+
+/// Builds a shared-frontier state covering only the first `prefix`
+/// snapshots — bench setup only, cost excluded from the measurement.
+fn shared_prefix_state(
+    graph: &egraph_core::csr::CsrAdjacency,
+    sources: &[TemporalNode],
+    prefix: usize,
+) -> ResumableShared {
+    let windowed =
+        TimeWindowView::new(graph, TimeIndex(0), TimeIndex::from_index(prefix - 1)).unwrap();
+    ResumableShared::start(&windowed, sources).unwrap()
 }
 
 fn write_json_summary(reports: &[SizeReport]) {
@@ -235,6 +411,76 @@ fn write_json_summary(reports: &[SizeReport]) {
         "recompute work must grow with history: {} -> {}",
         first.hop_recompute_work,
         last.hop_recompute_work
+    );
+}
+
+fn write_matrix_json(reports: &[MatrixReport]) {
+    let mut rows = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"history_snapshots\": {}, \"delta_edges\": {}, \
+             \"shared_extend_work\": {}, \"shared_recompute_work\": {}, \
+             \"shared_speedup\": {:.2}, \
+             \"redimension_work\": {}, \"windowed_recompute_work\": {}, \
+             \"resettle_work\": {}, \"backward_recompute_work\": {}}}",
+            r.history,
+            EDGES_PER_SNAPSHOT,
+            r.shared_extend_work,
+            r.shared_recompute_work,
+            r.shared_recompute_work as f64 / r.shared_extend_work.max(1) as f64,
+            r.redimension_work,
+            r.windowed_recompute_work,
+            r.resettle_work,
+            r.backward_recompute_work,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"incremental_matrix\",\n  \"num_nodes\": {NUM_NODES},\n  \
+         \"work_metric\": \"CountingView total (enumeration calls + delivered neighbors)\",\n  \
+         \"rows\": [\"shared_frontier_extend\", \"bounded_window_redimension\", \
+         \"effective_reversal_resettle\"],\n  \
+         \"sizes\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = "BENCH_incremental_matrix.json";
+    std::fs::write(path, &json).expect("write matrix bench summary");
+    println!("wrote {path}");
+
+    // The asymptotic shape per row: repair work flat (or zero) across a 4x
+    // history growth while every from-scratch twin must grow.
+    let first = &reports[0];
+    let last = &reports[reports.len() - 1];
+    assert!(
+        last.shared_extend_work <= first.shared_extend_work * 2,
+        "shared extension work must stay flat as history grows: {} -> {}",
+        first.shared_extend_work,
+        last.shared_extend_work
+    );
+    assert!(
+        last.shared_recompute_work >= first.shared_recompute_work * 2,
+        "shared recompute work must grow with history: {} -> {}",
+        first.shared_recompute_work,
+        last.shared_recompute_work
+    );
+    assert!(
+        reports
+            .iter()
+            .all(|r| r.redimension_work == 0 && r.resettle_work == 0),
+        "re-dimension and resettle repairs never traverse the graph"
+    );
+    assert!(
+        last.windowed_recompute_work >= first.windowed_recompute_work * 2,
+        "windowed recompute work must grow with history: {} -> {}",
+        first.windowed_recompute_work,
+        last.windowed_recompute_work
+    );
+    assert!(
+        last.backward_recompute_work > first.backward_recompute_work,
+        "backward recompute work must grow with history: {} -> {}",
+        first.backward_recompute_work,
+        last.backward_recompute_work
     );
 }
 

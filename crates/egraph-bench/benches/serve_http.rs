@@ -11,11 +11,11 @@
 //!    schedule (open-loop: the next request's send time does not wait for
 //!    the previous response, so queueing delay is *included* in latency —
 //!    the honest way to measure a server). The mix is ~70% hot standing
-//!    queries (cache hits), ~20% backward queries (recomputed when stale),
-//!    ~10% cold uniques (misses), while an ingest lane seals snapshots
-//!    mid-run so the hot forward queries really take the *extension* path
-//!    and the backward ones the *recompute* path. Reported: achieved QPS
-//!    and p50/p99/p999 latency.
+//!    queries (cache hits), ~20% backward queries (stable-core resettled
+//!    when stale), ~10% cold uniques (misses), while an ingest lane seals
+//!    snapshots mid-run so the hot forward queries really take the
+//!    *extension* path and the backward ones the *resettle* path.
+//!    Reported: achieved QPS and p50/p99/p999 latency.
 //! 2. **Coalescing burst.** A salvo of concurrent identical cold requests
 //!    against a production-configured server (no determinism hook);
 //!    whatever coalescing the race actually produced is reported.
@@ -25,7 +25,8 @@
 //! single-core box where timeslicing dominates tail latency. What *is*
 //! asserted is invariant under load: every response is a `200`, the
 //! percentile order holds, the outcome mix actually contains hits,
-//! extensions, recomputes and misses, and the server's books balance.
+//! extensions, resettles and misses — and zero recomputes, now that every
+//! matrix row repairs incrementally — and the server's books balance.
 //!
 //! Results land in a machine-readable `BENCH_serve_http.json` (committed),
 //! and CI's baseline-compare step (`bench_compare`) gates the stable
@@ -131,7 +132,7 @@ fn open_loop_run(client: &Client) -> LoadReport {
     let wall = Instant::now();
     let (latencies, span): (Vec<Vec<f64>>, f64) = std::thread::scope(|scope| {
         // The ingest lane: seal a fresh snapshot every ~150 ms so standing
-        // queries go stale mid-run and the extension/recompute paths are
+        // queries go stale mid-run and the extension/resettle paths are
         // genuinely exercised under load.
         scope.spawn(|| {
             let mut label = SEED_SNAPSHOTS as i64;
@@ -257,8 +258,12 @@ fn serve_http(c: &mut Criterion) {
         "hot forward queries must extend across mid-run seals"
     );
     assert!(
-        cache.recomputes > 0,
-        "backward queries must recompute across mid-run seals"
+        cache.stable_core_resettled > 0,
+        "backward queries must resettle across mid-run seals"
+    );
+    assert_eq!(
+        cache.recomputes, 0,
+        "every stale row repairs incrementally now"
     );
     assert_eq!(served.bad_requests, 0);
     assert!(burst_misses >= 1, "someone in the burst computes");
@@ -266,7 +271,7 @@ fn serve_http(c: &mut Criterion) {
     println!(
         "serve_http: {:.0} qps over {} requests; p50 {:.0} us, p99 {:.0} us, \
          p999 {:.0} us (max {:.0} us); {} mid-run seals; outcomes: {} hit / \
-         {} ext / {} rec / {} miss / {} coalesced; burst: {}/{} coalesced",
+         {} ext / {} resettle / {} miss / {} coalesced; burst: {}/{} coalesced",
         report.achieved_qps,
         report.requests,
         report.p50_us,
@@ -276,7 +281,7 @@ fn serve_http(c: &mut Criterion) {
         report.seals,
         cache.hits,
         cache.extensions,
-        cache.recomputes,
+        cache.stable_core_resettled,
         cache.misses,
         cache.coalesced,
         burst_coalesced,
@@ -313,17 +318,19 @@ fn write_json_summary(
          \"available_parallelism\": {cores},\n  \"qps\": {:.0},\n  \
          \"latency_us\": {{\"p50\": {:.0}, \"p99\": {:.0}, \"p999\": {:.0}, \"max\": {:.0}}},\n  \
          \"latency_asserted\": false,\n  \
-         \"outcomes\": {{\"hits\": {}, \"extensions\": {}, \"recomputes\": {}, \
+         \"outcomes\": {{\"hits\": {}, \"extensions\": {}, \"extended_shared\": {}, \
+         \"redimensioned\": {}, \"stable_core_resettled\": {}, \"recomputes\": {}, \
          \"misses\": {}, \"coalesced\": {}}},\n  \
          \"burst\": {{\"size\": {BURST_SIZE}, \"coalesced\": {burst_coalesced}, \
          \"misses\": {burst_misses}, \"coalesced_asserted\": false}},\n  \
          \"notes\": \"open-loop mixed load over real loopback sockets; requests fire on a \
          fixed schedule so queueing delay is included in latency; the ingest lane seals \
-         snapshots mid-run, forcing the extension (forward) and recompute (backward) paths; \
-         wall-clock numbers and race-dependent burst coalescing are recorded, not asserted, \
-         on the single-core build container (hits/extensions/recomputes/misses > 0 ARE \
-         asserted; the socket-layer test suite asserts exact 1-miss-15-coalesced behavior \
-         deterministically via the hold_leader_until_waiters hook)\"\n}}\n",
+         snapshots mid-run, forcing the extension (forward) and stable-core resettle \
+         (backward) repair rows; wall-clock numbers and race-dependent burst coalescing are \
+         recorded, not asserted, on the single-core build container (hits/extensions/\
+         resettles/misses > 0 and recomputes == 0 ARE asserted; the socket-layer test suite \
+         asserts exact 1-miss-15-coalesced behavior deterministically via the \
+         hold_leader_until_waiters hook)\"\n}}\n",
         report.requests,
         report.seals,
         report.achieved_qps,
@@ -333,6 +340,9 @@ fn write_json_summary(
         report.max_us,
         cache.hits,
         cache.extensions,
+        cache.extended_shared,
+        cache.redimensioned,
+        cache.stable_core_resettled,
         cache.recomputes,
         cache.misses,
         cache.coalesced,

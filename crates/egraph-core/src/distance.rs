@@ -240,6 +240,13 @@ impl DistanceMap {
             .collect()
     }
 
+    /// Whether BFS-tree parents were recorded for this map. Distinguishes
+    /// "no parents recorded" from "reached with no parent (the root)", which
+    /// [`DistanceMap::parent`] alone cannot.
+    pub fn has_parents(&self) -> bool {
+        self.parent.is_some()
+    }
+
     /// BFS-tree parent of `tn`, if parents were recorded and `tn` is reached
     /// and is not the root.
     pub fn parent(&self, tn: TemporalNode) -> Option<TemporalNode> {
@@ -289,6 +296,31 @@ impl DistanceMap {
     /// equivalence tests.
     pub fn as_flat_slice(&self) -> &[u32] {
         &self.dist
+    }
+
+    /// Re-expresses this map in the (grown) dimensions of an appended-to
+    /// graph: every reached entry — and its recorded parent, if any — keeps
+    /// its coordinates, and the new rows/columns start unreached.
+    ///
+    /// This is the *re-dimension* repair of the cache-invalidation matrix:
+    /// a result whose window excludes appended snapshots is append-invariant
+    /// modulo its dimensions, so repairing it is a scan of the reached set
+    /// with **zero graph work**.
+    ///
+    /// # Panics
+    /// Debug-asserts that neither dimension shrinks.
+    pub fn redimensioned(&self, num_nodes: usize, num_timestamps: usize) -> Self {
+        debug_assert!(num_nodes >= self.num_nodes && num_timestamps >= self.num_timestamps);
+        if self.has_parents() {
+            let entries: Vec<(TemporalNode, u32, Option<TemporalNode>)> = self
+                .reached()
+                .into_iter()
+                .map(|(tn, d)| (tn, d, self.parent(tn)))
+                .collect();
+            DistanceMap::from_reached_with_parents(num_nodes, num_timestamps, self.root, &entries)
+        } else {
+            DistanceMap::from_reached(num_nodes, num_timestamps, self.root, &self.reached())
+        }
     }
 }
 
@@ -518,6 +550,23 @@ impl MultiSourceMap {
     /// Raw flat distance slice (time-major), `u32::MAX` = unreached.
     pub fn as_flat_slice(&self) -> &[u32] {
         &self.dist
+    }
+
+    /// Re-expresses this map in the (grown) dimensions of an appended-to
+    /// graph; the shared-frontier twin of [`DistanceMap::redimensioned`]
+    /// (reached entries and their source attributions keep their
+    /// coordinates, new rows/columns start unreached; zero graph work).
+    ///
+    /// # Panics
+    /// Debug-asserts that neither dimension shrinks.
+    pub fn redimensioned(&self, num_nodes: usize, num_timestamps: usize) -> Self {
+        debug_assert!(num_nodes >= self.num_nodes && num_timestamps >= self.num_timestamps);
+        MultiSourceMap::from_entries(
+            num_nodes,
+            num_timestamps,
+            self.sources.clone(),
+            &self.reached_with_sources(),
+        )
     }
 }
 

@@ -85,6 +85,23 @@ impl ForemostResult {
     pub fn num_reachable(&self) -> usize {
         self.arrival.iter().filter(|t| t.is_some()).count()
     }
+
+    /// Re-expresses this result for a grown node universe (the *re-dimension*
+    /// repair of the cache-invalidation matrix): existing arrivals keep their
+    /// values — they are snapshot indices, not array positions, so appended
+    /// snapshots cannot move them — and new nodes start unreachable.
+    ///
+    /// # Panics
+    /// Debug-asserts that the node universe does not shrink.
+    pub fn redimensioned(&self, num_nodes: usize) -> Self {
+        debug_assert!(num_nodes >= self.arrival.len());
+        let mut arrival = self.arrival.clone();
+        arrival.resize(num_nodes, None);
+        ForemostResult {
+            root: self.root,
+            arrival,
+        }
+    }
 }
 
 /// Computes earliest arrivals from `root` to every node.

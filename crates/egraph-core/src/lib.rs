@@ -108,7 +108,7 @@ pub mod prelude {
     pub use crate::metrics::{eccentricity, reach_counts, GraphMetrics};
     pub use crate::par_bfs::{multi_source_bfs, par_bfs, par_multi_source_shared};
     pub use crate::paths::{enumerate_paths, is_temporal_path, walk_count_vector};
-    pub use crate::resume::{ResumableBfs, ResumableForemost};
+    pub use crate::resume::{ResumableBfs, ResumableForemost, ResumableShared, StableCoreResettle};
     pub use crate::reverse::ReversedView;
     pub use crate::snapshots::{Snapshot, SnapshotSequence};
     pub use crate::static_equiv::EquivalentStaticGraph;

@@ -19,25 +19,54 @@
 //!   sweep. Appending `t_new` can only create arrivals *at* `t_new`, found by
 //!   one static BFS inside the new snapshot seeded from already-reached
 //!   nodes.
+//! * [`ResumableShared`] — the packed `(dist << 32) | source_index` claim
+//!   keys of the shared-frontier engines, plus a per-node minimum key. One
+//!   hop adds `1 << 32` to a key (distance + 1, same source attribution), so
+//!   the hop engine's bucket BFS carries over verbatim on packed keys and
+//!   the extension reproduces the engines' deterministic
+//!   smallest-source-index tie-break exactly.
+//! * [`StableCoreResettle`] — the stable-core repair for *time-reversed*
+//!   traversals (backward XOR `.reverse()`), after Afarin et al.'s
+//!   stable-vertex analysis: across an append every previously settled value
+//!   is stable, because a reversed traversal from a fixed-time root only
+//!   ever visits times at or before that root — strictly earlier than any
+//!   appended snapshot. The engine does not *assume* that theorem: it scans
+//!   the sealed delta's touched set for an unstable fringe (any touched node
+//!   holding a value at or past the new snapshot) and reports it, so callers
+//!   re-settle exactly the fringe — provably empty under the append-only
+//!   contract — and can fall back to recomputation if the contract is ever
+//!   violated. Settled work is therefore `O(|touched|)` with zero graph
+//!   traversal.
 //!
-//! Both are pinned to their from-scratch engines by the unit tests below and
-//! by the workspace's `live_stream_differential` suite; the
-//! `incremental_vs_recompute` bench asserts the delta-proportional work claim
-//! with [`crate::instrument::CountingView`] counters.
+//! [`ResumableBfs`] also resumes BFS-tree *parents* when its source map
+//! recorded them: the retained per-node frontier remembers the earliest
+//! snapshot achieving each node's best distance, so a causal seed's parent
+//! is known without rescanning history, and static relaxations record their
+//! proposer. Parent trees are not unique — any parent at distance `d − 1`
+//! across a valid edge witnesses a shortest path — and the extension
+//! guarantees exactly that invariant (the workspace differential suites
+//! check parent *validity*, not pointer equality with a from-scratch run).
 //!
-//! Backward or time-reversed traversals do **not** admit this extension (a
-//! new snapshot changes which temporal nodes can reach a *later* source), so
-//! query layers fall back to recomputation for those shapes — see the
-//! cache-invalidation matrix in the workspace ROADMAP.
+//! All engines are pinned to their from-scratch counterparts by the unit
+//! tests below and by the workspace's `live_stream_differential` and
+//! `cache_matrix_fuzz` suites; the `incremental_vs_recompute` bench asserts
+//! the delta-proportional work claims with
+//! [`crate::instrument::CountingView`] counters.
 
 use std::collections::BTreeMap;
 
 use crate::bfs::bfs;
-use crate::distance::{DistanceMap, UNREACHED};
+use crate::distance::{DistanceMap, MultiSourceMap, UNREACHED};
 use crate::error::{GraphError, Result};
 use crate::foremost::{earliest_arrival, ForemostResult};
 use crate::graph::EvolvingGraph;
 use crate::ids::{NodeId, TemporalNode, TimeIndex};
+
+/// Sentinel parent for unreached temporal nodes / the root.
+const NO_PARENT: u64 = u64::MAX;
+
+/// Packed-key increment for one hop: distance + 1, same source attribution.
+const HOP: u64 = 1 << 32;
 
 /// Resumable state of a forward hop-distance BFS (Algorithm 1).
 ///
@@ -57,6 +86,13 @@ pub struct ResumableBfs {
     /// The frontier snapshot: `node_best[v]` = minimum distance at which `v`
     /// was reached at any covered snapshot (`UNREACHED` if never).
     node_best: Vec<u32>,
+    /// Earliest covered snapshot index achieving `node_best[v]` — the
+    /// witness a causal seed names as its parent. Meaningless where
+    /// `node_best[v] == UNREACHED`.
+    node_best_time: Vec<u32>,
+    /// BFS-tree parents as flat indices (`NO_PARENT` = root / unreached),
+    /// present iff the source map recorded parents.
+    parent: Option<Vec<u64>>,
 }
 
 impl ResumableBfs {
@@ -72,16 +108,32 @@ impl ResumableBfs {
     /// map (e.g. one produced through a query layer). The map must be a
     /// *forward* full- or suffix-window result in the coordinates of the
     /// graph that will later be extended; backward or time-reversed maps
-    /// cannot be resumed (see the module docs).
+    /// cannot be resumed (see the module docs). If the map recorded
+    /// BFS-tree parents, the extension maintains them (see the module docs
+    /// on parent validity).
     pub fn from_map(map: &DistanceMap) -> Self {
         let num_nodes = map.num_nodes();
         let num_timestamps = map.num_timestamps();
         let dist = map.as_flat_slice().to_vec();
         let mut node_best = vec![UNREACHED; num_nodes];
+        let mut node_best_time = vec![0u32; num_nodes];
+        let mut parent = map.has_parents().then(|| vec![NO_PARENT; dist.len()]);
         for (i, &d) in dist.iter().enumerate() {
+            if d == UNREACHED {
+                continue;
+            }
             let v = i % num_nodes;
+            // Scanning in flat (time-major) order, a strict improvement is
+            // the *earliest* snapshot achieving the final minimum.
             if d < node_best[v] {
                 node_best[v] = d;
+                node_best_time[v] = (i / num_nodes) as u32;
+            }
+            if let Some(p) = parent.as_mut() {
+                let tn = TemporalNode::from_flat_index(i, num_nodes);
+                if let Some(par) = map.parent(tn) {
+                    p[i] = par.flat_index(num_nodes) as u64;
+                }
             }
         }
         ResumableBfs {
@@ -90,6 +142,8 @@ impl ResumableBfs {
             num_timestamps,
             dist,
             node_best,
+            node_best_time,
+            parent,
         }
     }
 
@@ -140,8 +194,24 @@ impl ResumableBfs {
             let src = &self.dist[t * self.num_nodes..(t + 1) * self.num_nodes];
             dist[t * num_nodes..t * num_nodes + self.num_nodes].copy_from_slice(src);
         }
+        if let Some(old) = self.parent.take() {
+            // Parent pointers are flat indices, so they must be *remapped*,
+            // not just copied: a flat index bakes in the row stride.
+            let mut parent = vec![NO_PARENT; num_nodes * self.num_timestamps];
+            for t in 0..self.num_timestamps {
+                for v in 0..self.num_nodes {
+                    let p = old[t * self.num_nodes + v];
+                    if p != NO_PARENT {
+                        let tn = TemporalNode::from_flat_index(p as usize, self.num_nodes);
+                        parent[t * num_nodes + v] = tn.flat_index(num_nodes) as u64;
+                    }
+                }
+            }
+            self.parent = Some(parent);
+        }
         self.dist = dist;
         self.node_best.resize(num_nodes, UNREACHED);
+        self.node_best_time.resize(num_nodes, 0);
         self.num_nodes = num_nodes;
     }
 
@@ -185,24 +255,39 @@ impl ResumableBfs {
 
         // Seed every touched node with its cheapest causal entry, then relax
         // static edges inside the new snapshot in increasing-distance order.
-        let mut buckets: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+        // Each bucket entry carries the flat index of the parent proposing
+        // it: a causal seed's parent is the earliest snapshot achieving the
+        // node's best distance, a static relaxation's parent is its
+        // proposer at the new snapshot. First settle at the minimum
+        // distance wins, so every recorded parent sits at distance d − 1
+        // across a valid edge.
+        let track_parents = self.parent.is_some();
+        let mut buckets: BTreeMap<u32, Vec<(NodeId, u64)>> = BTreeMap::new();
         for &v in touched {
             let best = self.node_best[v.index()];
             if best != UNREACHED {
-                buckets.entry(best + 1).or_default().push(v);
+                let witness = self.node_best_time[v.index()] as u64 * self.num_nodes as u64
+                    + v.index() as u64;
+                buckets.entry(best + 1).or_default().push((v, witness));
             }
         }
         let mut new_row = vec![UNREACHED; self.num_nodes];
+        let mut new_parents = track_parents.then(|| vec![NO_PARENT; self.num_nodes]);
+        let row_base = self.num_timestamps * self.num_nodes;
         while let Some((&d, _)) = buckets.iter().next() {
             let nodes = buckets.remove(&d).expect("key taken from the map");
-            for v in nodes {
+            for (v, from) in nodes {
                 if new_row[v.index()] <= d {
                     continue; // settled earlier at an equal or smaller distance
                 }
                 new_row[v.index()] = d;
+                if let Some(ps) = new_parents.as_mut() {
+                    ps[v.index()] = from;
+                }
+                let proposer = (row_base + v.index()) as u64;
                 graph.for_each_static_out(v, t_new, &mut |w| {
                     if new_row[w.index()] > d + 1 {
-                        buckets.entry(d + 1).or_default().push(w);
+                        buckets.entry(d + 1).or_default().push((w, proposer));
                     }
                 });
             }
@@ -211,16 +296,44 @@ impl ResumableBfs {
         for (v, &d) in new_row.iter().enumerate() {
             if d < self.node_best[v] {
                 self.node_best[v] = d;
+                self.node_best_time[v] = self.num_timestamps as u32;
             }
         }
         self.dist.extend_from_slice(&new_row);
+        if let (Some(parent), Some(new_ps)) = (self.parent.as_mut(), new_parents) {
+            parent.extend_from_slice(&new_ps);
+        }
         self.num_timestamps += 1;
         Ok(())
     }
 
     /// Materialises the covered prefix as an ordinary [`DistanceMap`] —
-    /// byte-for-byte what a from-scratch [`bfs`] over that prefix produces.
+    /// distance-for-distance what a from-scratch [`bfs`] over that prefix
+    /// produces. When parents are tracked they are materialised too; the
+    /// tree is *a* valid BFS tree over those distances (see the module
+    /// docs), not necessarily the one a from-scratch run's visit order
+    /// would pick.
     pub fn to_distance_map(&self) -> DistanceMap {
+        if let Some(parent) = self.parent.as_ref() {
+            let reached: Vec<(TemporalNode, u32, Option<TemporalNode>)> = self
+                .dist
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d != UNREACHED)
+                .map(|(i, &d)| {
+                    let p = parent[i];
+                    let p = (p != NO_PARENT)
+                        .then(|| TemporalNode::from_flat_index(p as usize, self.num_nodes));
+                    (TemporalNode::from_flat_index(i, self.num_nodes), d, p)
+                })
+                .collect();
+            return DistanceMap::from_reached_with_parents(
+                self.num_nodes,
+                self.num_timestamps,
+                self.root,
+                &reached,
+            );
+        }
         let reached: Vec<(TemporalNode, u32)> = self
             .dist
             .iter()
@@ -345,6 +458,297 @@ impl ResumableForemost {
     /// Materialises the covered prefix as an ordinary [`ForemostResult`].
     pub fn to_result(&self) -> ForemostResult {
         ForemostResult::from_arrivals(self.root, self.arrival.clone())
+    }
+}
+
+/// Resumable state of a forward *shared-frontier* multi-source traversal
+/// ([`crate::bfs::multi_source_shared`] and its parallel twin).
+///
+/// The retained state is exactly the engines' packed claim keys —
+/// `(distance << 32) | source_index`, `u64::MAX` = unreached — plus a
+/// per-node minimum key over the covered snapshots. One hop adds `HOP`
+/// (`1 << 32`) to a key: distance + 1 with the source attribution carried
+/// along, so the same bucket BFS that extends [`ResumableBfs`] runs on
+/// packed keys and settles every temporal node of the appended snapshot at
+/// its minimum key. Minimum packed key *is* the engines' answer — nearest
+/// source first, ties to the smallest source index — so the extension is
+/// key-for-key identical to a from-scratch run, duplicates and ties
+/// included.
+#[derive(Clone, Debug)]
+pub struct ResumableShared {
+    sources: Vec<TemporalNode>,
+    num_nodes: usize,
+    num_timestamps: usize,
+    /// Packed `(dist << 32) | source_index` per temporal node, time-major.
+    key: Vec<u64>,
+    /// Minimum packed key at which each node was claimed at any covered
+    /// snapshot (`u64::MAX` if never) — the shared-frontier analogue of
+    /// [`ResumableBfs`]'s `node_best`.
+    node_best: Vec<u64>,
+}
+
+impl ResumableShared {
+    /// Runs a full shared-frontier traversal and captures resumable state.
+    ///
+    /// # Errors
+    /// The same source-validation errors as
+    /// [`multi_source_shared`](crate::bfs::multi_source_shared).
+    pub fn start<G: EvolvingGraph>(graph: &G, sources: &[TemporalNode]) -> Result<Self> {
+        Ok(Self::from_map(&crate::bfs::multi_source_shared(
+            graph, sources,
+        )?))
+    }
+
+    /// Captures resumable state from an already-computed *forward*
+    /// unbounded-end shared-frontier map in the coordinates of the graph
+    /// that will later be extended.
+    pub fn from_map(map: &MultiSourceMap) -> Self {
+        let num_nodes = map.num_nodes();
+        let num_timestamps = map.num_timestamps();
+        let mut key = vec![u64::MAX; num_nodes * num_timestamps];
+        for (tn, d, s) in map.reached_with_sources() {
+            key[tn.flat_index(num_nodes)] = ((d as u64) << 32) | s as u64;
+        }
+        let mut node_best = vec![u64::MAX; num_nodes];
+        for (i, &k) in key.iter().enumerate() {
+            let v = i % num_nodes;
+            if k < node_best[v] {
+                node_best[v] = k;
+            }
+        }
+        ResumableShared {
+            sources: map.sources().to_vec(),
+            num_nodes,
+            num_timestamps,
+            key,
+            node_best,
+        }
+    }
+
+    /// The sources the frontier was seeded with, in seed order.
+    pub fn sources(&self) -> &[TemporalNode] {
+        &self.sources
+    }
+
+    /// Number of snapshots covered so far.
+    pub fn covered_timestamps(&self) -> usize {
+        self.num_timestamps
+    }
+
+    /// Size of the node universe the state is laid out for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Re-lays the state out for a grown node universe. New nodes start
+    /// unreached everywhere. Shrinking is not supported (no-op).
+    pub fn grow_nodes(&mut self, num_nodes: usize) {
+        if num_nodes <= self.num_nodes {
+            return;
+        }
+        let mut key = vec![u64::MAX; num_nodes * self.num_timestamps];
+        for t in 0..self.num_timestamps {
+            let src = &self.key[t * self.num_nodes..(t + 1) * self.num_nodes];
+            key[t * num_nodes..t * num_nodes + self.num_nodes].copy_from_slice(src);
+        }
+        self.key = key;
+        self.node_best.resize(num_nodes, u64::MAX);
+        self.num_nodes = num_nodes;
+    }
+
+    /// Extends coverage by one snapshot (the next uncovered index), doing
+    /// work proportional to that snapshot's contents. `touched` must be
+    /// exactly the nodes active at the new snapshot.
+    ///
+    /// # Errors
+    /// [`GraphError::TimeOutOfRange`] / [`GraphError::NodeOutOfRange`] as
+    /// for [`ResumableBfs::extend_snapshot`].
+    pub fn extend_snapshot<G: EvolvingGraph>(
+        &mut self,
+        graph: &G,
+        touched: &[NodeId],
+    ) -> Result<()> {
+        let t_new = TimeIndex::from_index(self.num_timestamps);
+        if t_new.index() >= graph.num_timestamps() {
+            return Err(GraphError::TimeOutOfRange {
+                time: t_new,
+                num_timestamps: graph.num_timestamps(),
+            });
+        }
+        if graph.num_nodes() > self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: NodeId::from_index(self.num_nodes),
+                num_nodes: graph.num_nodes(),
+            });
+        }
+        debug_assert!(
+            touched.iter().all(|&v| graph.is_active(v, t_new)),
+            "touched list must contain only nodes active at the new snapshot"
+        );
+
+        // Identical structure to the hop extension, on packed keys: seed
+        // every touched node with its cheapest causal claim, relax static
+        // edges inside the new snapshot in increasing-key order. The first
+        // settle at the minimum key carries the winning (distance, source)
+        // pair by construction.
+        let mut buckets: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+        for &v in touched {
+            let best = self.node_best[v.index()];
+            if best != u64::MAX {
+                buckets.entry(best + HOP).or_default().push(v);
+            }
+        }
+        let mut new_row = vec![u64::MAX; self.num_nodes];
+        while let Some((&k, _)) = buckets.iter().next() {
+            let nodes = buckets.remove(&k).expect("key taken from the map");
+            for v in nodes {
+                if new_row[v.index()] <= k {
+                    continue; // settled earlier at an equal or smaller key
+                }
+                new_row[v.index()] = k;
+                graph.for_each_static_out(v, t_new, &mut |w| {
+                    if new_row[w.index()] > k + HOP {
+                        buckets.entry(k + HOP).or_default().push(w);
+                    }
+                });
+            }
+        }
+
+        for (v, &k) in new_row.iter().enumerate() {
+            if k < self.node_best[v] {
+                self.node_best[v] = k;
+            }
+        }
+        self.key.extend_from_slice(&new_row);
+        self.num_timestamps += 1;
+        Ok(())
+    }
+
+    /// Materialises the covered prefix as an ordinary [`MultiSourceMap`] —
+    /// key-for-key what a from-scratch
+    /// [`multi_source_shared`](crate::bfs::multi_source_shared) over that
+    /// prefix produces.
+    pub fn to_map(&self) -> MultiSourceMap {
+        MultiSourceMap::from_keys(
+            self.num_nodes,
+            self.num_timestamps,
+            self.sources.clone(),
+            &self.key,
+        )
+    }
+}
+
+/// Stable-core repair state for *time-reversed* traversals (backward XOR
+/// `.reverse()`), after Afarin et al.'s stable-vertex analysis: across an
+/// append, a reversed traversal's settled values are the stable core —
+/// reached times never exceed the (fixed) source times, which are strictly
+/// earlier than any appended snapshot — and the only candidates for an
+/// unstable fringe are the sealed delta's touched nodes.
+///
+/// The retained summary is one latest-reached time per node, rebuilt from
+/// the prior value map in `O(result)`. [`StableCoreResettle::extend_snapshot`]
+/// *verifies* stability instead of assuming it: it scans the touched set for
+/// nodes whose retained value could flow into the new snapshot (a value at
+/// or past it — impossible under the append-only contract) and returns that
+/// fringe for the caller to re-settle, falling back to recomputation if it
+/// is ever non-empty. The work is `O(|touched|)` per seal with **zero**
+/// graph traversal, which the `incremental_vs_recompute` bench pins via
+/// [`crate::instrument::CountingView`].
+#[derive(Clone, Debug)]
+pub struct StableCoreResettle {
+    num_nodes: usize,
+    num_timestamps: usize,
+    /// Latest covered snapshot at which each node holds a value (`None` =
+    /// never reached by the traversal).
+    node_latest: Vec<Option<TimeIndex>>,
+}
+
+impl StableCoreResettle {
+    /// Builds the per-node stable-core summary from the reached temporal
+    /// nodes of a prior value map covering `num_timestamps` snapshots.
+    pub fn from_reached_times(
+        num_nodes: usize,
+        num_timestamps: usize,
+        reached: impl IntoIterator<Item = TemporalNode>,
+    ) -> Self {
+        let mut node_latest: Vec<Option<TimeIndex>> = vec![None; num_nodes];
+        for tn in reached {
+            if tn.node.index() >= num_nodes {
+                continue;
+            }
+            let slot = &mut node_latest[tn.node.index()];
+            if slot.map(|t| tn.time > t).unwrap_or(true) {
+                *slot = Some(tn.time);
+            }
+        }
+        StableCoreResettle {
+            num_nodes,
+            num_timestamps,
+            node_latest,
+        }
+    }
+
+    /// Number of snapshots covered so far.
+    pub fn covered_timestamps(&self) -> usize {
+        self.num_timestamps
+    }
+
+    /// Size of the node universe the state is laid out for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Extends the summary for a grown node universe; new nodes hold no
+    /// value.
+    pub fn grow_nodes(&mut self, num_nodes: usize) {
+        if num_nodes > self.num_nodes {
+            self.node_latest.resize(num_nodes, None);
+            self.num_nodes = num_nodes;
+        }
+    }
+
+    /// Advances coverage over the next snapshot, returning the **unstable
+    /// fringe**: touched nodes whose retained value could flow into the new
+    /// snapshot and therefore must be re-settled. Under the append-only
+    /// contract the fringe is provably empty (every retained value predates
+    /// the new snapshot) and coverage advances; a non-empty fringe means
+    /// the contract was violated — coverage does *not* advance and the
+    /// caller should recompute.
+    ///
+    /// # Errors
+    /// [`GraphError::TimeOutOfRange`] / [`GraphError::NodeOutOfRange`] as
+    /// for [`ResumableBfs::extend_snapshot`].
+    pub fn extend_snapshot<G: EvolvingGraph>(
+        &mut self,
+        graph: &G,
+        touched: &[NodeId],
+    ) -> Result<Vec<NodeId>> {
+        let t_new = TimeIndex::from_index(self.num_timestamps);
+        if t_new.index() >= graph.num_timestamps() {
+            return Err(GraphError::TimeOutOfRange {
+                time: t_new,
+                num_timestamps: graph.num_timestamps(),
+            });
+        }
+        if graph.num_nodes() > self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: NodeId::from_index(self.num_nodes),
+                num_nodes: graph.num_nodes(),
+            });
+        }
+        let fringe: Vec<NodeId> = touched
+            .iter()
+            .copied()
+            .filter(|&v| {
+                self.node_latest[v.index()]
+                    .map(|t| t.index() >= t_new.index())
+                    .unwrap_or(false)
+            })
+            .collect();
+        if fringe.is_empty() {
+            self.num_timestamps += 1;
+        }
+        Ok(fringe)
     }
 }
 
@@ -551,5 +955,191 @@ mod tests {
             assert_eq!(state.root(), root);
             assert_eq!(state.covered_timestamps(), g.num_timestamps());
         }
+    }
+
+    #[test]
+    fn shared_extension_matches_from_scratch_on_random_growth() {
+        use crate::bfs::multi_source_shared;
+        for seed in [7u64, 41, 0xC0FFEE] {
+            let n = 22;
+            let batches = random_growth_trace(seed, n, 6);
+            let mut g = AdjacencyListGraph::directed_with_unit_times(n, 1);
+            for &(u, v) in &batches[0] {
+                g.add_edge(NodeId(u), NodeId(v), TimeIndex(0)).unwrap();
+            }
+            let active = g.active_nodes();
+            if active.len() < 2 {
+                continue;
+            }
+            // Deliberately include a duplicate source: attribution must still
+            // pick the smallest source *index*, and the extension must
+            // reproduce that tie-break exactly.
+            let sources = vec![active[0], active[1], active[0]];
+            let mut state = ResumableShared::start(&g, &sources).unwrap();
+            for batch in &batches[1..] {
+                let t = g.push_timestamp(g.num_timestamps() as i64).unwrap();
+                for &(u, v) in batch {
+                    g.add_edge(NodeId(u), NodeId(v), t).unwrap();
+                }
+                state.extend_snapshot(&g, &touched_at(&g, t)).unwrap();
+                let scratch = multi_source_shared(&g, &sources).unwrap();
+                let extended = state.to_map();
+                assert_eq!(
+                    extended.as_flat_slice(),
+                    scratch.as_flat_slice(),
+                    "distances diverged: seed {seed}, snapshot {t:?}"
+                );
+                assert_eq!(
+                    extended.reached_with_sources(),
+                    scratch.reached_with_sources(),
+                    "attribution diverged: seed {seed}, snapshot {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_grow_nodes_relayouts_state_and_matches_scratch() {
+        use crate::bfs::multi_source_shared;
+        let mut g = paper_figure1();
+        let sources = vec![TemporalNode::from_raw(0, 0), TemporalNode::from_raw(1, 0)];
+        let mut state = ResumableShared::start(&g, &sources).unwrap();
+        g.grow_nodes(6);
+        state.grow_nodes(6);
+        let t = g.push_timestamp(100).unwrap();
+        g.add_edge(NodeId(2), NodeId(5), t).unwrap();
+        g.add_edge(NodeId(5), NodeId(4), t).unwrap();
+        state.extend_snapshot(&g, &touched_at(&g, t)).unwrap();
+        let scratch = multi_source_shared(&g, &sources).unwrap();
+        assert_eq!(
+            state.to_map().reached_with_sources(),
+            scratch.reached_with_sources()
+        );
+        assert_eq!(state.sources(), &sources[..]);
+    }
+
+    #[test]
+    fn parent_links_survive_extension_with_exact_distances_and_valid_edges() {
+        use crate::bfs::bfs_with_parents;
+        for seed in [11u64, 77, 0xFEED] {
+            let n = 18;
+            let batches = random_growth_trace(seed, n, 5);
+            let mut g = AdjacencyListGraph::directed_with_unit_times(n, 1);
+            for &(u, v) in &batches[0] {
+                g.add_edge(NodeId(u), NodeId(v), TimeIndex(0)).unwrap();
+            }
+            let Some(&root) = g.active_nodes().first() else {
+                continue;
+            };
+            let mut state = ResumableBfs::from_map(&bfs_with_parents(&g, root).unwrap());
+            for batch in &batches[1..] {
+                let t = g.push_timestamp(g.num_timestamps() as i64).unwrap();
+                for &(u, v) in batch {
+                    g.add_edge(NodeId(u), NodeId(v), t).unwrap();
+                }
+                state.extend_snapshot(&g, &touched_at(&g, t)).unwrap();
+                let extended = state.to_distance_map();
+                let scratch = bfs_with_parents(&g, root).unwrap();
+                // Distances are pinned exactly; parent pointers are only
+                // required to be *valid* (parent one hop closer, edge exists
+                // in the effective direction), because first-discoverer order
+                // differs between extension and from-scratch runs.
+                assert_eq!(
+                    extended.as_flat_slice(),
+                    scratch.as_flat_slice(),
+                    "seed {seed}, snapshot {t:?}"
+                );
+                assert!(extended.has_parents());
+                for (tn, d) in extended.reached() {
+                    if tn == root {
+                        continue;
+                    }
+                    let p = extended.parent(tn).unwrap_or_else(|| {
+                        panic!("reached non-root {tn:?} lacks a parent (seed {seed})")
+                    });
+                    assert_eq!(
+                        extended.distance(p),
+                        Some(d - 1),
+                        "parent {p:?} of {tn:?} not one hop closer (seed {seed})"
+                    );
+                    let mut is_neighbor = false;
+                    g.for_each_forward_neighbor(p, &mut |w| is_neighbor |= w == tn);
+                    assert!(
+                        is_neighbor,
+                        "parent edge {p:?} -> {tn:?} does not exist (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stable_core_fringe_is_empty_across_appends() {
+        use crate::bfs::backward_bfs;
+        let mut g = paper_figure1();
+        let root = TemporalNode::from_raw(2, 1);
+        let map = backward_bfs(&g, root).unwrap();
+        let mut core = StableCoreResettle::from_reached_times(
+            g.num_nodes(),
+            g.num_timestamps(),
+            map.reached().into_iter().map(|(tn, _)| tn),
+        );
+        for step in 0..3 {
+            let t = g.push_timestamp(100 + step).unwrap();
+            g.add_edge(NodeId(0), NodeId(2), t).unwrap();
+            let fringe = core.extend_snapshot(&g, &touched_at(&g, t)).unwrap();
+            assert!(fringe.is_empty(), "append produced an unstable fringe");
+            assert_eq!(core.covered_timestamps(), t.index() + 1);
+            // The reversed result really is append-invariant.
+            assert_eq!(
+                backward_bfs(&g, root).unwrap().reached(),
+                map.reached(),
+                "snapshot {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stable_core_detects_an_out_of_prefix_value() {
+        // Contrived violation of the append-only contract: a retained value
+        // sitting *at* the to-be-appended snapshot. The verifier must report
+        // the node as unstable fringe and refuse to advance coverage.
+        let mut g = paper_figure1();
+        let bogus = TemporalNode::new(NodeId(1), TimeIndex::from_index(g.num_timestamps()));
+        let mut core = StableCoreResettle::from_reached_times(
+            g.num_nodes(),
+            g.num_timestamps(),
+            [TemporalNode::from_raw(0, 0), bogus],
+        );
+        let t = g.push_timestamp(100).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), t).unwrap();
+        let covered_before = core.covered_timestamps();
+        let fringe = core.extend_snapshot(&g, &touched_at(&g, t)).unwrap();
+        assert_eq!(fringe, vec![NodeId(1)]);
+        assert_eq!(core.covered_timestamps(), covered_before);
+    }
+
+    #[test]
+    fn stable_core_rejects_graphs_it_is_not_dimensioned_for() {
+        let mut g = paper_figure1();
+        let mut core =
+            StableCoreResettle::from_reached_times(g.num_nodes(), g.num_timestamps(), []);
+        // No appended snapshot yet: out of range.
+        assert!(matches!(
+            core.extend_snapshot(&g, &[]),
+            Err(GraphError::TimeOutOfRange { .. })
+        ));
+        g.grow_nodes(10);
+        let t = g.push_timestamp(50).unwrap();
+        g.add_edge(NodeId(0), NodeId(9), t).unwrap();
+        assert!(matches!(
+            core.extend_snapshot(&g, &touched_at(&g, t)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        core.grow_nodes(10);
+        assert!(core
+            .extend_snapshot(&g, &touched_at(&g, t))
+            .unwrap()
+            .is_empty());
     }
 }

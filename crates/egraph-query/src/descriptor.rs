@@ -82,34 +82,51 @@ impl QueryDescriptor {
     }
 
     /// Whether a cached result of this query can be *extended in place* when
-    /// strictly later snapshots are appended to the graph, rather than
-    /// recomputed.
+    /// strictly later snapshots are appended to the graph — shorthand for
+    /// `self.append_repair() == AppendRepair::Extend`. Every descriptor
+    /// shape has *some* incremental repair (see [`AppendRepair`]); this
+    /// predicate singles out the frontier-growing one.
+    pub fn is_append_extendable(&self) -> bool {
+        self.append_repair() == AppendRepair::Extend
+    }
+
+    /// Classifies how a cached result of this query is repaired when
+    /// strictly later snapshots are appended to the graph — one row of the
+    /// cache-invalidation matrix (ROADMAP / README).
     ///
     /// Appending a snapshot only ever adds causal edges *into* it and static
-    /// edges *inside* it, so a **forward** traversal whose window does not
-    /// exclude the new snapshots keeps every previously computed distance /
-    /// arrival and merely gains coverage — the
-    /// [`ResumableBfs`](egraph_core::resume::ResumableBfs) /
-    /// [`ResumableForemost`](egraph_core::resume::ResumableForemost)
-    /// extension. That requires:
+    /// edges *inside* it. That gives every shape a cheap repair:
     ///
-    /// * no effective time reversal (a backward or reversed traversal gains
-    ///   *sources of* the query root from new snapshots, invalidating old
-    ///   distances' minimality — they must recompute);
-    /// * an unbounded window end (a bounded window never covers appended
-    ///   snapshots; such results are recomputed on demand — see the
-    ///   cache-invalidation matrix in the workspace ROADMAP);
-    /// * a hop engine without parent recording, or the foremost sweep
-    ///   (shared-frontier extension is an open item).
-    pub fn is_append_extendable(&self) -> bool {
-        !self.effective_reverse
-            && !self.with_parents
-            && self.window.end_bound().is_none()
-            && !self.window.is_empty_spec()
-            && matches!(
-                self.strategy,
-                Strategy::Serial | Strategy::Parallel | Strategy::Algebraic | Strategy::Foremost
-            )
+    /// * **Forward, unbounded end** ([`AppendRepair::Extend`]): previously
+    ///   computed distances / arrivals / frontier claims all survive; the
+    ///   result merely gains coverage of the new snapshot —
+    ///   [`ResumableBfs`](egraph_core::resume::ResumableBfs) /
+    ///   [`ResumableForemost`](egraph_core::resume::ResumableForemost) /
+    ///   [`ResumableShared`](egraph_core::resume::ResumableShared), parents
+    ///   included.
+    /// * **Bounded window end** ([`AppendRepair::Redimension`]): the window
+    ///   never covers appended snapshots, so the answer is append-invariant
+    ///   *modulo its time dimensions* — remap coordinates, touch no edges.
+    /// * **Effective reversal** ([`AppendRepair::Resettle`]): a reversed
+    ///   traversal from a fixed-time root only reaches times at or before
+    ///   the root — strictly earlier than any appended snapshot — so the
+    ///   prior value map is the *stable core* (Afarin et al.) and only an
+    ///   unstable fringe drawn from the delta's touched nodes could need
+    ///   re-settling;
+    ///   [`StableCoreResettle`](egraph_core::resume::StableCoreResettle)
+    ///   verifies that fringe is empty instead of assuming it.
+    /// * **Empty window** ([`AppendRepair::None`]): the query always errors
+    ///   and errors are never cached — nothing to repair.
+    pub fn append_repair(&self) -> AppendRepair {
+        if self.window.is_empty_spec() {
+            AppendRepair::None
+        } else if self.window.end_bound().is_some() {
+            AppendRepair::Redimension
+        } else if self.effective_reverse {
+            AppendRepair::Resettle
+        } else {
+            AppendRepair::Extend
+        }
     }
 
     /// Rebuilds an executable [`Search`](crate::Search) from this identity —
@@ -138,6 +155,22 @@ impl QueryDescriptor {
             Strategy::Serial | Strategy::Parallel | Strategy::Algebraic
         )
     }
+}
+
+/// How a cached result is repaired when snapshots are appended — the rows of
+/// the cache-invalidation matrix. See
+/// [`QueryDescriptor::append_repair`] for the classification rules and the
+/// `egraph-stream` `QueryCache` for the implementations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AppendRepair {
+    /// Grow the retained result append-only (resumable frontier extension).
+    Extend,
+    /// Remap the result's time dimensions; no graph work.
+    Redimension,
+    /// Reuse the stable core after verifying the unstable fringe is empty.
+    Resettle,
+    /// No repair applies (the query unconditionally errors; never cached).
+    None,
 }
 
 /// An execution back end a [`Search`](crate::Search) can be routed through —
@@ -215,19 +248,50 @@ mod tests {
     }
 
     #[test]
-    fn extendability_matrix() {
-        let d = |s: Search| s.descriptor();
-        // Forward full-window hop and foremost queries extend.
-        assert!(d(Search::from(root())).is_append_extendable());
-        assert!(d(Search::from(root()).strategy(Strategy::Foremost)).is_append_extendable());
-        assert!(d(Search::from(root()).window(1u32..)).is_append_extendable());
-        // Reversed / backward, bounded-window, parents and shared-frontier
-        // queries do not.
-        assert!(!d(Search::from(root()).backward()).is_append_extendable());
-        assert!(!d(Search::from(root()).reverse()).is_append_extendable());
-        assert!(!d(Search::from(root()).window(0u32..=1)).is_append_extendable());
-        assert!(!d(Search::from(root()).with_parents()).is_append_extendable());
-        assert!(!d(Search::from(root()).strategy(Strategy::SharedFrontier)).is_append_extendable());
+    fn append_repair_matrix() {
+        let r = |s: Search| s.descriptor().append_repair();
+        // Forward unbounded-end queries extend — every engine, parents
+        // included.
+        assert_eq!(r(Search::from(root())), AppendRepair::Extend);
+        assert_eq!(
+            r(Search::from(root()).strategy(Strategy::Foremost)),
+            AppendRepair::Extend
+        );
+        assert_eq!(r(Search::from(root()).window(1u32..)), AppendRepair::Extend);
+        assert_eq!(r(Search::from(root()).with_parents()), AppendRepair::Extend);
+        assert_eq!(
+            r(Search::from(root()).strategy(Strategy::SharedFrontier)),
+            AppendRepair::Extend
+        );
+        assert!(d_extendable(Search::from(root())));
+        // Bounded window ends re-dimension — the window bound wins over
+        // reversal (a bounded reversed result is still append-invariant
+        // modulo dimensions).
+        assert_eq!(
+            r(Search::from(root()).window(0u32..=1)),
+            AppendRepair::Redimension
+        );
+        assert_eq!(
+            r(Search::from(root()).backward().window(..=1u32)),
+            AppendRepair::Redimension
+        );
+        // Effective reversal (unbounded end) resettles the stable core.
+        assert_eq!(r(Search::from(root()).backward()), AppendRepair::Resettle);
+        assert_eq!(r(Search::from(root()).reverse()), AppendRepair::Resettle);
+        assert!(!d_extendable(Search::from(root()).backward()));
+        // Double reversal cancels back to extension.
+        assert_eq!(
+            r(Search::from(root()).backward().reverse()),
+            AppendRepair::Extend
+        );
+        // Empty windows always error; nothing is ever cached to repair.
+        #[allow(clippy::reversed_empty_ranges)]
+        let empty = Search::from(root()).window(3u32..1);
+        assert_eq!(r(empty), AppendRepair::None);
+    }
+
+    fn d_extendable(s: Search) -> bool {
+        s.descriptor().is_append_extendable()
     }
 
     #[test]

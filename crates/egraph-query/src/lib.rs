@@ -98,7 +98,7 @@ mod result;
 mod view_map;
 
 pub use builder::{Search, Strategy, WindowSpec};
-pub use descriptor::{QueryDescriptor, QueryExecutor};
+pub use descriptor::{AppendRepair, QueryDescriptor, QueryExecutor};
 pub use egraph_core::bfs::Direction;
 pub use prepared::Prepared;
 pub use result::SearchResult;
@@ -106,7 +106,7 @@ pub use result::SearchResult;
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::builder::{Search, Strategy, WindowSpec};
-    pub use crate::descriptor::{QueryDescriptor, QueryExecutor};
+    pub use crate::descriptor::{AppendRepair, QueryDescriptor, QueryExecutor};
     pub use crate::prepared::Prepared;
     pub use crate::result::SearchResult;
     pub use egraph_core::bfs::Direction;

@@ -507,6 +507,8 @@ fn outcome_name(outcome: CacheOutcome) -> &'static str {
         CacheOutcome::Miss => "miss",
         CacheOutcome::Hit => "hit",
         CacheOutcome::Extended => "extended",
+        CacheOutcome::Redimensioned => "redimensioned",
+        CacheOutcome::Resettled => "resettled",
         CacheOutcome::Recomputed => "recomputed",
     }
 }
@@ -673,13 +675,18 @@ fn stats_body(shared: &Arc<Shared>) -> String {
     };
     let subscribers = lock(&shared.subscribers).len();
     format!(
-        "{{\"cache\": {{\"hits\": {}, \"extensions\": {}, \"recomputes\": {}, \"misses\": {}, \
-         \"evictions\": {}, \"coalesced\": {}, \"requests\": {}, \"hit_rate\": {:.6}}}, \
+        "{{\"cache\": {{\"hits\": {}, \"extensions\": {}, \"extended_shared\": {}, \
+         \"redimensioned\": {}, \"stable_core_resettled\": {}, \"recomputes\": {}, \
+         \"misses\": {}, \"evictions\": {}, \"coalesced\": {}, \"requests\": {}, \
+         \"hit_rate\": {:.6}}}, \
          \"server\": {{\"requests\": {}, \"bad_requests\": {}, \"subscribers\": {subscribers}, \
          \"subscriptions_opened\": {}, \"frames_pushed\": {}}}, \
          \"graph\": {{\"version\": {version}, \"num_sealed\": {num_sealed}, \"num_nodes\": {num_nodes}}}}}",
         cache.hits,
         cache.extensions,
+        cache.extended_shared,
+        cache.redimensioned,
+        cache.stable_core_resettled,
         cache.recomputes,
         cache.misses,
         cache.evictions,

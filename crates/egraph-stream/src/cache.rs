@@ -7,19 +7,24 @@
 //! When the graph's [`version`](LiveGraph::version) moves (snapshots were
 //! sealed), a stale entry is repaired according to the query's shape:
 //!
-//! | query shape | on appended snapshots |
-//! |---|---|
-//! | forward, unbounded-end window, hop strategy (no parents) | **extended** from the cached result's per-node frontier ([`ResumableBfs`]) |
-//! | forward, unbounded-end window, `Foremost` | **extended** from the cached arrival table ([`ResumableForemost`]) |
-//! | effective time reversal (backward and/or `.reverse()`) | recomputed — new snapshots add *predecessors* of nothing but may add sources of the reversed traversal |
-//! | bounded window end | recomputed on demand (the window never covers the new snapshots, but result dimensions track the graph) |
-//! | `with_parents` / `SharedFrontier` | recomputed (extension is an open item) |
+//! | query shape | on appended snapshots | outcome |
+//! |---|---|---|
+//! | forward, unbounded-end window, hop strategy | **extended** from the cached result's per-node frontier ([`ResumableBfs`]) — parent links included (`with_parents` rides the same path) | `Extended` |
+//! | forward, unbounded-end window, `Foremost` | **extended** from the cached arrival table ([`ResumableForemost`]) | `Extended` |
+//! | forward, unbounded-end window, `SharedFrontier` | **extended** from the cached packed `(dist<<32)\|src` claims ([`ResumableShared`]) | `Extended` |
+//! | bounded window end (any strategy / direction / reverse / parents) | **re-dimensioned**: the window never covers appended snapshots, so the answer is append-invariant modulo its time dimensions — coordinates are remapped, no edge is touched | `Redimensioned` |
+//! | effective time reversal, unbounded end | **stable-core resettle** (Afarin et al.): the prior value map is reused after [`StableCoreResettle`] *verifies* the unstable fringe drawn from the delta's touched nodes is empty — `O(\|touched\|)`, zero traversal; a non-empty fringe (append contract violated) falls back to recompute | `Resettled` |
+//! | empty window | always errors; errors are never cached | — |
 //!
-//! Extension does *graph work* proportional to the appended delta — the
+//! Every row is now incremental: `Recomputed` survives only as the fallback
+//! when a repair refuses (fringe violation above). Repairs do *graph work*
+//! at most proportional to the appended delta — the
 //! `incremental_vs_recompute` bench pins this with
 //! [`CountingView`](egraph_core::instrument::CountingView) counters — while
 //! staying answer-identical to a from-scratch [`Search::run`] on the sealed
-//! graph, errors included (the `live_stream_differential` suite).
+//! graph, errors included (the `live_stream_differential` suite and the
+//! seeded `cache_matrix_fuzz` harness, which checks every matrix cell
+//! against a from-scratch twin after every seal).
 //!
 //! ## The serve path
 //!
@@ -69,8 +74,8 @@ use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use egraph_core::error::Result;
 use egraph_core::ids::TimeIndex;
-use egraph_core::resume::{ResumableBfs, ResumableForemost};
-use egraph_query::{QueryDescriptor, QueryExecutor, Search, SearchResult, Strategy};
+use egraph_core::resume::{ResumableBfs, ResumableForemost, ResumableShared, StableCoreResettle};
+use egraph_query::{AppendRepair, QueryDescriptor, QueryExecutor, Search, SearchResult, Strategy};
 
 use crate::live::LiveGraph;
 
@@ -84,7 +89,15 @@ pub enum CacheOutcome {
     Hit,
     /// A stale extendable entry was advanced over the appended snapshots.
     Extended,
-    /// A stale non-extendable entry was recomputed from scratch.
+    /// A stale bounded-window entry was re-dimensioned to the grown graph —
+    /// coordinates remapped, no graph work.
+    Redimensioned,
+    /// A stale time-reversed entry's stable core was reused after verifying
+    /// the unstable fringe was empty — `O(|touched|)`, no traversal.
+    Resettled,
+    /// A stale entry was recomputed from scratch. With every matrix row now
+    /// incremental this is a fallback only (a repair that refused, e.g. a
+    /// stable-core fringe violation) — normal operation never reports it.
     Recomputed,
 }
 
@@ -99,9 +112,21 @@ pub enum CacheOutcome {
 pub struct CacheStats {
     /// Queries served from a current entry.
     pub hits: u64,
-    /// Queries served by incremental extension.
+    /// Queries served by incremental extension of a hop or foremost entry
+    /// ([`CacheOutcome::Extended`] on the rows PR 3 closed).
     pub extensions: u64,
-    /// Stale entries recomputed from scratch.
+    /// Queries served by extension of a shared-frontier or parent-tracking
+    /// entry — the rows this matrix revision closed, counted separately so
+    /// the new paths are observable ([`CacheOutcome::Extended`]).
+    pub extended_shared: u64,
+    /// Bounded-window entries re-dimensioned without graph work
+    /// ([`CacheOutcome::Redimensioned`]).
+    pub redimensioned: u64,
+    /// Time-reversed entries whose stable core was reused after fringe
+    /// verification ([`CacheOutcome::Resettled`]).
+    pub stable_core_resettled: u64,
+    /// Stale entries recomputed from scratch — fallback only; zero in
+    /// normal operation now that every matrix row repairs incrementally.
     pub recomputes: u64,
     /// Queries with no prior entry.
     pub misses: u64,
@@ -118,7 +143,20 @@ impl CacheStats {
     /// Total requests these stats describe: every served outcome plus the
     /// requests that coalesced onto one of them.
     pub fn requests(&self) -> u64 {
-        self.hits + self.extensions + self.recomputes + self.misses + self.coalesced
+        self.hits
+            + self.extensions
+            + self.extended_shared
+            + self.redimensioned
+            + self.stable_core_resettled
+            + self.recomputes
+            + self.misses
+            + self.coalesced
+    }
+
+    /// Every repair of a stale entry that avoided a from-scratch run: the
+    /// sum of the per-row incremental counters.
+    pub fn incremental_repairs(&self) -> u64 {
+        self.extensions + self.extended_shared + self.redimensioned + self.stable_core_resettled
     }
 
     /// Fraction of requests served without any graph work — cache hits plus
@@ -134,15 +172,29 @@ impl CacheStats {
 }
 
 /// How a stale entry can be repaired. Decided once, from the descriptor, at
-/// insert time.
+/// insert time — one variant per row of the invalidation matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum EntryKind {
     /// Forward unbounded-end hop maps: extendable via [`ResumableBfs`].
     Hops,
+    /// As [`EntryKind::Hops`] with BFS-tree parents — the same resumable
+    /// extension (parent links ride the frontier), counted separately
+    /// ([`CacheStats::extended_shared`]).
+    HopsParents,
     /// Forward unbounded-end arrival tables: extendable via
     /// [`ResumableForemost`].
     Foremost,
-    /// Anything else: valid only at the version it was computed at.
+    /// Forward unbounded-end nearest-source maps: extendable via
+    /// [`ResumableShared`].
+    Shared,
+    /// Bounded window end (any strategy / direction): append-invariant
+    /// modulo time dimensions; repaired by coordinate remapping.
+    Windowed,
+    /// Effective time reversal, unbounded end: stable-core reuse after
+    /// [`StableCoreResettle`] fringe verification.
+    Reversed,
+    /// No repair applies. Unused in practice: the only `AppendRepair::None`
+    /// shape (an empty window) always errors, and errors are never cached.
     Opaque,
 }
 
@@ -188,6 +240,9 @@ pub struct QueryCache {
     bound_graph: AtomicU64,
     hits: AtomicU64,
     extensions: AtomicU64,
+    extended_shared: AtomicU64,
+    redimensioned: AtomicU64,
+    stable_core_resettled: AtomicU64,
     recomputes: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -229,6 +284,9 @@ impl QueryCache {
             bound_graph: AtomicU64::new(u64::MAX),
             hits: AtomicU64::new(0),
             extensions: AtomicU64::new(0),
+            extended_shared: AtomicU64::new(0),
+            redimensioned: AtomicU64::new(0),
+            stable_core_resettled: AtomicU64::new(0),
             recomputes: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -251,6 +309,9 @@ impl QueryCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             extensions: self.extensions.load(Ordering::Relaxed),
+            extended_shared: self.extended_shared.load(Ordering::Relaxed),
+            redimensioned: self.redimensioned.load(Ordering::Relaxed),
+            stable_core_resettled: self.stable_core_resettled.load(Ordering::Relaxed),
             recomputes: self.recomputes.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -268,10 +329,18 @@ impl QueryCache {
 
     /// Bumps the counter for `outcome` — called exactly where the outcome's
     /// result is served, so counters stay atomic with what callers observe.
-    fn record(&self, outcome: CacheOutcome) {
+    /// `Extended` splits by the entry's matrix row: the hop/foremost rows
+    /// land in [`CacheStats::extensions`], the shared-frontier/parents rows
+    /// in [`CacheStats::extended_shared`].
+    fn record(&self, outcome: CacheOutcome, kind: EntryKind) {
         match outcome {
             CacheOutcome::Hit => &self.hits,
-            CacheOutcome::Extended => &self.extensions,
+            CacheOutcome::Extended => match kind {
+                EntryKind::Shared | EntryKind::HopsParents => &self.extended_shared,
+                _ => &self.extensions,
+            },
+            CacheOutcome::Redimensioned => &self.redimensioned,
+            CacheOutcome::Resettled => &self.stable_core_resettled,
             CacheOutcome::Recomputed => &self.recomputes,
             CacheOutcome::Miss => &self.misses,
         }
@@ -350,7 +419,7 @@ impl QueryCache {
             match map.get(&descriptor) {
                 Some(entry) if entry.graph_id == graph_id && entry.version == version => {
                     entry.last_used.store(self.tick(), Ordering::Relaxed);
-                    self.record(CacheOutcome::Hit);
+                    self.record(CacheOutcome::Hit, entry.kind);
                     return Ok((Arc::clone(&entry.result), CacheOutcome::Hit));
                 }
                 // Stale but extendable: the graph only ever gained sealed
@@ -370,7 +439,7 @@ impl QueryCache {
             }
         };
 
-        // The expensive part — traversal / extension — outside any lock, so
+        // The expensive part — repair / traversal — outside any lock, so
         // same-shard hits keep flowing and a panicking engine cannot poison
         // the shard.
         let (outcome, computed) = match plan {
@@ -378,10 +447,13 @@ impl QueryCache {
                 kind,
                 covered,
                 result,
-            } => (
-                CacheOutcome::Extended,
-                Ok(Arc::new(extend_result(kind, covered, &result, live))),
-            ),
+            } => match extend_result(kind, covered, &result, live) {
+                Some(repaired) => (outcome_for(kind), Ok(Arc::new(repaired))),
+                // The repair refused (stable-core fringe violation): fall
+                // back to the from-scratch run it no longer trusts itself
+                // to avoid.
+                None => (CacheOutcome::Recomputed, search.run(live.graph())),
+            },
             RepairPlan::Recompute => (CacheOutcome::Recomputed, search.run(live.graph())),
             RepairPlan::Miss => (CacheOutcome::Miss, search.run(live.graph())),
         };
@@ -402,17 +474,17 @@ impl QueryCache {
                 Err(err)
             }
             Ok(result) => {
+                let kind = entry_kind(&descriptor);
                 if let Some(entry) = map.get(&descriptor) {
                     if entry.graph_id == graph_id && entry.version == version {
                         // A sibling installed the same repair first; serve
                         // the shared copy so every reader keeps pointing at
                         // one materialisation, and drop ours.
                         entry.last_used.store(self.tick(), Ordering::Relaxed);
-                        self.record(outcome);
+                        self.record(outcome, kind);
                         return Ok((Arc::clone(&entry.result), outcome));
                     }
                 }
-                let kind = entry_kind(&descriptor);
                 map.insert(
                     descriptor,
                     CacheEntry {
@@ -425,7 +497,7 @@ impl QueryCache {
                     },
                 );
                 self.evict_over_capacity(&mut map);
-                self.record(outcome);
+                self.record(outcome, kind);
                 Ok((result, outcome))
             }
         }
@@ -449,7 +521,7 @@ impl QueryCache {
         match map.get(&descriptor) {
             Some(entry) if entry.graph_id == graph_id && entry.version == version => {
                 entry.last_used.store(self.tick(), Ordering::Relaxed);
-                self.record(CacheOutcome::Hit);
+                self.record(CacheOutcome::Hit, entry.kind);
                 Some(Arc::clone(&entry.result))
             }
             _ => None,
@@ -505,39 +577,68 @@ enum RepairPlan {
 }
 
 /// The repair kind a fresh entry will use when it goes stale. Mirrors the
-/// descriptor's extendability matrix.
+/// descriptor's [`AppendRepair`] classification row for row.
 fn entry_kind(descriptor: &QueryDescriptor) -> EntryKind {
-    if !descriptor.is_append_extendable() {
-        return EntryKind::Opaque;
-    }
-    match descriptor.strategy() {
-        Strategy::Serial | Strategy::Parallel | Strategy::Algebraic => EntryKind::Hops,
-        Strategy::Foremost => EntryKind::Foremost,
-        Strategy::SharedFrontier => EntryKind::Opaque,
+    match descriptor.append_repair() {
+        AppendRepair::None => EntryKind::Opaque,
+        AppendRepair::Redimension => EntryKind::Windowed,
+        AppendRepair::Resettle => EntryKind::Reversed,
+        AppendRepair::Extend => match descriptor.strategy() {
+            Strategy::Serial | Strategy::Parallel | Strategy::Algebraic => {
+                if descriptor.with_parents() {
+                    EntryKind::HopsParents
+                } else {
+                    EntryKind::Hops
+                }
+            }
+            Strategy::Foremost => EntryKind::Foremost,
+            Strategy::SharedFrontier => EntryKind::Shared,
+        },
     }
 }
 
-/// Rebuilds resumable state from the entry's shared result (covering
-/// `covered` snapshots), advances it over the snapshots sealed since, and
-/// materialises the extended result. Rebuilding instead of retaining the
-/// state keeps entries at one copy of the tables; the rebuild is a scan of
-/// the result, no graph work, so extension work stays delta-proportional
-/// (pinned by the `incremental_vs_recompute` bench).
+/// The outcome a successful repair of `kind` reports.
+fn outcome_for(kind: EntryKind) -> CacheOutcome {
+    match kind {
+        EntryKind::Hops | EntryKind::HopsParents | EntryKind::Foremost | EntryKind::Shared => {
+            CacheOutcome::Extended
+        }
+        EntryKind::Windowed => CacheOutcome::Redimensioned,
+        EntryKind::Reversed => CacheOutcome::Resettled,
+        EntryKind::Opaque => unreachable!("opaque entries recompute"),
+    }
+}
+
+/// Repairs the entry's shared result (covering `covered` snapshots) up to
+/// the live graph's sealed state, per the entry's matrix row. Returns `None`
+/// when the repair refuses — only the stable-core row can, on a fringe
+/// verification failure — in which case the caller recomputes.
+///
+/// Extension rows rebuild resumable state from the result instead of
+/// retaining it alongside (the state duplicates the result's tables, so
+/// storing both doubled entry memory); the rebuild is a scan of the result,
+/// no graph work, so repair work stays delta-proportional (pinned by the
+/// `incremental_vs_recompute` bench).
 fn extend_result(
     kind: EntryKind,
     covered: usize,
     result: &SearchResult,
     live: &LiveGraph,
-) -> SearchResult {
+) -> Option<SearchResult> {
     match kind {
-        EntryKind::Hops => {
+        EntryKind::Hops | EntryKind::HopsParents => {
+            // `ResumableBfs::from_map` captures parent links when the map
+            // has them, so the parents row is the same extension.
             let mut states: Vec<ResumableBfs> = result
                 .distance_maps()
                 .iter()
                 .map(ResumableBfs::from_map)
                 .collect();
             extend_states(&mut states, live);
-            SearchResult::from_maps(states.iter().map(|s| s.to_distance_map()).collect(), false)
+            Some(SearchResult::from_maps(
+                states.iter().map(|s| s.to_distance_map()).collect(),
+                false,
+            ))
         }
         EntryKind::Foremost => {
             let mut states: Vec<ResumableForemost> = result
@@ -546,9 +647,108 @@ fn extend_result(
                 .map(|table| ResumableForemost::from_result(table, covered))
                 .collect();
             extend_states(&mut states, live);
-            SearchResult::from_arrivals(states.iter().map(|s| s.to_result()).collect(), false)
+            Some(SearchResult::from_arrivals(
+                states.iter().map(|s| s.to_result()).collect(),
+                false,
+            ))
+        }
+        EntryKind::Shared => {
+            let mut states = [ResumableShared::from_map(result.shared_map())];
+            extend_states(&mut states, live);
+            let [state] = states;
+            Some(SearchResult::from_shared(state.to_map(), false))
+        }
+        EntryKind::Windowed => Some(redimension_result(result, live)),
+        EntryKind::Reversed => {
+            // Stable-core reuse (Afarin et al.): the retained values are
+            // append-invariant *if* none could flow into the appended
+            // snapshots. Verify that over the deltas' touched sets —
+            // `O(|touched|)` per seal, zero traversal — then the repair is
+            // pure re-dimensioning.
+            let graph = live.graph();
+            let mut core = StableCoreResettle::from_reached_times(
+                result_num_nodes(result),
+                covered,
+                reached_temporal_nodes(result),
+            );
+            core.grow_nodes(graph.num_nodes());
+            for t in core.covered_timestamps()..live.num_sealed() {
+                let t = TimeIndex::from_index(t);
+                let fringe = core.extend_snapshot(graph, live.touched_at(t)).ok()?;
+                if !fringe.is_empty() {
+                    return None;
+                }
+            }
+            Some(redimension_result(result, live))
         }
         EntryKind::Opaque => unreachable!("opaque entries recompute"),
+    }
+}
+
+/// Re-expresses `result` in the live graph's current dimensions — the
+/// re-dimension repair: distances / arrivals / attributions all keep their
+/// values (they are indexed by snapshot label position and node id, neither
+/// of which an append can move), new nodes and snapshots start unreached.
+/// No graph work.
+fn redimension_result(result: &SearchResult, live: &LiveGraph) -> SearchResult {
+    let graph = live.graph();
+    let (num_nodes, num_timestamps) = (graph.num_nodes(), graph.num_timestamps());
+    let reversed = result.is_time_reversed();
+    if let Some(maps) = result.try_distance_maps() {
+        SearchResult::from_maps(
+            maps.iter()
+                .map(|m| m.redimensioned(num_nodes, num_timestamps))
+                .collect(),
+            reversed,
+        )
+    } else if let Some(tables) = result.try_foremost_results() {
+        SearchResult::from_arrivals(
+            tables.iter().map(|a| a.redimensioned(num_nodes)).collect(),
+            reversed,
+        )
+    } else {
+        SearchResult::from_shared(
+            result.shared_map().redimensioned(num_nodes, num_timestamps),
+            reversed,
+        )
+    }
+}
+
+/// The node dimension of a result's payload (all payloads agree).
+fn result_num_nodes(result: &SearchResult) -> usize {
+    if let Some(maps) = result.try_distance_maps() {
+        maps.first().map(|m| m.num_nodes()).unwrap_or(0)
+    } else if let Some(tables) = result.try_foremost_results() {
+        tables.first().map(|a| a.arrivals().len()).unwrap_or(0)
+    } else {
+        result.shared_map().num_nodes()
+    }
+}
+
+/// Every temporal node at which a result holds a value — the reached set
+/// the stable-core verifier summarises.
+fn reached_temporal_nodes(result: &SearchResult) -> Vec<egraph_core::ids::TemporalNode> {
+    use egraph_core::ids::TemporalNode;
+    if let Some(maps) = result.try_distance_maps() {
+        maps.iter()
+            .flat_map(|m| m.reached().into_iter().map(|(tn, _)| tn))
+            .collect()
+    } else if let Some(tables) = result.try_foremost_results() {
+        tables
+            .iter()
+            .flat_map(|a| {
+                a.reachable()
+                    .into_iter()
+                    .map(|(v, t)| TemporalNode::new(v, t))
+            })
+            .collect()
+    } else {
+        result
+            .shared_map()
+            .reached()
+            .into_iter()
+            .map(|(tn, _)| tn)
+            .collect()
     }
 }
 
@@ -577,6 +777,22 @@ impl Resumable for ResumableBfs {
         touched: &[egraph_core::ids::NodeId],
     ) -> Result<()> {
         ResumableBfs::extend_snapshot(self, graph, touched)
+    }
+}
+
+impl Resumable for ResumableShared {
+    fn grow_nodes(&mut self, num_nodes: usize) {
+        ResumableShared::grow_nodes(self, num_nodes)
+    }
+    fn covered_timestamps(&self) -> usize {
+        ResumableShared::covered_timestamps(self)
+    }
+    fn extend_snapshot(
+        &mut self,
+        graph: &egraph_core::csr::CsrAdjacency,
+        touched: &[egraph_core::ids::NodeId],
+    ) -> Result<()> {
+        ResumableShared::extend_snapshot(self, graph, touched)
     }
 }
 
@@ -686,7 +902,7 @@ mod tests {
     }
 
     #[test]
-    fn hit_extend_and_recompute_paths_are_reported() {
+    fn hit_extend_and_resettle_paths_are_reported() {
         let mut live = seeded_live();
         let cache = QueryCache::new();
         let forward = Search::from(TemporalNode::from_raw(0, 0));
@@ -712,14 +928,129 @@ mod tests {
                 .distance_map()
                 .as_flat_slice()
         );
-        let (_, o) = cache.execute_traced(&live, &backward).unwrap();
-        assert_eq!(o, CacheOutcome::Recomputed);
+        let (result, o) = cache.execute_traced(&live, &backward).unwrap();
+        assert_eq!(o, CacheOutcome::Resettled);
+        assert_eq!(
+            result.distance_map().as_flat_slice(),
+            backward
+                .run(live.graph())
+                .unwrap()
+                .distance_map()
+                .as_flat_slice()
+        );
 
         let stats = cache.stats();
         assert_eq!(
-            (stats.misses, stats.hits, stats.extensions, stats.recomputes),
-            (2, 1, 1, 1)
+            (
+                stats.misses,
+                stats.hits,
+                stats.extensions,
+                stats.stable_core_resettled,
+                stats.recomputes,
+            ),
+            (2, 1, 1, 1, 0)
         );
+    }
+
+    #[test]
+    fn shared_frontier_and_parent_entries_extend() {
+        let mut live = seeded_live();
+        let cache = QueryCache::new();
+        let shared =
+            Search::from_sources([TemporalNode::from_raw(0, 0), TemporalNode::from_raw(1, 0)])
+                .strategy(Strategy::SharedFrontier);
+        let parents = Search::from(TemporalNode::from_raw(0, 0)).with_parents();
+        cache.execute(&live, &shared).unwrap();
+        cache.execute(&live, &parents).unwrap();
+
+        live.insert(NodeId(2), NodeId(3)).unwrap();
+        live.seal_snapshot(2).unwrap();
+
+        let (result, o) = cache.execute_traced(&live, &shared).unwrap();
+        assert_eq!(o, CacheOutcome::Extended);
+        let scratch = shared.run(live.graph()).unwrap();
+        assert_eq!(
+            result.shared_map().reached_with_sources(),
+            scratch.shared_map().reached_with_sources()
+        );
+
+        let (result, o) = cache.execute_traced(&live, &parents).unwrap();
+        assert_eq!(o, CacheOutcome::Extended);
+        let scratch = parents.run(live.graph()).unwrap();
+        assert_eq!(
+            result.distance_map().as_flat_slice(),
+            scratch.distance_map().as_flat_slice()
+        );
+        assert!(result.distance_map().has_parents());
+        // A path query exercises the extended parent links end to end.
+        let deep = TemporalNode::from_raw(3, 2);
+        let path = result.path_to(deep).expect("node 3 reached at t2");
+        assert_eq!(path.first(), Some(&TemporalNode::from_raw(0, 0)));
+        assert_eq!(path.last(), Some(&deep));
+
+        let stats = cache.stats();
+        assert_eq!(stats.extended_shared, 2);
+        assert_eq!(stats.extensions, 0);
+        assert_eq!(stats.recomputes, 0);
+    }
+
+    #[test]
+    fn bounded_window_entries_redimension_without_graph_work() {
+        let mut live = seeded_live();
+        let cache = QueryCache::new();
+        let windowed = Search::from(TemporalNode::from_raw(0, 0)).window(0u32..=1);
+        let first = cache.execute(&live, &windowed).unwrap();
+
+        live.insert(NodeId(2), NodeId(3)).unwrap();
+        live.seal_snapshot(2).unwrap();
+
+        let (result, o) = cache.execute_traced(&live, &windowed).unwrap();
+        assert_eq!(o, CacheOutcome::Redimensioned);
+        let scratch = windowed.run(live.graph()).unwrap();
+        assert_eq!(
+            result.distance_map().as_flat_slice(),
+            scratch.distance_map().as_flat_slice()
+        );
+        // The repaired payload tracks the grown graph's dimensions even
+        // though the window excludes the new snapshot.
+        assert_eq!(result.distance_map().num_timestamps(), 3);
+        assert_eq!(first.distance_map().num_timestamps(), 2);
+        assert_eq!(cache.stats().redimensioned, 1);
+        assert_eq!(cache.stats().recomputes, 0);
+    }
+
+    #[test]
+    fn every_stale_row_repairs_incrementally() {
+        // One query per matrix row; after a seal, none of them recompute.
+        let mut live = seeded_live();
+        let cache = QueryCache::new();
+        let root = TemporalNode::from_raw(0, 0);
+        let rows = [
+            Search::from(root),
+            Search::from(root).strategy(Strategy::Foremost),
+            Search::from(root).strategy(Strategy::SharedFrontier),
+            Search::from(root).with_parents(),
+            Search::from(root).window(0u32..=1),
+            Search::from(TemporalNode::from_raw(2, 1)).backward(),
+            Search::from(root).reverse(),
+        ];
+        for row in &rows {
+            cache.execute(&live, row).unwrap();
+        }
+        live.insert(NodeId(2), NodeId(3)).unwrap();
+        live.seal_snapshot(2).unwrap();
+        for row in &rows {
+            let (_, o) = cache.execute_traced(&live, row).unwrap();
+            assert_ne!(o, CacheOutcome::Recomputed, "{:?}", row.descriptor());
+            assert_matches_scratch(&live, &cache, row);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.recomputes, 0);
+        assert_eq!(stats.incremental_repairs(), rows.len() as u64);
+        assert_eq!(stats.extensions, 2);
+        assert_eq!(stats.extended_shared, 2);
+        assert_eq!(stats.redimensioned, 1);
+        assert_eq!(stats.stable_core_resettled, 2);
     }
 
     #[test]

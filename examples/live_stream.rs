@@ -1,7 +1,8 @@
 //! Live streaming quickstart: ingest edge events into a `LiveGraph`, seal
 //! snapshots as time advances, and watch the `QueryCache` serve the same
-//! standing query by cache hit, incremental extension, or recompute —
-//! depending on what the delta can invalidate.
+//! standing query by cache hit or by the incremental repair row its shape
+//! selects — frontier extension for forward queries, a stable-core resettle
+//! for backward ones — depending on what the delta can invalidate.
 //!
 //! Run with `cargo run --release --example live_stream`.
 
@@ -24,8 +25,8 @@ fn main() -> Result<()> {
     );
 
     // ------------------------------------------------------------------
-    // 2. Standing queries through the cache: one forward (extendable),
-    //    one backward (recomputed when stale).
+    // 2. Standing queries through the cache: one forward (extended when
+    //    stale), one backward (stable-core resettled when stale).
     // ------------------------------------------------------------------
     let cache = QueryCache::new();
     let root = TemporalNode::from_raw(0, 0);
@@ -61,8 +62,9 @@ fn main() -> Result<()> {
     );
 
     // The forward query is *extended* from its retained frontier — work
-    // proportional to the new snapshot — while the backward query must
-    // recompute (the new snapshot added paths into its past).
+    // proportional to the new snapshot — while the backward query is
+    // *resettled*: a fringe scan over the touched nodes verifies the new
+    // snapshot cannot reach into its past, so the stable core is reused.
     let (result, outcome) = cache.execute_traced(&live, &forward)?;
     println!(
         "forward from (0, t0): {:?}, reaches {:?}",
@@ -77,7 +79,7 @@ fn main() -> Result<()> {
         outcome,
         result.reached_node_ids()
     );
-    assert_eq!(outcome, CacheOutcome::Recomputed);
+    assert_eq!(outcome, CacheOutcome::Resettled);
 
     // Re-asking with no new seals is a pure cache hit.
     let (_, outcome) = cache.execute_traced(&live, &forward)?;

@@ -1,0 +1,254 @@
+//! Seeded differential fuzz harness for the cache-invalidation matrix — the
+//! pin that keeps every incremental repair row honest.
+//!
+//! Each seed drives a randomized interleaved event stream (insert /
+//! insert-unique / grow-nodes / seal) into a cached [`LiveGraph`] *and* an
+//! identical **twin** graph that is never cached. After every seal, every
+//! cell of the matrix — all five strategies × direction × window × reverse
+//! × parents, error cells included — is executed through the cache and
+//! from scratch on the twin, asserting:
+//!
+//! * **result equality** payload-for-payload (`common::matrix::
+//!   assert_equivalent` — the same assertion the standing differential
+//!   suite uses), errors compared exactly;
+//! * **the expected [`CacheOutcome`] per row** (`common::matrix::
+//!   expected_outcome`): a descriptor that succeeded at this version hits;
+//!   one that succeeded at an older version repairs via its matrix row
+//!   (`Extended` / `Redimensioned` / `Resettled` — never `Recomputed`);
+//!   anything else (first sight, or previously erroring) misses.
+//!
+//! A wrong retained frontier would silently serve stale distances forever —
+//! this harness is the reason it can't. The default seed sweep is eight
+//! fixed seeds (CI runs them in release); override with a comma-separated
+//! `EGRAPH_MATRIX_FUZZ_SEEDS` to reproduce or broaden a run.
+
+mod common;
+
+use common::matrix::{assert_equivalent, expected_outcome, STRATEGIES};
+use evolving_graphs::prelude::*;
+use evolving_graphs::stream::{CacheOutcome, EdgeEvent, LiveGraph, QueryCache};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const DEFAULT_SEEDS: [u64; 8] = [
+    0xA11CE, 0xB0B, 0xCAFE, 0xD00D, 0x5EED5, 0xF00D, 0xBEEF7, 0x1CEB01,
+];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("EGRAPH_MATRIX_FUZZ_SEEDS") {
+        Ok(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad seed {s:?} in EGRAPH_MATRIX_FUZZ_SEEDS"))
+            })
+            .collect(),
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+/// Applies one event to the cached graph and its scratch twin, keeping the
+/// two byte-identical by construction.
+fn apply_both(live: &mut LiveGraph, twin: &mut LiveGraph, event: EdgeEvent) {
+    live.apply(event).unwrap();
+    twin.apply(event).unwrap();
+}
+
+/// One randomized ingestion batch sealed under `label` on both graphs.
+fn seal_both(rng: &mut SmallRng, live: &mut LiveGraph, twin: &mut LiveGraph, label: i64) {
+    let mut n = live.graph().num_nodes();
+    if rng.gen_range(0..3) == 0 {
+        n += rng.gen_range(1..3usize);
+        apply_both(live, twin, EdgeEvent::grow_nodes(n));
+    }
+    for _ in 0..rng.gen_range(2..3 * n) {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u == v {
+            continue;
+        }
+        let event = if rng.gen_range(0..4) == 0 {
+            EdgeEvent::insert_unique(u, v)
+        } else {
+            EdgeEvent::insert(u, v)
+        };
+        apply_both(live, twin, event);
+    }
+    live.seal_snapshot(label).unwrap();
+    twin.seal_snapshot(label).unwrap();
+}
+
+/// Every cell of the invalidation matrix for one root configuration. Window
+/// bounds are fixed per seed (not per seal) so each descriptor stays stable
+/// across the run and walks the miss → hit → repair lifecycle; the `..=far`
+/// cell starts as a `TimeOutOfRange` error and *heals* into a miss once
+/// enough snapshots seal — errors must never be cached.
+fn matrix_cells(root: TemporalNode, partner: TemporalNode, num_nodes: usize) -> Vec<Search> {
+    let windows: [fn(Search) -> Search; 5] = [
+        |s| s,                  // full
+        |s| s.window(1u32..),   // start-bounded, unbounded end
+        |s| s.window(0u32..=1), // bounded end, always sealed after step 2
+        |s| s.window(..=3u32),  // bounded end beyond the early graph: heals
+        |s| s.window(2u32..2),  // statically empty: errors forever
+    ];
+    let mut cells = Vec::new();
+    for &strategy in &STRATEGIES {
+        for backward in [false, true] {
+            for reverse in [false, true] {
+                for window in windows {
+                    let mut s = Search::from(root).strategy(strategy);
+                    if backward {
+                        s = s.direction(Direction::Backward);
+                    }
+                    if reverse {
+                        s = s.reverse();
+                    }
+                    cells.push(window(s.clone()));
+                    // Parents only compose with the hop engines (the builder
+                    // forces Serial); adding them to every strategy would
+                    // collapse into duplicate Serial descriptors.
+                    if strategy == Strategy::Serial {
+                        cells.push(window(s.with_parents()));
+                    }
+                }
+            }
+        }
+    }
+    // Multi-source cells (duplicates included) for the engines where source
+    // lists matter most: the shared frontier and the per-source hop engine.
+    for strategy in [Strategy::Serial, Strategy::SharedFrontier] {
+        for backward in [false, true] {
+            for window in [windows[0], windows[2]] {
+                let mut s = Search::from_sources([root, partner, root]).strategy(strategy);
+                if backward {
+                    s = s.direction(Direction::Backward);
+                }
+                cells.push(window(s));
+            }
+        }
+    }
+    // Error cells: a root past the node universe (heals if the graph grows
+    // over it) and a root in a not-yet-sealed snapshot (heals with seals).
+    cells.push(Search::from(TemporalNode::from_raw(
+        num_nodes as u32 + 1,
+        0,
+    )));
+    cells.push(Search::from(TemporalNode::new(root.node, TimeIndex(4))));
+    cells.push(
+        Search::from(TemporalNode::new(root.node, TimeIndex(4)))
+            .strategy(Strategy::Foremost)
+            .backward(),
+    );
+    cells
+}
+
+#[test]
+fn every_matrix_cell_matches_a_scratch_twin_after_every_seal() {
+    for seed in seeds() {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n0 = 8 + (seed % 5) as usize;
+        let mut live = LiveGraph::directed(n0);
+        let mut twin = LiveGraph::directed(n0);
+        let cache = QueryCache::new();
+        seal_both(&mut rng, &mut live, &mut twin, 0);
+
+        let root = live
+            .graph()
+            .active_nodes()
+            .first()
+            .copied()
+            .expect("the first seal inserts at least one edge");
+        let partner = live
+            .graph()
+            .active_nodes()
+            .last()
+            .copied()
+            .expect("at least one active node");
+        let cells = matrix_cells(root, partner, n0);
+
+        // Version of the last *successful* execution per descriptor — the
+        // harness's independent model of what the cache should do next.
+        let mut last_ok: HashMap<QueryDescriptor, u64> = HashMap::new();
+
+        for step in 1..7i64 {
+            let version = live.version();
+            for (i, cell) in cells.iter().enumerate() {
+                let descriptor = cell.descriptor();
+                let label = format!("seed {seed:#x} step {step} cell {i} {descriptor:?}");
+                let traced = cache.execute_traced(&live, cell);
+                let scratch = cell.run(twin.graph());
+                match &traced {
+                    Ok((_, outcome)) => {
+                        let expected = expected_outcome(
+                            &descriptor,
+                            last_ok.get(&descriptor).copied(),
+                            version,
+                        );
+                        assert_eq!(*outcome, expected, "{label}: outcome");
+                        assert_ne!(
+                            *outcome,
+                            CacheOutcome::Recomputed,
+                            "{label}: no matrix row recomputes"
+                        );
+                        last_ok.insert(descriptor, version);
+                    }
+                    Err(_) => {
+                        assert!(
+                            !last_ok.contains_key(&descriptor),
+                            "{label}: a query that once succeeded can never fail again \
+                             on an append-only graph"
+                        );
+                    }
+                }
+                assert_equivalent(&label, live.graph(), cell, traced.map(|(r, _)| r), scratch);
+            }
+            seal_both(&mut rng, &mut live, &mut twin, step);
+        }
+
+        let stats = cache.stats();
+        assert_eq!(stats.recomputes, 0, "seed {seed:#x}: {stats:?}");
+        assert!(stats.hits > 0, "seed {seed:#x}: {stats:?}");
+        assert!(stats.extensions > 0, "seed {seed:#x}: {stats:?}");
+        assert!(stats.extended_shared > 0, "seed {seed:#x}: {stats:?}");
+        assert!(stats.redimensioned > 0, "seed {seed:#x}: {stats:?}");
+        assert!(stats.stable_core_resettled > 0, "seed {seed:#x}: {stats:?}");
+    }
+}
+
+#[test]
+fn healed_error_cells_enter_the_normal_lifecycle() {
+    // Deterministic companion to the fuzz sweep: a bounded window whose end
+    // does not exist yet must error, heal into a miss once sealed, hit while
+    // current, and re-dimension after further seals — never recompute.
+    let mut live = LiveGraph::directed(4);
+    let cache = QueryCache::new();
+    live.insert(NodeId(0), NodeId(1)).unwrap();
+    live.seal_snapshot(0).unwrap();
+    let query = Search::from(TemporalNode::from_raw(0, 0)).window(..=1u32);
+
+    assert!(matches!(
+        cache.execute(&live, &query),
+        Err(GraphError::TimeOutOfRange { .. })
+    ));
+    live.insert(NodeId(1), NodeId(2)).unwrap();
+    live.seal_snapshot(1).unwrap();
+    let (_, o) = cache.execute_traced(&live, &query).unwrap();
+    assert_eq!(o, CacheOutcome::Miss, "healed error enters as a miss");
+    let (_, o) = cache.execute_traced(&live, &query).unwrap();
+    assert_eq!(o, CacheOutcome::Hit);
+    live.insert(NodeId(2), NodeId(3)).unwrap();
+    live.seal_snapshot(2).unwrap();
+    let (result, o) = cache.execute_traced(&live, &query).unwrap();
+    assert_eq!(o, CacheOutcome::Redimensioned);
+    assert_eq!(
+        result.distance_map().as_flat_slice(),
+        query
+            .run(live.graph())
+            .unwrap()
+            .distance_map()
+            .as_flat_slice()
+    );
+    assert_eq!(cache.stats().recomputes, 0);
+}

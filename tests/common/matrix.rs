@@ -1,0 +1,169 @@
+//! The cache-invalidation matrix, asserted in exactly one place.
+//!
+//! Two suites consume this module: `live_stream_differential` (standing +
+//! random query streams) and `cache_matrix_fuzz` (the seeded harness that
+//! sweeps every matrix cell after every seal). Both need the same two
+//! ingredients, so they live here rather than drifting apart:
+//!
+//! * [`expected_outcome`] — the expected-[`CacheOutcome`] table, derived
+//!   from the descriptor's *shape* independently of the production
+//!   classification (`QueryDescriptor::append_repair`), so a bug that
+//!   misroutes a row in the cache cannot also rewrite the expectation;
+//! * [`assert_equivalent`] — payload-for-payload equality of a cached
+//!   answer against a from-scratch run, with the one deliberate weakening
+//!   the incremental paths force: parent *pointers* are checked for
+//!   validity (one hop closer, edge exists in the effective direction),
+//!   not pointer-for-pointer equality, because extension settles the
+//!   appended snapshot in a different first-discoverer order than a
+//!   from-scratch run while remaining a correct BFS tree.
+
+use std::sync::Arc;
+
+use evolving_graphs::prelude::*;
+use evolving_graphs::stream::CacheOutcome;
+
+/// Every strategy the builder dispatches to.
+pub const STRATEGIES: [Strategy; 5] = [
+    Strategy::Serial,
+    Strategy::Parallel,
+    Strategy::Algebraic,
+    Strategy::Foremost,
+    Strategy::SharedFrontier,
+];
+
+/// The repair outcome a *stale, previously cached* query of this shape must
+/// report — the matrix rows, re-derived from the raw descriptor axes:
+///
+/// | shape | outcome |
+/// |---|---|
+/// | bounded window end (any strategy / direction) | `Redimensioned` |
+/// | effective reversal, unbounded end | `Resettled` |
+/// | forward, unbounded end (all five strategies, parents included) | `Extended` |
+///
+/// Empty-window shapes never reach a repair (they error on every run and
+/// errors are not cached), so they have no row here.
+pub fn expected_repair_outcome(descriptor: &QueryDescriptor) -> CacheOutcome {
+    if descriptor.window().end_bound().is_some() {
+        CacheOutcome::Redimensioned
+    } else if descriptor.effective_reverse() {
+        CacheOutcome::Resettled
+    } else {
+        CacheOutcome::Extended
+    }
+}
+
+/// The expected [`CacheOutcome`] of executing a query that *succeeds*, given
+/// what the cache last did for its descriptor: `prior` is the graph version
+/// of the last successful execution, if any (an errored execution caches
+/// nothing and must be passed as `None`).
+pub fn expected_outcome(
+    descriptor: &QueryDescriptor,
+    prior: Option<u64>,
+    version: u64,
+) -> CacheOutcome {
+    match prior {
+        Some(v) if v == version => CacheOutcome::Hit,
+        Some(_) => expected_repair_outcome(descriptor),
+        None => CacheOutcome::Miss,
+    }
+}
+
+/// Asserts payload-for-payload equality of a cached and a from-scratch
+/// outcome of `search`, errors included. `graph` is the sealed graph both
+/// ran against; it anchors the parent-validity check.
+pub fn assert_equivalent<G: EvolvingGraph>(
+    label: &str,
+    graph: &G,
+    search: &Search,
+    cached: Result<Arc<SearchResult>>,
+    scratch: Result<Arc<SearchResult>>,
+) {
+    let descriptor = search.descriptor();
+    match (cached, scratch) {
+        (Err(a), Err(b)) => assert_eq!(a, b, "{label}: errors disagree"),
+        (Ok(a), Ok(b)) => match descriptor.strategy() {
+            Strategy::Serial | Strategy::Parallel | Strategy::Algebraic => {
+                let (am, bm) = (a.distance_maps(), b.distance_maps());
+                assert_eq!(am.len(), bm.len(), "{label}: map count");
+                for (x, y) in am.iter().zip(bm) {
+                    assert_eq!(x.root(), y.root(), "{label}: roots");
+                    assert_eq!(
+                        x.as_flat_slice(),
+                        y.as_flat_slice(),
+                        "{label}: distances for root {:?}",
+                        x.root()
+                    );
+                    if descriptor.with_parents() {
+                        assert!(y.has_parents(), "{label}: scratch run lost parents");
+                        assert_parents_valid(label, graph, &descriptor, x);
+                    }
+                }
+            }
+            Strategy::Foremost => {
+                let (at, bt) = (a.foremost_results(), b.foremost_results());
+                assert_eq!(at.len(), bt.len(), "{label}: table count");
+                for (x, y) in at.iter().zip(bt) {
+                    assert_eq!(x.root(), y.root(), "{label}: roots");
+                    assert_eq!(
+                        x.arrivals(),
+                        y.arrivals(),
+                        "{label}: arrivals for root {:?}",
+                        x.root()
+                    );
+                }
+            }
+            Strategy::SharedFrontier => {
+                let (am, bm) = (a.shared_map(), b.shared_map());
+                assert_eq!(am.sources(), bm.sources(), "{label}: sources");
+                assert_eq!(am.as_flat_slice(), bm.as_flat_slice(), "{label}: distances");
+                for (tn, _, src) in am.reached_with_sources() {
+                    assert_eq!(
+                        Some(src),
+                        bm.nearest_source_index(tn),
+                        "{label}: attribution at {tn:?}"
+                    );
+                }
+            }
+        },
+        (a, b) => panic!("{label}: cached {a:?} disagrees with scratch {b:?}"),
+    }
+}
+
+/// Asserts `map`'s parent pointers form a valid BFS tree on `graph`: every
+/// reached non-root temporal node has a parent one hop closer to the root,
+/// joined by an edge that exists in the traversal's effective direction
+/// (reversed traversals follow backward neighbors — `ReversedView` forward
+/// edges are original backward edges; a window only *restricts* a view's
+/// edges, so validity on the full graph is implied).
+fn assert_parents_valid<G: EvolvingGraph>(
+    label: &str,
+    graph: &G,
+    descriptor: &QueryDescriptor,
+    map: &DistanceMap,
+) {
+    assert!(map.has_parents(), "{label}: cached map lost parents");
+    let root = map.root();
+    for (tn, d) in map.reached() {
+        if tn == root {
+            continue;
+        }
+        let p = map
+            .parent(tn)
+            .unwrap_or_else(|| panic!("{label}: reached non-root {tn:?} lacks a parent"));
+        assert_eq!(
+            map.distance(p),
+            Some(d - 1),
+            "{label}: parent {p:?} of {tn:?} is not one hop closer"
+        );
+        let mut is_neighbor = false;
+        if descriptor.effective_reverse() {
+            graph.for_each_backward_neighbor(p, &mut |w| is_neighbor |= w == tn);
+        } else {
+            graph.for_each_forward_neighbor(p, &mut |w| is_neighbor |= w == tn);
+        }
+        assert!(
+            is_neighbor,
+            "{label}: parent edge {p:?} -> {tn:?} does not exist in the effective direction"
+        );
+    }
+}

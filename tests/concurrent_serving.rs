@@ -1,13 +1,13 @@
 //! Concurrent-reader differential suite for the sharded `QueryCache`.
 //!
 //! The cache's serving contract is that `execute(&self, ...)` can be
-//! hammered from many threads at once — mixed hits, extensions and
-//! recomputes — and every thread observes exactly the answer a
-//! single-threaded from-scratch `Search::run` on the sealed graph produces.
-//! These tests drive that contract with `std::thread::scope` over one shared
-//! cache: the graph is sealed between *query storms*, so within a storm
-//! some standing queries are current (hits), some are stale-extendable
-//! (one thread wins the extension, the rest hit), and some must recompute.
+//! hammered from many threads at once — mixed hits and every incremental
+//! repair row of the invalidation matrix — and every thread observes
+//! exactly the answer a single-threaded from-scratch `Search::run` on the
+//! sealed graph produces. These tests drive that contract with
+//! `std::thread::scope` over one shared cache: the graph is sealed between
+//! *query storms*, so within a storm some standing queries are current
+//! (hits) and some are stale (one thread wins the repair, the rest hit).
 
 use std::sync::Arc;
 
@@ -50,7 +50,7 @@ fn seal_random_snapshot(rng: &mut Xs, live: &mut LiveGraph, label: i64) {
 
 /// The standing queries every thread re-issues: all five strategies, both
 /// time directions, plus windowed and multi-source shapes — covering the
-/// hit, extend and recompute repair paths.
+/// hit path and every repair row (extend, re-dimension, resettle).
 fn standing_queries(root: TemporalNode) -> Vec<Search> {
     let mut queries: Vec<Search> = STRATEGIES
         .iter()
@@ -151,14 +151,26 @@ fn threads_hammering_a_shared_cache_match_single_threaded_search() {
     assert!(stats.hits > 0, "no hits: {stats:?}");
     assert!(stats.misses > 0, "no misses: {stats:?}");
     assert!(stats.extensions > 0, "no extensions: {stats:?}");
-    assert!(stats.recomputes > 0, "no recomputes: {stats:?}");
+    assert!(
+        stats.extended_shared > 0,
+        "no shared-frontier extensions: {stats:?}"
+    );
+    assert!(stats.redimensioned > 0, "no re-dimensions: {stats:?}");
+    assert!(
+        stats.stable_core_resettled > 0,
+        "no stable-core resettles: {stats:?}"
+    );
+    assert_eq!(
+        stats.recomputes, 0,
+        "every stale row repairs incrementally: {stats:?}"
+    );
     // Repairs run outside the locks, so racing threads may each repair the
     // same stale descriptor (install is deduplicated, the counters are
     // not): at most THREADS repairs per (step, descriptor), against
     // THREADS × ROUNDS_PER_THREAD servings of it — the storms must be
     // hit-dominated by an order of magnitude.
     assert!(
-        stats.hits > stats.extensions + stats.recomputes,
+        stats.hits > stats.incremental_repairs(),
         "storms should be hit-dominated: {stats:?}"
     );
 }

@@ -1,102 +1,30 @@
 //! Differential suite for the live-graph subsystem: every answer produced by
-//! the `QueryCache` — cache hits, incremental extensions and recomputes
-//! alike — must equal a from-scratch `Search::run` on the materialized
-//! (sealed) graph, across all five strategies × direction × window × reverse,
-//! errors included.
+//! the `QueryCache` — cache hits and every incremental repair row of the
+//! invalidation matrix — must equal a from-scratch `Search::run` on the
+//! materialized (sealed) graph, across all five strategies × direction ×
+//! window × reverse, errors included.
 //!
 //! Randomized event streams (seeded, deterministic — the workspace
 //! convention for property suites) interleave edge inserts, unique inserts,
 //! node growth, snapshot seals and query batches. A fixed set of *standing
-//! queries* is re-issued after every seal so all four cache outcomes (miss,
-//! hit, extension, recompute) are exercised on every run.
+//! queries* is re-issued after every seal so every cache outcome (miss, hit,
+//! extension, re-dimension, stable-core resettle) is exercised on every run.
+//! The expected-outcome table and the equivalence assertion live in
+//! `common::matrix`, shared with the `cache_matrix_fuzz` harness so the
+//! matrix is asserted in exactly one place.
 
+mod common;
+
+use common::matrix::{assert_equivalent, STRATEGIES};
 use evolving_graphs::prelude::*;
 use evolving_graphs::stream::{CacheOutcome, EdgeEvent, LiveGraph, QueryCache};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-const STRATEGIES: [Strategy; 5] = [
-    Strategy::Serial,
-    Strategy::Parallel,
-    Strategy::Algebraic,
-    Strategy::Foremost,
-    Strategy::SharedFrontier,
-];
-
-/// Asserts payload-for-payload equality of two outcomes of the same query.
-fn assert_equivalent(
-    label: &str,
-    strategy: Strategy,
-    with_parents: bool,
-    cached: Result<std::sync::Arc<SearchResult>>,
-    scratch: Result<std::sync::Arc<SearchResult>>,
-) {
-    match (cached, scratch) {
-        (Err(a), Err(b)) => assert_eq!(a, b, "{label}: errors disagree"),
-        (Ok(a), Ok(b)) => {
-            let effective = if with_parents {
-                Strategy::Serial
-            } else {
-                strategy
-            };
-            match effective {
-                Strategy::Serial | Strategy::Parallel | Strategy::Algebraic => {
-                    let (am, bm) = (a.distance_maps(), b.distance_maps());
-                    assert_eq!(am.len(), bm.len(), "{label}: map count");
-                    for (x, y) in am.iter().zip(bm) {
-                        assert_eq!(x.root(), y.root(), "{label}: roots");
-                        assert_eq!(
-                            x.as_flat_slice(),
-                            y.as_flat_slice(),
-                            "{label}: distances for root {:?}",
-                            x.root()
-                        );
-                        if with_parents {
-                            for (tn, _) in x.reached() {
-                                assert_eq!(x.parent(tn), y.parent(tn), "{label}: parent of {tn:?}");
-                            }
-                        }
-                    }
-                }
-                Strategy::Foremost => {
-                    let (at, bt) = (a.foremost_results(), b.foremost_results());
-                    assert_eq!(at.len(), bt.len(), "{label}: table count");
-                    for (x, y) in at.iter().zip(bt) {
-                        assert_eq!(x.root(), y.root(), "{label}: roots");
-                        assert_eq!(
-                            x.arrivals(),
-                            y.arrivals(),
-                            "{label}: arrivals for root {:?}",
-                            x.root()
-                        );
-                    }
-                }
-                Strategy::SharedFrontier => {
-                    let (am, bm) = (a.shared_map(), b.shared_map());
-                    assert_eq!(am.sources(), bm.sources(), "{label}: sources");
-                    assert_eq!(am.as_flat_slice(), bm.as_flat_slice(), "{label}: distances");
-                    for (tn, _, src) in am.reached_with_sources() {
-                        assert_eq!(
-                            Some(src),
-                            bm.nearest_source_index(tn),
-                            "{label}: attribution at {tn:?}"
-                        );
-                    }
-                }
-            }
-        }
-        (a, b) => panic!("{label}: cached {a:?} disagrees with scratch {b:?}"),
-    }
-}
-
 /// A random query over (and slightly beyond) the current graph shape —
 /// deliberately including inactive roots, out-of-range nodes and times,
 /// degenerate windows, and multi-source lists.
-fn random_search(
-    rng: &mut SmallRng,
-    num_nodes: usize,
-    num_sealed: usize,
-) -> (Search, Strategy, bool) {
+fn random_search(rng: &mut SmallRng, num_nodes: usize, num_sealed: usize) -> Search {
     let nt = num_sealed.max(1);
     let random_root = |rng: &mut SmallRng| {
         TemporalNode::from_raw(
@@ -110,18 +38,15 @@ fn random_search(
     } else {
         Search::from(random_root(rng))
     };
-    let strategy = STRATEGIES[rng.gen_range(0..STRATEGIES.len())];
-    search = search.strategy(strategy);
+    search = search.strategy(STRATEGIES[rng.gen_range(0..STRATEGIES.len())]);
     if rng.gen_range(0..2) == 0 {
         search = search.direction(Direction::Backward);
     }
     if rng.gen_range(0..3) == 0 {
         search = search.reverse();
     }
-    let mut with_parents = false;
     if rng.gen_range(0..5) == 0 {
         search = search.with_parents();
-        with_parents = true;
     }
     search = match rng.gen_range(0..5) {
         0 => search, // full window
@@ -137,7 +62,7 @@ fn random_search(
         }
         _ => search.window(..rng.gen_range(0..nt as u32 + 2)),
     };
-    (search, strategy, with_parents)
+    search
 }
 
 /// Applies a random ingestion batch (inserts, unique inserts, occasional
@@ -174,49 +99,44 @@ fn randomized_event_streams_match_from_scratch_search() {
         random_seal(&mut rng, &mut live, 0);
 
         // Standing queries: re-issued after every seal, so the same
-        // descriptor flows through miss → hit → extension (or recompute).
+        // descriptor flows through miss → hit → its repair row.
         let root = live
             .graph()
             .active_nodes()
             .first()
             .copied()
             .expect("the first seal inserts at least one edge");
-        let standing: Vec<(Search, Strategy, bool)> = STRATEGIES
+        let standing: Vec<Search> = STRATEGIES
             .iter()
             .flat_map(|&s| {
                 [
-                    (Search::from(root).strategy(s), s, false),
-                    (Search::from(root).strategy(s).backward(), s, false),
+                    Search::from(root).strategy(s),
+                    Search::from(root).strategy(s).backward(),
                 ]
             })
             .chain([
-                (
-                    Search::from_sources([root, root]).window(0u32..),
-                    Strategy::Serial,
-                    false,
-                ),
-                (Search::from(root).window(0u32..=0), Strategy::Serial, false),
-                (Search::from(root).with_parents(), Strategy::Serial, true),
+                Search::from_sources([root, root]).window(0u32..),
+                Search::from(root).window(0u32..=0),
+                Search::from(root).with_parents(),
             ])
             .collect();
 
         for step in 1..8usize {
-            for (i, (search, strategy, with_parents)) in standing.iter().enumerate() {
+            for (i, search) in standing.iter().enumerate() {
                 // Twice: the second execution of an unchanged graph must hit.
                 for round in 0..2 {
                     let label = format!("seed {seed:#x} step {step} standing {i} round {round}");
                     let cached = cache.execute(&live, search);
                     let scratch = search.run(live.graph());
-                    assert_equivalent(&label, *strategy, *with_parents, cached, scratch);
+                    assert_equivalent(&label, live.graph(), search, cached, scratch);
                 }
             }
             for q in 0..6 {
-                let (search, strategy, with_parents) =
-                    random_search(&mut rng, live.graph().num_nodes(), live.num_sealed());
+                let search = random_search(&mut rng, live.graph().num_nodes(), live.num_sealed());
                 let label = format!("seed {seed:#x} step {step} random {q}");
                 let cached = cache.execute(&live, &search);
                 let scratch = search.run(live.graph());
-                assert_equivalent(&label, strategy, with_parents, cached, scratch);
+                assert_equivalent(&label, live.graph(), &search, cached, scratch);
             }
             random_seal(&mut rng, &mut live, step);
         }
@@ -229,8 +149,20 @@ fn randomized_event_streams_match_from_scratch_search() {
             "seed {seed:#x}: no extensions: {stats:?}"
         );
         assert!(
-            stats.recomputes > 0,
-            "seed {seed:#x}: no recomputes: {stats:?}"
+            stats.extended_shared > 0,
+            "seed {seed:#x}: no shared/parents extensions: {stats:?}"
+        );
+        assert!(
+            stats.redimensioned > 0,
+            "seed {seed:#x}: no re-dimensions: {stats:?}"
+        );
+        assert!(
+            stats.stable_core_resettled > 0,
+            "seed {seed:#x}: no stable-core resettles: {stats:?}"
+        );
+        assert_eq!(
+            stats.recomputes, 0,
+            "seed {seed:#x}: every row repairs incrementally now: {stats:?}"
         );
     }
 }
@@ -244,18 +176,18 @@ fn extension_and_recompute_agree_after_node_growth_bursts() {
     live.insert(NodeId(0), NodeId(1)).unwrap();
     live.seal_snapshot(0).unwrap();
     let root = TemporalNode::from_raw(0, 0);
-    let queries: Vec<(Search, Strategy, bool)> = STRATEGIES
+    let queries: Vec<Search> = STRATEGIES
         .iter()
-        .map(|&s| (Search::from(root).strategy(s), s, false))
+        .map(|&s| Search::from(root).strategy(s))
         .collect();
     for step in 1..5i64 {
-        for (search, strategy, with_parents) in &queries {
+        for search in &queries {
             let cached = cache.execute(&live, search);
             let scratch = search.run(live.graph());
             assert_equivalent(
-                &format!("growth step {step} {strategy:?}"),
-                *strategy,
-                *with_parents,
+                &format!("growth step {step} {:?}", search.descriptor().strategy()),
+                live.graph(),
+                search,
                 cached,
                 scratch,
             );
@@ -293,7 +225,7 @@ fn a_query_stream_over_one_evolving_graph_reports_every_outcome() {
             CacheOutcome::Hit,
             CacheOutcome::Miss,
             CacheOutcome::Extended,
-            CacheOutcome::Recomputed,
+            CacheOutcome::Resettled,
         )
     );
 }

@@ -192,6 +192,67 @@ fn subscribers_receive_one_frame_per_seal_in_order() {
     assert_eq!(stats.frames_pushed, 4);
 }
 
+#[test]
+fn shared_and_windowed_subscriptions_repair_incrementally_on_the_wire() {
+    // The two matrix rows this PR closes, observed end to end through the
+    // socket: a shared-frontier standing query must push `extended` frames
+    // (its packed frontier grows append-only) and a bounded-window standing
+    // query must push `redimensioned` frames (no graph work at all) — and
+    // both must carry byte-identical JSON to a from-scratch run on a twin
+    // graph sealed to the same point.
+    let (server, client) = start(ServerConfig::default());
+    let shared = Search::from_sources([TemporalNode::from_raw(0, 0), TemporalNode::from_raw(2, 1)])
+        .strategy(Strategy::SharedFrontier);
+    let windowed = Search::from(TemporalNode::from_raw(0, 0)).window(0..=2);
+    let mut shared_sub = client.subscribe(&shared.descriptor()).unwrap();
+    let mut windowed_sub = client.subscribe(&windowed.descriptor()).unwrap();
+
+    let mut twin = fixture_live();
+    for (sub, search) in [(&mut shared_sub, &shared), (&mut windowed_sub, &windowed)] {
+        let frame = parse_frame(&sub.next_frame().unwrap().unwrap());
+        assert_eq!(frame.seq, 0);
+        assert_eq!(
+            frame.result_json,
+            search_result_to_json(&search.run(twin.graph()).unwrap())
+        );
+    }
+
+    let seals: [(u32, u32, i64); 2] = [(4, 5, 10), (5, 1, 11)];
+    for (i, &(u, v, label)) in seals.iter().enumerate() {
+        let response = client
+            .post(
+                "/ingest",
+                &format!("{{\"events\": [[{u}, {v}]], \"seal\": {label}}}"),
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+        twin.insert(NodeId(u), NodeId(v)).unwrap();
+        twin.seal_snapshot(label).unwrap();
+
+        for (sub, search, outcome) in [
+            (&mut shared_sub, &shared, "extended"),
+            (&mut windowed_sub, &windowed, "redimensioned"),
+        ] {
+            let frame = parse_frame(&sub.next_frame().unwrap().unwrap());
+            assert_eq!(frame.seq, i as u64 + 1);
+            assert_eq!(frame.label, Some(label));
+            assert_eq!(frame.outcome, outcome, "seal {label}");
+            assert_eq!(
+                frame.result_json,
+                search_result_to_json(&search.run(twin.graph()).unwrap()),
+                "seal {label}: wire answer must equal the scratch twin"
+            );
+        }
+    }
+
+    // The push path reported its repairs through the same per-row counters
+    // the /stats endpoint exposes.
+    let stats = server.cache_stats();
+    assert_eq!(stats.extended_shared, 2, "{stats:?}");
+    assert_eq!(stats.redimensioned, 2, "{stats:?}");
+    assert_eq!(stats.recomputes, 0, "{stats:?}");
+}
+
 struct Frame {
     seq: u64,
     label: Option<i64>,
