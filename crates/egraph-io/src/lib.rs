@@ -7,16 +7,21 @@
 //! * [`json`] — hand-rolled JSON round-tripping of graphs and BFS results,
 //!   plus the public [`json::Value`] model and stream reader other crates
 //!   build wire formats on;
+//! * [`binary`] — the compact CRC-framed binary event codec (varint
+//!   lengths, exact `i64` seal labels) that `egraph-log` segment files and
+//!   the replication wire are made of;
 //! * [`report`] — the table/CSV formatter and the least-squares helper used
 //!   by the benchmark harness to regenerate the paper's Figure 5 series.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod binary;
 pub mod edgelist;
 pub mod json;
 pub mod report;
 
+pub use binary::{crc32, decode_record, encode_record, BinaryError, LogRecord};
 pub use edgelist::{
     parse_edge_list, read_edge_list, to_edge_list_string, write_edge_list, EdgeListError,
 };

@@ -1,0 +1,604 @@
+//! [`EventLog`]: the durable, segmented, append-only event log.
+//!
+//! One directory holds one log:
+//!
+//! ```text
+//! <dir>/manifest.bin        the log's birth certificate (Init record)
+//! <dir>/seg-0000000000.seg  sealed segment 0
+//! <dir>/seg-0000000001.seg  sealed segment 1
+//! ...
+//! ```
+//!
+//! Writes follow the seal boundary of the live graph exactly:
+//! [`EventLog::append`] only *buffers* an event record in memory, and
+//! [`EventLog::seal`] writes the whole segment — header, every buffered
+//! record, the terminating `Seal` — in one shot, then `fsync`s the file
+//! *and* the directory before returning. Durability is therefore
+//! all-or-nothing per sealed snapshot: a crash can only ever lose the open
+//! (never-acknowledged) snapshot, leaving at worst one torn file at the
+//! tail, which [`EventLog::open`] truncates away.
+//!
+//! [`EventLog::open`] is the crash-recovery path: it validates the whole
+//! segment chain (contiguous sequence numbers from 0, every record CRC),
+//! drops a torn final segment, and **fails loudly** on anything else — a
+//! CRC mismatch in sealed history, a sequence gap, a record after a seal.
+//! Recovery never hands back a silently corrupt event stream.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use egraph_io::binary::{decode_record, encode_record, BinaryError, LogRecord};
+
+use crate::segment::{decode_segment, encode_segment, SealedSegment, SegmentError};
+
+/// First bytes of the manifest file.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"EGLM";
+
+/// File name of the log manifest inside its directory.
+pub const MANIFEST_FILE: &str = "manifest.bin";
+
+/// Why a log could not be created, opened, or written.
+#[derive(Debug)]
+pub enum LogError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file (or directory) the operation touched.
+        path: PathBuf,
+        /// The error the OS reported.
+        source: io::Error,
+    },
+    /// On-disk state that fsync-ordered writes can never produce: CRC
+    /// mismatches in sealed history, sequence gaps, bad magic. Recovery
+    /// refuses it loudly rather than replaying a corrupt stream.
+    Corrupt {
+        /// The offending file (or directory).
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io { path, source } => write!(f, "log io at {}: {source}", path.display()),
+            LogError::Corrupt { path, detail } => {
+                write!(f, "log corrupt at {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io { source, .. } => Some(source),
+            LogError::Corrupt { .. } => None,
+        }
+    }
+}
+
+/// A [`LogError`] result.
+pub type Result<T> = std::result::Result<T, LogError>;
+
+fn io_err<T>(path: &Path, source: io::Error) -> Result<T> {
+    Err(LogError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn corrupt<T>(path: &Path, detail: impl Into<String>) -> Result<T> {
+    Err(LogError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.into(),
+    })
+}
+
+/// What [`EventLog::seal`] durably wrote: the new segment's sequence number
+/// and its exact on-disk bytes — ready to ship to followers without
+/// re-reading the file.
+#[derive(Clone, Debug)]
+pub struct Sealed {
+    /// The sealed segment's sequence number.
+    pub seq: u64,
+    /// The segment's complete encoded bytes (what `/log/tail` ships).
+    pub bytes: Vec<u8>,
+}
+
+/// What [`EventLog::open`] recovered.
+#[derive(Debug)]
+pub struct RecoveredLog {
+    /// The log, positioned to continue appending after the last durable
+    /// segment.
+    pub log: EventLog,
+    /// Every durably sealed segment, in sequence order — the replay input.
+    pub segments: Vec<SealedSegment>,
+    /// Whether a torn (partially written, never acknowledged) final
+    /// segment file was found and truncated away.
+    pub dropped_torn_tail: bool,
+}
+
+/// A durable segmented event log rooted at one directory. See the
+/// [module docs](self) for the on-disk layout and crash contract.
+#[derive(Debug)]
+pub struct EventLog {
+    dir: PathBuf,
+    init: LogRecord,
+    next_seq: u64,
+    pending: Vec<LogRecord>,
+}
+
+impl EventLog {
+    /// Creates a fresh log at `dir` (created if missing) for a graph of
+    /// `num_nodes` nodes, writing and fsyncing the manifest.
+    ///
+    /// # Errors
+    /// [`LogError::Io`] with `ErrorKind::AlreadyExists` if `dir` already
+    /// holds a manifest.
+    pub fn create(dir: impl AsRef<Path>, num_nodes: u64, directed: bool) -> Result<EventLog> {
+        let dir = dir.as_ref();
+        if let Err(source) = fs::create_dir_all(dir) {
+            return io_err(dir, source);
+        }
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return io_err(
+                &manifest_path,
+                io::Error::new(io::ErrorKind::AlreadyExists, "log manifest already exists"),
+            );
+        }
+        let init = LogRecord::Init {
+            num_nodes,
+            directed,
+        };
+        let mut bytes = Vec::with_capacity(24);
+        bytes.extend_from_slice(&MANIFEST_MAGIC);
+        bytes.push(crate::segment::FORMAT_VERSION);
+        encode_record(&init, &mut bytes);
+        write_durable(&manifest_path, &bytes)?;
+        sync_dir(dir)?;
+        Ok(EventLog {
+            dir: dir.to_path_buf(),
+            init,
+            next_seq: 0,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Opens an existing log, validating the whole segment chain and
+    /// truncating a torn tail (see the [module docs](self)).
+    pub fn open(dir: impl AsRef<Path>) -> Result<RecoveredLog> {
+        let dir = dir.as_ref();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let init = read_manifest(&manifest_path)?;
+
+        // Collect `seg-<seq>.seg` files; anything else in the directory is
+        // ignored (the manifest, editor droppings, ...).
+        let entries = match fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(source) => return io_err(dir, source),
+        };
+        let mut seqs: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in entries {
+            let entry = match entry {
+                Ok(entry) => entry,
+                Err(source) => return io_err(dir, source),
+            };
+            let path = entry.path();
+            if let Some(seq) = parse_segment_file_name(&path) {
+                seqs.push((seq, path));
+            }
+        }
+        seqs.sort_unstable_by_key(|&(seq, _)| seq);
+
+        let mut segments = Vec::with_capacity(seqs.len());
+        let mut dropped_torn_tail = false;
+        let last_index = seqs.len().wrapping_sub(1);
+        for (i, (seq, path)) in seqs.iter().enumerate() {
+            if *seq != i as u64 {
+                return corrupt(
+                    dir,
+                    format!("segment sequence gap: expected seq {i}, found {seq}"),
+                );
+            }
+            let bytes = match fs::read(path) {
+                Ok(bytes) => bytes,
+                Err(source) => return io_err(path, source),
+            };
+            match decode_segment(&bytes) {
+                Ok(segment) => {
+                    if segment.seq != *seq {
+                        return corrupt(
+                            path,
+                            format!("file named seq {seq} but header says {}", segment.seq),
+                        );
+                    }
+                    segments.push(segment);
+                }
+                // A torn *final* segment is the expected crash residue: the
+                // write of an unacknowledged seal never completed. Truncate
+                // it away. Torn anywhere else, or corrupt anywhere at all,
+                // is state fsync ordering cannot produce — fail loudly.
+                Err(SegmentError::Torn { .. }) if i == last_index => {
+                    if let Err(source) = fs::remove_file(path) {
+                        return io_err(path, source);
+                    }
+                    sync_dir(dir)?;
+                    dropped_torn_tail = true;
+                }
+                Err(err) => return corrupt(path, err.to_string()),
+            }
+        }
+
+        let next_seq = segments.len() as u64;
+        Ok(RecoveredLog {
+            log: EventLog {
+                dir: dir.to_path_buf(),
+                init,
+                next_seq,
+                pending: Vec::new(),
+            },
+            segments,
+            dropped_torn_tail,
+        })
+    }
+
+    /// Opens the log at `dir` if its manifest exists, otherwise creates a
+    /// fresh one. On open, the existing manifest's `Init` wins — the
+    /// arguments are only used for creation.
+    pub fn open_or_create(
+        dir: impl AsRef<Path>,
+        num_nodes: u64,
+        directed: bool,
+    ) -> Result<RecoveredLog> {
+        let dir = dir.as_ref();
+        if dir.join(MANIFEST_FILE).exists() {
+            Self::open(dir)
+        } else {
+            Ok(RecoveredLog {
+                log: Self::create(dir, num_nodes, directed)?,
+                segments: Vec::new(),
+                dropped_torn_tail: false,
+            })
+        }
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The `Init` record from the manifest: `(num_nodes, directed)`.
+    pub fn init(&self) -> (u64, bool) {
+        match self.init {
+            LogRecord::Init {
+                num_nodes,
+                directed,
+            } => (num_nodes, directed),
+            _ => unreachable!("manifest decoding only accepts Init"),
+        }
+    }
+
+    /// Number of durably sealed segments (also the next sequence number).
+    pub fn segments_sealed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of event records buffered for the open (unsealed) segment.
+    pub fn num_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Buffers one event record for the open segment. Nothing touches disk
+    /// until [`EventLog::seal`].
+    ///
+    /// # Panics
+    /// If handed a `Seal` or `Init` record — those are the log's own
+    /// framing, not events.
+    pub fn append(&mut self, record: LogRecord) {
+        assert!(
+            !matches!(record, LogRecord::Seal { .. } | LogRecord::Init { .. }),
+            "append takes event records; seal/init are written by the log itself"
+        );
+        self.pending.push(record);
+    }
+
+    /// Durably seals the open segment under `label`: encodes header +
+    /// buffered events + `Seal` record, writes the segment file, fsyncs it
+    /// and the directory, and only then clears the buffer and advances the
+    /// sequence. Returns the sequence number and the exact bytes written —
+    /// the unit `/log/tail` ships to followers.
+    ///
+    /// On error nothing is advanced; the caller may retry, and a partial
+    /// file left behind is exactly the torn tail [`EventLog::open`]
+    /// truncates.
+    pub fn seal(&mut self, label: i64) -> Result<Sealed> {
+        let seq = self.next_seq;
+        let bytes = encode_segment(seq, &self.pending, label);
+        let path = segment_path(&self.dir, seq);
+        write_durable(&path, &bytes)?;
+        sync_dir(&self.dir)?;
+        self.pending.clear();
+        self.next_seq += 1;
+        Ok(Sealed { seq, bytes })
+    }
+
+    /// Reads the exact on-disk bytes of sealed segment `seq` (for shipping
+    /// to a follower that is catching up).
+    pub fn segment_bytes(&self, seq: u64) -> Result<Vec<u8>> {
+        let path = segment_path(&self.dir, seq);
+        match fs::read(&path) {
+            Ok(bytes) => Ok(bytes),
+            Err(source) => io_err(&path, source),
+        }
+    }
+}
+
+/// The file a segment with sequence number `seq` lives in.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:010}.seg"))
+}
+
+/// Parses `seg-<seq>.seg` file names; anything else returns `None`.
+fn parse_segment_file_name(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".seg")?;
+    if digits.len() != 10 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Reads and validates the manifest, returning its `Init` record.
+fn read_manifest(path: &Path) -> Result<LogRecord> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(source) => return io_err(path, source),
+    };
+    if bytes.len() < 5 || bytes[..4] != MANIFEST_MAGIC {
+        return corrupt(path, "bad manifest magic");
+    }
+    if bytes[4] != crate::segment::FORMAT_VERSION {
+        return corrupt(path, format!("unsupported format version {}", bytes[4]));
+    }
+    let (record, consumed) = match decode_record(&bytes[5..]) {
+        Ok(decoded) => decoded,
+        Err(BinaryError::Truncated) => return corrupt(path, "manifest truncated"),
+        Err(err) => return corrupt(path, err.to_string()),
+    };
+    if 5 + consumed != bytes.len() {
+        return corrupt(path, "trailing bytes after the init record");
+    }
+    match record {
+        init @ LogRecord::Init { .. } => Ok(init),
+        other => corrupt(path, format!("manifest holds {other:?}, not Init")),
+    }
+}
+
+/// Writes `bytes` to a fresh file at `path` and fsyncs it.
+fn write_durable(path: &Path, bytes: &[u8]) -> Result<()> {
+    let result = (|| {
+        let mut file = File::create(path)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    })();
+    match result {
+        Ok(()) => Ok(()),
+        Err(source) => io_err(path, source),
+    }
+}
+
+/// Fsyncs a directory so a freshly created (or removed) file name is
+/// durable — on Linux, file creation is only durable once the parent
+/// directory has been synced.
+fn sync_dir(dir: &Path) -> Result<()> {
+    let result = File::open(dir).and_then(|handle| handle.sync_all());
+    match result {
+        Ok(()) => Ok(()),
+        // Some filesystems refuse directory fsync; the file fsync already
+        // happened, which is the best available on such hosts.
+        Err(source) if source.kind() == io::ErrorKind::InvalidInput => Ok(()),
+        Err(source) => io_err(dir, source),
+    }
+}
+
+/// Reads and validates the manifest of the log at `dir` without opening
+/// the log, returning `(num_nodes, directed)`.
+pub fn read_log_init(dir: impl AsRef<Path>) -> Result<(u64, bool)> {
+    match read_manifest(&dir.as_ref().join(MANIFEST_FILE))? {
+        LogRecord::Init {
+            num_nodes,
+            directed,
+        } => Ok((num_nodes, directed)),
+        _ => unreachable!("read_manifest only returns Init"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique, self-cleaning temp directory (no tempfile crate in the
+    /// offline build environment).
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path =
+                std::env::temp_dir().join(format!("egraph-log-{tag}-{}-{n}", std::process::id()));
+            let _ = fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn insert(src: u32, dst: u32) -> LogRecord {
+        LogRecord::Insert { src, dst }
+    }
+
+    #[test]
+    fn create_seal_reopen_replays_everything() {
+        let dir = TempDir::new("roundtrip");
+        let mut log = EventLog::create(dir.path(), 5, true).unwrap();
+        log.append(insert(0, 1));
+        log.append(insert(1, 2));
+        let sealed = log.seal(10).unwrap();
+        assert_eq!(sealed.seq, 0);
+        log.append(LogRecord::GrowNodes { num_nodes: 9 });
+        log.append(insert(7, 8));
+        log.seal(20).unwrap();
+        assert_eq!(log.segments_sealed(), 2);
+        drop(log);
+
+        let recovered = EventLog::open(dir.path()).unwrap();
+        assert!(!recovered.dropped_torn_tail);
+        assert_eq!(recovered.log.init(), (5, true));
+        assert_eq!(recovered.log.segments_sealed(), 2);
+        assert_eq!(recovered.segments.len(), 2);
+        assert_eq!(recovered.segments[0].label, 10);
+        assert_eq!(
+            recovered.segments[0].events,
+            vec![insert(0, 1), insert(1, 2)]
+        );
+        assert_eq!(recovered.segments[1].seq, 1);
+        assert_eq!(
+            recovered.segments[1].events,
+            vec![LogRecord::GrowNodes { num_nodes: 9 }, insert(7, 8)]
+        );
+
+        // The reopened log continues the sequence.
+        let mut log = recovered.log;
+        log.append(insert(2, 3));
+        assert_eq!(log.seal(30).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn pending_events_are_not_durable_until_sealed() {
+        let dir = TempDir::new("pending");
+        let mut log = EventLog::create(dir.path(), 3, true).unwrap();
+        log.append(insert(0, 1));
+        log.seal(1).unwrap();
+        log.append(insert(1, 2)); // never sealed
+        assert_eq!(log.num_pending(), 1);
+        drop(log);
+
+        let recovered = EventLog::open(dir.path()).unwrap();
+        assert_eq!(recovered.segments.len(), 1);
+        assert_eq!(recovered.log.num_pending(), 0);
+    }
+
+    #[test]
+    fn a_torn_tail_is_truncated_and_the_seq_is_reused() {
+        let dir = TempDir::new("torn");
+        let mut log = EventLog::create(dir.path(), 4, false).unwrap();
+        log.append(insert(0, 1));
+        log.seal(1).unwrap();
+        log.append(insert(1, 2));
+        log.append(insert(2, 3));
+        log.seal(2).unwrap();
+
+        // Tear the final segment mid-record.
+        let tail = segment_path(dir.path(), 1);
+        let full = fs::read(&tail).unwrap();
+        fs::write(&tail, &full[..full.len() - 3]).unwrap();
+
+        let recovered = EventLog::open(dir.path()).unwrap();
+        assert!(recovered.dropped_torn_tail);
+        assert_eq!(recovered.segments.len(), 1);
+        assert_eq!(recovered.log.segments_sealed(), 1);
+        assert!(!tail.exists(), "the torn file is gone");
+
+        // Sealing again rewrites seq 1 cleanly.
+        let mut log = recovered.log;
+        log.append(insert(1, 2));
+        assert_eq!(log.seal(2).unwrap().seq, 1);
+        let reopened = EventLog::open(dir.path()).unwrap();
+        assert_eq!(reopened.segments.len(), 2);
+    }
+
+    #[test]
+    fn corruption_in_sealed_history_fails_loudly() {
+        let dir = TempDir::new("corrupt");
+        let mut log = EventLog::create(dir.path(), 4, true).unwrap();
+        for label in 0..3 {
+            log.append(insert(0, 1));
+            log.seal(label).unwrap();
+        }
+        // Flip a byte in the *middle* segment: not a torn tail, must error.
+        let mid = segment_path(dir.path(), 1);
+        let mut bytes = fs::read(&mid).unwrap();
+        let at = bytes.len() - 6;
+        bytes[at] ^= 0x10;
+        fs::write(&mid, &bytes).unwrap();
+        assert!(matches!(
+            EventLog::open(dir.path()),
+            Err(LogError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn sequence_gaps_fail_loudly() {
+        let dir = TempDir::new("gap");
+        let mut log = EventLog::create(dir.path(), 4, true).unwrap();
+        for label in 0..3 {
+            log.append(insert(0, 1));
+            log.seal(label).unwrap();
+        }
+        fs::remove_file(segment_path(dir.path(), 1)).unwrap();
+        assert!(matches!(
+            EventLog::open(dir.path()),
+            Err(LogError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn create_refuses_an_existing_log_and_open_or_create_adopts_it() {
+        let dir = TempDir::new("exists");
+        let mut log = EventLog::create(dir.path(), 7, true).unwrap();
+        log.seal(0).unwrap();
+        assert!(matches!(
+            EventLog::create(dir.path(), 7, true),
+            Err(LogError::Io { .. })
+        ));
+        // open_or_create keeps the existing manifest even when handed
+        // different parameters.
+        let recovered = EventLog::open_or_create(dir.path(), 999, false).unwrap();
+        assert_eq!(recovered.log.init(), (7, true));
+        assert_eq!(recovered.segments.len(), 1);
+    }
+
+    #[test]
+    fn segment_bytes_ships_exactly_what_was_sealed() {
+        let dir = TempDir::new("ship");
+        let mut log = EventLog::create(dir.path(), 4, true).unwrap();
+        log.append(insert(0, 1));
+        let sealed = log.seal(5).unwrap();
+        assert_eq!(log.segment_bytes(0).unwrap(), sealed.bytes);
+        let decoded = decode_segment(&sealed.bytes).unwrap();
+        assert_eq!(decoded.label, 5);
+        assert_eq!(decoded.events, vec![insert(0, 1)]);
+    }
+
+    #[test]
+    fn an_open_log_with_no_segments_is_empty_not_an_error() {
+        let dir = TempDir::new("empty");
+        EventLog::create(dir.path(), 2, false).unwrap();
+        let recovered = EventLog::open(dir.path()).unwrap();
+        assert_eq!(recovered.log.segments_sealed(), 0);
+        assert!(recovered.segments.is_empty());
+        assert_eq!(read_log_init(dir.path()).unwrap(), (2, false));
+    }
+}

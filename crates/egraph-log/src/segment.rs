@@ -1,0 +1,260 @@
+//! The sealed-segment format: one file per sealed snapshot.
+//!
+//! A segment is the unit of durability *and* of replication — the same
+//! bytes that are fsynced to disk on seal are shipped verbatim to followers
+//! over `/log/tail`. Its layout:
+//!
+//! ```text
+//! segment := magic "EGSG" ++ format_version u8 ++ seq u64 LE
+//!            ++ frame(event_record)*
+//!            ++ frame(Seal { label })
+//! ```
+//!
+//! where `frame` is the CRC-framed record encoding of
+//! [`egraph_io::binary`]. A segment is **valid** only if it parses to
+//! exactly this shape: header, zero or more event records, one terminating
+//! [`LogRecord::Seal`], nothing after it. Everything else is either a torn
+//! tail ([`SegmentError::Torn`] — what a crash mid-write leaves) or
+//! corruption ([`SegmentError::Corrupt`] — which recovery refuses loudly).
+
+use egraph_io::binary::{decode_record, encode_record, BinaryError, LogRecord};
+
+/// First bytes of every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"EGSG";
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Fixed header size: magic + version byte + `u64` sequence number.
+pub const SEGMENT_HEADER_BYTES: usize = 4 + 1 + 8;
+
+/// A fully decoded, validated sealed segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedSegment {
+    /// The segment's position in the log (0-based; also its file name).
+    pub seq: u64,
+    /// The sealed snapshot's exact time label.
+    pub label: i64,
+    /// The snapshot's event records, in append order (no `Seal`, no
+    /// `Init`).
+    pub events: Vec<LogRecord>,
+}
+
+/// Why segment bytes failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The bytes stop before the segment's seal record does — a torn
+    /// write. Expected at the log's tail after a crash; recovery truncates
+    /// it away.
+    Torn {
+        /// Byte length of the torn input.
+        len: usize,
+    },
+    /// The bytes are wrong, not merely short: bad magic, CRC mismatch, a
+    /// record after the seal, a misplaced record kind. Never expected;
+    /// recovery fails loudly.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Torn { len } => {
+                write!(f, "segment torn: {len} bytes end before the seal record")
+            }
+            SegmentError::Corrupt(detail) => write!(f, "segment corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// Encodes a complete segment: header, `events` in order, terminated by a
+/// `Seal { label }` record. The returned buffer is exactly what goes to
+/// disk and over the replication wire.
+pub fn encode_segment(seq: u64, events: &[LogRecord], label: i64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_BYTES + 10 * (events.len() + 1));
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    out.push(FORMAT_VERSION);
+    out.extend_from_slice(&seq.to_le_bytes());
+    for event in events {
+        debug_assert!(
+            !matches!(event, LogRecord::Seal { .. } | LogRecord::Init { .. }),
+            "only event records belong inside a segment body"
+        );
+        encode_record(event, &mut out);
+    }
+    encode_record(&LogRecord::Seal { label }, &mut out);
+    out
+}
+
+/// Decodes and validates one complete segment.
+///
+/// # Errors
+/// [`SegmentError::Torn`] when `bytes` is a (possibly empty) strict prefix
+/// of a valid segment — i.e. everything present parses, but the seal
+/// record hasn't arrived; [`SegmentError::Corrupt`] for anything
+/// structurally wrong (magic, version, CRC, record after seal, `Init` or
+/// nested `Seal` in the body).
+pub fn decode_segment(bytes: &[u8]) -> Result<SealedSegment, SegmentError> {
+    if bytes.len() < SEGMENT_HEADER_BYTES {
+        // Short headers are torn only if they are a prefix of a valid
+        // header; wrong bytes are corruption even when short.
+        let expected: &[u8] = &SEGMENT_MAGIC;
+        let have = bytes.len().min(4);
+        if bytes[..have] != expected[..have] {
+            return Err(SegmentError::Corrupt("bad magic".into()));
+        }
+        if bytes.len() >= 5 && bytes[4] != FORMAT_VERSION {
+            return Err(SegmentError::Corrupt(format!(
+                "unsupported format version {}",
+                bytes[4]
+            )));
+        }
+        return Err(SegmentError::Torn { len: bytes.len() });
+    }
+    if bytes[..4] != SEGMENT_MAGIC {
+        return Err(SegmentError::Corrupt("bad magic".into()));
+    }
+    if bytes[4] != FORMAT_VERSION {
+        return Err(SegmentError::Corrupt(format!(
+            "unsupported format version {}",
+            bytes[4]
+        )));
+    }
+    let seq = u64::from_le_bytes(bytes[5..13].try_into().expect("8 header bytes"));
+
+    let mut events = Vec::new();
+    let mut offset = SEGMENT_HEADER_BYTES;
+    loop {
+        if offset == bytes.len() {
+            // Records exhausted without a seal: a torn tail.
+            return Err(SegmentError::Torn { len: bytes.len() });
+        }
+        let (record, frame_len) = match decode_record(&bytes[offset..]) {
+            Ok(decoded) => decoded,
+            Err(BinaryError::Truncated) => return Err(SegmentError::Torn { len: bytes.len() }),
+            Err(BinaryError::Corrupt(detail)) => {
+                return Err(SegmentError::Corrupt(format!(
+                    "at offset {offset}: {detail}"
+                )))
+            }
+        };
+        offset += frame_len;
+        match record {
+            LogRecord::Seal { label } => {
+                if offset != bytes.len() {
+                    return Err(SegmentError::Corrupt(format!(
+                        "{} bytes after the seal record",
+                        bytes.len() - offset
+                    )));
+                }
+                return Ok(SealedSegment { seq, label, events });
+            }
+            LogRecord::Init { .. } => {
+                return Err(SegmentError::Corrupt(
+                    "init record inside a segment body".into(),
+                ))
+            }
+            event => events.push(event),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<LogRecord> {
+        vec![
+            LogRecord::GrowNodes { num_nodes: 6 },
+            LogRecord::Insert { src: 0, dst: 1 },
+            LogRecord::InsertUnique { src: 1, dst: 2 },
+            LogRecord::Insert { src: 2, dst: 5 },
+        ]
+    }
+
+    #[test]
+    fn segments_round_trip() {
+        for (seq, label, events) in [
+            (0, 0i64, sample_events()),
+            (7, -1_000_000_007, sample_events()),
+            (u64::MAX, i64::MIN, Vec::new()), // empty seal is legal
+        ] {
+            let bytes = encode_segment(seq, &events, label);
+            let decoded = decode_segment(&bytes).unwrap();
+            assert_eq!(decoded, SealedSegment { seq, label, events });
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_torn_and_every_extension_is_corrupt() {
+        let bytes = encode_segment(3, &sample_events(), 42);
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    decode_segment(&bytes[..cut]),
+                    Err(SegmentError::Torn { .. })
+                ),
+                "cut at {cut} must be torn"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            decode_segment(&extended),
+            Err(SegmentError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_version_and_body_records_are_corrupt() {
+        let good = encode_segment(0, &sample_events(), 1);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_segment(&bad_magic),
+            Err(SegmentError::Corrupt(_))
+        ));
+        // Bad magic stays corrupt even truncated to one byte.
+        assert!(matches!(
+            decode_segment(&bad_magic[..1]),
+            Err(SegmentError::Corrupt(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            decode_segment(&bad_version),
+            Err(SegmentError::Corrupt(_))
+        ));
+
+        // A CRC flip mid-body.
+        let mut flipped = good.clone();
+        let mid = SEGMENT_HEADER_BYTES + 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            decode_segment(&flipped),
+            Err(SegmentError::Corrupt(_)) | Err(SegmentError::Torn { .. })
+        ));
+
+        // An Init record in the body.
+        let mut with_init = Vec::new();
+        with_init.extend_from_slice(&SEGMENT_MAGIC);
+        with_init.push(FORMAT_VERSION);
+        with_init.extend_from_slice(&0u64.to_le_bytes());
+        egraph_io::binary::encode_record(
+            &LogRecord::Init {
+                num_nodes: 3,
+                directed: true,
+            },
+            &mut with_init,
+        );
+        egraph_io::binary::encode_record(&LogRecord::Seal { label: 0 }, &mut with_init);
+        assert!(matches!(
+            decode_segment(&with_init),
+            Err(SegmentError::Corrupt(_))
+        ));
+    }
+}

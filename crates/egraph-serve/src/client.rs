@@ -106,6 +106,157 @@ impl Client {
         }
         Ok(Subscription { reader })
     }
+
+    /// `GET /log/tail?from=<from>` against a durable leader. Returns the
+    /// stream's init frame (the graph's birth parameters plus the leader's
+    /// current seal count) and a [`LogTail`] yielding one sealed segment
+    /// at a time — first the catch-up backlog from `from`, then live
+    /// pushes as the leader seals. This is the whole replication wire:
+    /// [`crate::Server::start_follower`] is built on it, and external
+    /// tools can use it to mirror a log.
+    pub fn tail_log(&self, from: u64) -> std::io::Result<(TailInit, LogTail)> {
+        let path = format!("/log/tail?from={from}");
+        let stream = self.send_request("GET", &path, "")?;
+        let mut reader = BufReader::new(stream);
+        let (status, framing) = http::read_response_head(&mut reader)?;
+        if status != 200 {
+            let body = match framing {
+                http::BodyFraming::Sized(n) => {
+                    let mut raw = vec![0u8; n];
+                    std::io::Read::read_exact(&mut reader, &mut raw)?;
+                    String::from_utf8_lossy(&raw).into_owned()
+                }
+                http::BodyFraming::Chunked => String::new(),
+            };
+            return Err(std::io::Error::other(format!(
+                "tail rejected with {status}: {body}"
+            )));
+        }
+        if !matches!(framing, http::BodyFraming::Chunked) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "tail responses must be chunked",
+            ));
+        }
+        let init_frame = http::read_chunk(&mut reader)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "tail stream closed before its init frame",
+            )
+        })?;
+        let init = parse_tail_init(init_frame.trim())?;
+        Ok((init, LogTail { reader }))
+    }
+}
+
+/// The first frame of a tail stream: how to construct the follower's graph
+/// and how far the leader's log currently reaches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TailInit {
+    /// The leader graph's initial node-universe size (growth events are in
+    /// the segments themselves).
+    pub num_nodes: usize,
+    /// Whether the leader's graph is directed.
+    pub directed: bool,
+    /// The leader's sealed-segment count when the stream opened.
+    pub latest: u64,
+}
+
+/// One sealed segment received off a tail stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TailSegment {
+    /// The segment's sequence number.
+    pub seq: u64,
+    /// The leader's sealed-segment count when this segment was shipped —
+    /// `latest - (seq + 1)` is the follower's lag after applying it.
+    pub latest: u64,
+    /// The segment's exact bytes, as sealed on the leader's disk; decode
+    /// with [`egraph_log::decode_segment`].
+    pub bytes: Vec<u8>,
+}
+
+fn invalid(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+fn parse_tail_init(frame: &str) -> std::io::Result<TailInit> {
+    let value = egraph_io::parse_value(frame).map_err(|e| invalid(e.to_string()))?;
+    let object = value
+        .as_object("tail init frame")
+        .map_err(|e| invalid(e.to_string()))?;
+    let init = object
+        .get("init")
+        .and_then(|v| v.as_object("init"))
+        .map_err(|e| invalid(e.to_string()))?;
+    Ok(TailInit {
+        num_nodes: init
+            .get("num_nodes")
+            .and_then(|v| v.as_usize("num_nodes"))
+            .map_err(|e| invalid(e.to_string()))?,
+        directed: init
+            .get("directed")
+            .and_then(|v| v.as_bool("directed"))
+            .map_err(|e| invalid(e.to_string()))?,
+        latest: object
+            .get("latest")
+            .and_then(|v| v.as_usize("latest"))
+            .map_err(|e| invalid(e.to_string()))? as u64,
+    })
+}
+
+/// A replication stream: yields sealed segments as the leader ships them.
+pub struct LogTail {
+    reader: BufReader<TcpStream>,
+}
+
+impl LogTail {
+    /// Blocks for the next segment. `Ok(None)` means the leader closed the
+    /// stream (shutdown); `Err` a transport failure, read timeout, or a
+    /// malformed frame.
+    pub fn next_segment(&mut self) -> std::io::Result<Option<TailSegment>> {
+        let Some(header) = http::read_chunk(&mut self.reader)? else {
+            return Ok(None);
+        };
+        let value = egraph_io::parse_value(header.trim()).map_err(|e| invalid(e.to_string()))?;
+        let object = value
+            .as_object("tail segment header")
+            .map_err(|e| invalid(e.to_string()))?;
+        let seq = object
+            .get("seq")
+            .and_then(|v| v.as_usize("seq"))
+            .map_err(|e| invalid(e.to_string()))? as u64;
+        let len = object
+            .get("len")
+            .and_then(|v| v.as_usize("len"))
+            .map_err(|e| invalid(e.to_string()))?;
+        let latest = object
+            .get("latest")
+            .and_then(|v| v.as_usize("latest"))
+            .map_err(|e| invalid(e.to_string()))? as u64;
+        let bytes = http::read_chunk_bytes(&mut self.reader)?.ok_or_else(|| {
+            invalid("tail stream ended between a segment header and its bytes".into())
+        })?;
+        if bytes.len() != len {
+            return Err(invalid(format!(
+                "segment header declared {len} bytes but the chunk carries {}",
+                bytes.len()
+            )));
+        }
+        Ok(Some(TailSegment { seq, latest, bytes }))
+    }
+
+    /// Overrides the read timeout on the underlying stream (`None` lets
+    /// the tail block indefinitely between seals).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// A second handle to the underlying socket — `shutdown` on it wakes a
+    /// read blocked in [`LogTail::next_segment`] (how a follower stops its
+    /// tail thread).
+    pub fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
+        self.reader.get_ref().try_clone()
+    }
 }
 
 /// A standing-query stream: reads push frames as the server seals

@@ -167,6 +167,7 @@ pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
@@ -204,6 +205,16 @@ pub fn write_chunk(stream: &mut impl Write, payload: &str) -> io::Result<()> {
     write!(stream, "{:x}\r\n", payload.len() + 1)?;
     stream.write_all(payload.as_bytes())?;
     stream.write_all(b"\n\r\n")?;
+    stream.flush()
+}
+
+/// Writes one chunk carrying raw bytes, with no trailing newline — the
+/// framing the replication stream uses to ship sealed segment files
+/// verbatim (segments are binary; a text terminator would corrupt them).
+pub fn write_chunk_bytes(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    write!(stream, "{:x}\r\n", payload.len())?;
+    stream.write_all(payload)?;
+    stream.write_all(b"\r\n")?;
     stream.flush()
 }
 
@@ -290,6 +301,20 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Response> {
 /// Reads one chunk of a chunked response; `None` means the final chunk
 /// arrived and the stream is done.
 pub fn read_chunk<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    match read_chunk_bytes(reader)? {
+        Some(raw) => {
+            let payload = String::from_utf8(raw)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "chunk is not UTF-8"))?;
+            Ok(Some(payload))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Reads one chunk as raw bytes (no UTF-8 requirement) — the counterpart
+/// of [`write_chunk_bytes`], used for segment payloads on the replication
+/// stream. `None` means the final chunk arrived.
+pub fn read_chunk_bytes<R: BufRead>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let size_line = read_head_line(reader, &mut 0).map_err(request_error_to_io)?;
     let size = usize::from_str_radix(size_line.trim(), 16)
@@ -311,9 +336,7 @@ pub fn read_chunk<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
     if &crlf != b"\r\n" {
         return Err(bad("chunk not CRLF-terminated".into()));
     }
-    let payload = String::from_utf8(raw)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "chunk is not UTF-8"))?;
-    Ok(Some(payload))
+    Ok(Some(raw))
 }
 
 fn request_error_to_io(err: RequestError) -> io::Error {
@@ -431,6 +454,25 @@ mod tests {
         assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), "{\"seq\":0}\n");
         assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), "{\"seq\":1}\n");
         assert_eq!(read_chunk(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn binary_chunks_round_trip_untouched_between_text_frames() {
+        // The replication stream interleaves JSON header chunks with raw
+        // binary segment chunks; both framings must coexist on one stream.
+        let segment: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        let mut wire = Vec::new();
+        write_chunked_head(&mut wire).unwrap();
+        write_chunk(&mut wire, "{\"seq\": 0}").unwrap();
+        write_chunk_bytes(&mut wire, &segment).unwrap();
+        write_final_chunk(&mut wire).unwrap();
+
+        let mut reader = BufReader::new(wire.as_slice());
+        let (status, _) = read_response_head(&mut reader).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), "{\"seq\": 0}\n");
+        assert_eq!(read_chunk_bytes(&mut reader).unwrap().unwrap(), segment);
+        assert_eq!(read_chunk_bytes(&mut reader).unwrap(), None);
     }
 
     #[test]

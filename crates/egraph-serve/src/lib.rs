@@ -69,10 +69,24 @@
 //!
 //! `POST /subscribe` holds the connection open (chunked transfer encoding)
 //! and pushes a frame per sealed snapshot: `{"seq", "version", "label",
+//! "segments_sealed", "segments_replayed", "follower_lag_seals",
 //! "outcome", "result"}`. Frames are generated through the same cache as
 //! `/query`, so a subscription to an extendable query is advanced
 //! incrementally, not recomputed. Seal→broadcast sections are serialized —
 //! every subscriber sees every seal, in order, exactly once.
+//!
+//! ## Durability & replication
+//!
+//! [`Server::start_durable`] write-ahead logs every ingested event into an
+//! `egraph-log` segment directory and fsyncs each seal before
+//! acknowledging it; after a crash or restart,
+//! [`DurableGraph::open`](egraph_stream::DurableGraph::open) (or the
+//! `--data-dir` flag of the `egraph-serve` binary) replays the log and the
+//! server resumes byte-identically. [`Server::start_follower`] tails a
+//! leader's sealed-segment stream over `GET /log/tail` (see
+//! [`Client::tail_log`]) and serves reads and subscriptions from its own
+//! replica and cache — delta-sync read scaling on the same wire format the
+//! disk uses.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -82,13 +96,13 @@ pub mod http;
 pub mod server;
 pub mod singleflight;
 
-pub use client::{Client, Subscription};
+pub use client::{Client, LogTail, Subscription, TailInit, TailSegment};
 pub use http::Response;
 pub use server::{Server, ServerConfig, ServerStats};
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
-    pub use crate::client::{Client, Subscription};
+    pub use crate::client::{Client, LogTail, Subscription, TailInit, TailSegment};
     pub use crate::http::Response;
     pub use crate::server::{Server, ServerConfig, ServerStats};
 }

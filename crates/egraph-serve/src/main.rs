@@ -1,0 +1,121 @@
+//! The `egraph-serve` binary: run the evolving-graph HTTP server from the
+//! command line, in any of its three roles.
+//!
+//! ```text
+//! egraph-serve [--nodes N] [--undirected] [--port P]            # in-memory
+//! egraph-serve --data-dir DIR [--nodes N] [--undirected] ...    # durable leader
+//! egraph-serve --follow HOST:PORT [--port P]                    # follower replica
+//! ```
+//!
+//! `--data-dir` boots from the event log in `DIR` if one exists (replaying
+//! every sealed segment) and creates a fresh log otherwise; `--nodes` and
+//! `--undirected` only apply on creation. `--follow` tails the given
+//! leader and serves reads from the replica.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use egraph_serve::{Server, ServerConfig};
+use egraph_stream::{DurableGraph, LiveGraph};
+
+struct Args {
+    data_dir: Option<String>,
+    follow: Option<SocketAddr>,
+    nodes: usize,
+    undirected: bool,
+    port: Option<u16>,
+}
+
+const USAGE: &str = "usage: egraph-serve [--data-dir DIR | --follow HOST:PORT] \
+                     [--nodes N] [--undirected] [--port P]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        data_dir: None,
+        follow: None,
+        nodes: 16,
+        undirected: false,
+        port: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |what: &str| argv.next().ok_or(format!("{flag} needs a {what}"));
+        match flag.as_str() {
+            "--data-dir" => args.data_dir = Some(value("directory")?),
+            "--follow" => {
+                let addr = value("leader address")?;
+                args.follow = Some(
+                    addr.parse()
+                        .map_err(|_| format!("unparseable leader address {addr:?}"))?,
+                );
+            }
+            "--nodes" => {
+                let n = value("count")?;
+                args.nodes = n
+                    .parse()
+                    .map_err(|_| format!("unparseable --nodes {n:?}"))?;
+            }
+            "--undirected" => args.undirected = true,
+            "--port" => {
+                let p = value("port")?;
+                args.port = Some(p.parse().map_err(|_| format!("unparseable --port {p:?}"))?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.data_dir.is_some() && args.follow.is_some() {
+        return Err("--data-dir and --follow are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+fn run(args: Args) -> Result<Server, String> {
+    let config = ServerConfig {
+        bind: args
+            .port
+            .map(|port| SocketAddr::from(([127, 0, 0, 1], port))),
+        ..ServerConfig::default()
+    };
+    if let Some(leader) = args.follow {
+        return Server::start_follower(leader, config).map_err(|e| e.to_string());
+    }
+    if let Some(dir) = args.data_dir {
+        let recovered = DurableGraph::open_or_create(&dir, args.nodes, !args.undirected)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "egraph-serve: data dir {dir}: {} segment(s) replayed{}",
+            recovered.segments_replayed,
+            if recovered.dropped_torn_tail {
+                ", torn tail truncated"
+            } else {
+                ""
+            }
+        );
+        return Server::start_durable(recovered, config).map_err(|e| e.to_string());
+    }
+    let live = if args.undirected {
+        LiveGraph::undirected(args.nodes)
+    } else {
+        LiveGraph::directed(args.nodes)
+    };
+    Server::start(live, config).map_err(|e| e.to_string())
+}
+
+fn main() {
+    let server = match parse_args().and_then(run) {
+        Ok(server) => server,
+        Err(message) => {
+            eprintln!("egraph-serve: {message}");
+            std::process::exit(2);
+        }
+    };
+    println!("egraph-serve: listening on http://{}", server.addr());
+    // Serve until killed; the accept loop lives on its own thread.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

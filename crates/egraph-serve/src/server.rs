@@ -14,8 +14,9 @@
 //! | `POST /query` | a [`QueryDescriptor`] JSON document | the `SearchResult` JSON document |
 //! | `POST /subscribe` | a descriptor | chunked stream: one frame now, one per sealed snapshot |
 //! | `POST /ingest` | `{"grow_nodes": n?, "events": [[u,v],...], "seal": label?}` | `{"version", "num_sealed", "sealed_index"}` |
-//! | `GET /stats` | — | cache + server counters |
+//! | `GET /stats` | — | cache + server + log counters |
 //! | `GET /health` | — | `{"ok": true, ...}` |
+//! | `GET /log/tail?from=seq` | — | chunked stream: init frame, then per sealed segment a JSON header + the raw segment bytes |
 //!
 //! Malformed bodies get structured `400`s (`{"error": ...}`), oversized
 //! bodies `413`, semantically failing queries (root outside the sealed
@@ -44,6 +45,29 @@
 //! `seal_lock` serializes ingest→broadcast sections and subscription
 //! registration, so every subscriber sees every seal exactly once, in
 //! order, with no gap between its initial frame and the first push.
+//!
+//! ## Durability and replication
+//!
+//! [`Server::start_durable`] pairs the graph with an `egraph-log`
+//! [`EventLog`]: `/ingest` mirrors every accepted event into the log, and a
+//! sealing request follows write-ahead order — validate the label, fsync
+//! the segment ([`EventLog::seal`]), *then* publish the snapshot to
+//! searches and acknowledge. The fsync happens outside the graph's write
+//! lock (`seal_lock` already serializes writers), so readers never wait on
+//! the disk. A crash can only lose events whose seal was never
+//! acknowledged; [`egraph_stream::DurableGraph::open`] replays the rest.
+//!
+//! [`Server::start_follower`] runs the read-scaling side: it opens
+//! `GET /log/tail?from=version` against a leader, rebuilds its own
+//! [`LiveGraph`] from the init frame, and applies each sealed segment the
+//! leader ships — through the *same* [`egraph_stream::replay_segment`]
+//! crash recovery uses — then re-broadcasts to its own subscribers from
+//! its own [`QueryCache`], inheriting the full incremental-repair matrix
+//! per tailed seal. Followers refuse `/ingest` (`403`); reads and
+//! subscriptions are served locally. `follower_lag_seals` in `/stats` (and
+//! on every push frame) reports how far behind the leader's latest known
+//! seal this server is; the tail thread reconnects with backoff until
+//! shutdown.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -51,10 +75,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::Duration;
 
+use egraph_log::{decode_segment, EventLog, Sealed};
 use egraph_query::codec::{descriptor_from_json, search_result_to_json};
 use egraph_query::QueryDescriptor;
+use egraph_stream::durable::{event_to_record, replay_segment, RecoveredGraph};
 use egraph_stream::{CacheOutcome, CacheStats, EdgeEvent, LiveGraph, QueryCache};
 
+use crate::client::{Client, LogTail, TailInit};
 use crate::http::{self, Request, RequestError};
 use crate::singleflight::{Admission, SingleFlight};
 
@@ -72,6 +99,9 @@ pub struct ServerConfig {
     /// requests have parked behind it before computing, making coalescing
     /// counts exact instead of race-dependent. Must be `None` in production.
     pub hold_leader_until_waiters: Option<usize>,
+    /// Address to bind; `None` binds an ephemeral loopback port (the right
+    /// choice for tests and examples — the `egraph-serve` binary sets it).
+    pub bind: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +110,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             io_timeout: Some(Duration::from_secs(10)),
             hold_leader_until_waiters: None,
+            bind: None,
         }
     }
 }
@@ -96,6 +127,16 @@ pub struct ServerStats {
     pub subscriptions_opened: u64,
     /// Frames pushed to subscribers (initial frames included).
     pub frames_pushed: u64,
+    /// Segments durably sealed (fsynced) by this server's event log —
+    /// includes segments recovered from disk at boot. Zero without a log.
+    pub segments_sealed: u64,
+    /// Segments replayed into the live graph: at boot from the local log,
+    /// or (on a follower) tailed from the leader.
+    pub segments_replayed: u64,
+    /// On a follower: the leader's latest known seal count minus this
+    /// server's applied count — `0` when fully converged. Always `0` on a
+    /// leader or standalone server.
+    pub follower_lag_seals: u64,
 }
 
 /// One standing query: the held-open connection, what it asked for, and
@@ -104,6 +145,15 @@ struct Subscriber {
     stream: TcpStream,
     descriptor: QueryDescriptor,
     seq: u64,
+}
+
+/// Handle to a follower's upstream connection, kept so shutdown can
+/// unblock the tail thread's read.
+struct FollowerCtl {
+    leader: SocketAddr,
+    /// The currently open tail stream (replaced across reconnects);
+    /// shutdown calls `shutdown(Both)` on it to wake the blocked read.
+    tail_stream: Mutex<Option<TcpStream>>,
 }
 
 /// Everything handlers share.
@@ -116,6 +166,16 @@ struct Shared {
     /// frames reach every subscriber in seal order with no duplicates or
     /// gaps.
     seal_lock: Mutex<()>,
+    /// The write-ahead log (durable leader mode only). Locked *inside* the
+    /// graph's write lock when mirroring events, and on its own for the
+    /// fsync on seal — which deliberately happens while no graph lock is
+    /// held, so readers never wait on the disk.
+    log: Option<Mutex<EventLog>>,
+    /// Followers currently tailing this server's log; each gets every
+    /// sealed segment pushed as a JSON header chunk + a raw bytes chunk.
+    tailers: Mutex<Vec<TcpStream>>,
+    /// Present on a follower: where to tail from, and the open stream.
+    follower: Option<FollowerCtl>,
     config: ServerConfig,
     shutting_down: AtomicBool,
     /// Open-connection count + condvar for drain-on-shutdown.
@@ -125,6 +185,9 @@ struct Shared {
     bad_requests: AtomicU64,
     subscriptions_opened: AtomicU64,
     frames_pushed: AtomicU64,
+    segments_sealed: AtomicU64,
+    segments_replayed: AtomicU64,
+    follower_lag_seals: AtomicU64,
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -157,19 +220,95 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    tail_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds an ephemeral loopback port and starts serving `live`.
+    /// Binds and starts serving `live` with no durability: a plain
+    /// in-memory server (events die with the process).
     pub fn start(live: LiveGraph, config: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::start_inner(live, config, None, None, 0)
+    }
+
+    /// Starts a **durable leader** over a recovered (or freshly created)
+    /// [`egraph_stream::DurableGraph`]: `/ingest` write-ahead logs every
+    /// event, seals are fsynced before they are acknowledged, and
+    /// followers may tail `GET /log/tail`.
+    ///
+    /// ```no_run
+    /// # use egraph_serve::{Server, ServerConfig};
+    /// # use egraph_stream::DurableGraph;
+    /// let recovered = DurableGraph::open_or_create("data", 100, true).unwrap();
+    /// let server = Server::start_durable(recovered, ServerConfig::default()).unwrap();
+    /// # drop(server);
+    /// ```
+    pub fn start_durable(
+        recovered: RecoveredGraph,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let segments_replayed = recovered.segments_replayed;
+        let (live, log) = recovered.graph.into_parts();
+        Self::start_inner(live, config, Some(log), None, segments_replayed)
+    }
+
+    /// Starts a **follower** replicating from the durable leader at
+    /// `leader`: tails its segment stream, rebuilds a local [`LiveGraph`],
+    /// and serves `/query`, `/subscribe`, `/stats` and `/health` from its
+    /// own cache. `/ingest` is refused with `403` — writes go to the
+    /// leader. The connection to the leader is established (and its init
+    /// frame read) before this returns; segment catch-up and live tailing
+    /// continue on a background thread that reconnects with backoff until
+    /// shutdown.
+    pub fn start_follower(leader: SocketAddr, config: ServerConfig) -> std::io::Result<Server> {
+        // Bootstrap synchronously so a bad leader address fails here, not
+        // silently on a background thread.
+        let client = Client::new(leader).with_timeout(config.io_timeout);
+        let (init, tail) = client.tail_log(0)?;
+        let live = if init.directed {
+            LiveGraph::directed(init.num_nodes)
+        } else {
+            LiveGraph::undirected(init.num_nodes)
+        };
+        let ctl = FollowerCtl {
+            leader,
+            tail_stream: Mutex::new(None),
+        };
+        let mut server = Self::start_inner(live, config, None, Some(ctl), 0)?;
+        server
+            .shared
+            .follower_lag_seals
+            .store(init.latest, Ordering::Relaxed);
+        let tail_shared = Arc::clone(&server.shared);
+        server.tail_thread = Some(
+            std::thread::Builder::new()
+                .name("egraph-serve-tail".into())
+                .spawn(move || follower_tail_loop(tail_shared, Some((init, tail))))?,
+        );
+        Ok(server)
+    }
+
+    fn start_inner(
+        live: LiveGraph,
+        config: ServerConfig,
+        log: Option<EventLog>,
+        follower: Option<FollowerCtl>,
+        segments_replayed: u64,
+    ) -> std::io::Result<Server> {
+        let listener = match config.bind {
+            Some(addr) => TcpListener::bind(addr)?,
+            None => TcpListener::bind(("127.0.0.1", 0))?,
+        };
         let addr = listener.local_addr()?;
+        let segments_sealed = log.as_ref().map_or(0, EventLog::segments_sealed);
         let shared = Arc::new(Shared {
             live: RwLock::new(live),
             cache: QueryCache::new(),
             flight: SingleFlight::new(),
             subscribers: Mutex::new(Vec::new()),
             seal_lock: Mutex::new(()),
+            log: log.map(Mutex::new),
+            tailers: Mutex::new(Vec::new()),
+            follower,
             config,
             shutting_down: AtomicBool::new(false),
             in_flight: Mutex::new(0),
@@ -178,6 +317,9 @@ impl Server {
             bad_requests: AtomicU64::new(0),
             subscriptions_opened: AtomicU64::new(0),
             frames_pushed: AtomicU64::new(0),
+            segments_sealed: AtomicU64::new(segments_sealed),
+            segments_replayed: AtomicU64::new(segments_replayed),
+            follower_lag_seals: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -187,6 +329,7 @@ impl Server {
             addr,
             shared,
             accept_thread: Some(accept_thread),
+            tail_thread: None,
         })
     }
 
@@ -200,13 +343,17 @@ impl Server {
         self.shared.cache.stats()
     }
 
-    /// The server's own counters — what `/stats` reports under `"server"`.
+    /// The server's own counters — what `/stats` reports under `"server"`
+    /// and `"log"`.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
             requests: self.shared.requests.load(Ordering::Relaxed),
             bad_requests: self.shared.bad_requests.load(Ordering::Relaxed),
             subscriptions_opened: self.shared.subscriptions_opened.load(Ordering::Relaxed),
             frames_pushed: self.shared.frames_pushed.load(Ordering::Relaxed),
+            segments_sealed: self.shared.segments_sealed.load(Ordering::Relaxed),
+            segments_replayed: self.shared.segments_replayed.load(Ordering::Relaxed),
+            follower_lag_seals: self.shared.follower_lag_seals.load(Ordering::Relaxed),
         }
     }
 
@@ -221,6 +368,16 @@ impl Server {
         // the thread observes the flag and exits.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // A follower's tail thread blocks reading the leader; shut the
+        // stream down to wake it, then join.
+        if let Some(ctl) = self.shared.follower.as_ref() {
+            if let Some(stream) = lock(&ctl.tail_stream).take() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(handle) = self.tail_thread.take() {
             let _ = handle.join();
         }
         // Drain: every accepted connection decrements `in_flight` when its
@@ -248,6 +405,9 @@ impl Server {
         for subscriber in lock(&self.shared.subscribers).drain(..) {
             let mut stream = subscriber.stream;
             let _ = http::write_final_chunk(&mut stream);
+        }
+        for mut tailer in lock(&self.shared.tailers).drain(..) {
+            let _ = http::write_final_chunk(&mut tailer);
         }
     }
 }
@@ -314,10 +474,17 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         return;
     }
 
-    match (request.method.as_str(), request.path.as_str()) {
+    // The request target may carry a query string (`/log/tail?from=3`);
+    // routing happens on the bare path.
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (request.path.as_str(), None),
+    };
+    match (request.method.as_str(), path) {
         ("POST", "/query") => handle_query(shared, stream, &request),
         ("POST", "/subscribe") => handle_subscribe(shared, stream, &request),
         ("POST", "/ingest") => handle_ingest(shared, stream, &request),
+        ("GET", "/log/tail") => handle_tail(shared, stream, query),
         ("GET", "/stats") => {
             let body = stats_body(shared);
             let _ = http::write_response(&mut stream, 200, &body);
@@ -331,7 +498,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 format!("{{\"ok\": true, \"version\": {version}, \"num_sealed\": {num_sealed}}}");
             let _ = http::write_response(&mut stream, 200, &body);
         }
-        (_, "/query" | "/subscribe" | "/ingest" | "/stats" | "/health") => {
+        (_, "/query" | "/subscribe" | "/ingest" | "/stats" | "/health" | "/log/tail") => {
             shared.bad_requests.fetch_add(1, Ordering::Relaxed);
             let message = format!("method {} not allowed here", request.method);
             let _ = http::write_response(&mut stream, 405, &http::error_body(&message));
@@ -455,7 +622,14 @@ fn handle_subscribe(shared: &Arc<Shared>, mut stream: TcpStream, request: &Reque
             let _ = http::write_response(&mut stream, 422, &http::error_body(&err.to_string()));
         }
         Ok((result, outcome, version)) => {
-            let frame = frame_body(0, version, None, outcome_name(outcome), Ok(&result));
+            let frame = frame_body(
+                0,
+                version,
+                None,
+                outcome_name(outcome),
+                log_labels(shared),
+                Ok(&result),
+            );
             if http::write_chunked_head(&mut stream).is_err()
                 || http::write_chunk(&mut stream, &frame).is_err()
             {
@@ -472,6 +646,23 @@ fn handle_subscribe(shared: &Arc<Shared>, mut stream: TcpStream, request: &Reque
     }
 }
 
+/// The durability/replication counters stamped onto every push frame and
+/// the `/stats` `"log"` section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct LogLabels {
+    segments_sealed: u64,
+    segments_replayed: u64,
+    follower_lag_seals: u64,
+}
+
+fn log_labels(shared: &Shared) -> LogLabels {
+    LogLabels {
+        segments_sealed: shared.segments_sealed.load(Ordering::Relaxed),
+        segments_replayed: shared.segments_replayed.load(Ordering::Relaxed),
+        follower_lag_seals: shared.follower_lag_seals.load(Ordering::Relaxed),
+    }
+}
+
 /// One push frame. `result` is `Err(message)` when the standing query
 /// failed at this version (the stream stays open — it may heal).
 fn frame_body(
@@ -479,6 +670,7 @@ fn frame_body(
     version: u64,
     label: Option<i64>,
     outcome: &str,
+    log: LogLabels,
     result: Result<&egraph_query::SearchResult, &str>,
 ) -> String {
     let mut out = String::new();
@@ -486,6 +678,10 @@ fn frame_body(
     if let Some(label) = label {
         out.push_str(&format!(", \"label\": {label}"));
     }
+    out.push_str(&format!(
+        ", \"segments_sealed\": {}, \"segments_replayed\": {}, \"follower_lag_seals\": {}",
+        log.segments_sealed, log.segments_replayed, log.follower_lag_seals
+    ));
     out.push_str(", \"outcome\": ");
     egraph_io::write_json_string(&mut out, outcome);
     match result {
@@ -569,6 +765,15 @@ fn parse_ingest(body: &str) -> Result<IngestRequest, String> {
 }
 
 fn handle_ingest(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request) {
+    if shared.follower.is_some() {
+        shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_response(
+            &mut stream,
+            403,
+            &http::error_body("this server is a follower; send writes to the leader"),
+        );
+        return;
+    }
     let ingest = match parse_ingest(&request.body) {
         Ok(ingest) => ingest,
         Err(message) => {
@@ -578,50 +783,99 @@ fn handle_ingest(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request)
         }
     };
 
-    // The whole mutate→broadcast section is serialized: frames reach
+    // The whole mutate→log→broadcast section is serialized: frames reach
     // subscribers in seal order, and subscription registration cannot
     // interleave into the middle of it.
     let _ordering = lock(&shared.seal_lock);
-    let applied: Result<(u64, usize, Option<usize>), egraph_core::error::GraphError> = {
+
+    // Phase 1 — apply events under the write lock, mirroring each accepted
+    // one into the log's open-segment buffer (a rejected event is never
+    // logged), and validate the seal label *without* sealing.
+    let applied: Result<(), egraph_core::error::GraphError> = {
         let mut live = write_live(shared);
+        let mut log = shared.log.as_ref().map(lock);
         (|| {
+            let mut apply = |live: &mut LiveGraph, event: EdgeEvent| {
+                live.apply(event)?;
+                if let Some(log) = log.as_mut() {
+                    log.append(event_to_record(&event));
+                }
+                Ok::<(), egraph_core::error::GraphError>(())
+            };
             if let Some(num_nodes) = ingest.grow_nodes {
-                live.apply(EdgeEvent::grow_nodes(num_nodes))?;
+                apply(&mut live, EdgeEvent::grow_nodes(num_nodes))?;
             }
             for &(src, dst) in &ingest.events {
-                live.insert(src, dst)?;
+                apply(&mut live, EdgeEvent::insert(src, dst))?;
             }
-            let sealed_index = match ingest.seal {
-                Some(label) => Some(live.seal_snapshot(label)?.index()),
-                None => None,
-            };
-            Ok((live.version(), live.num_sealed(), sealed_index))
+            if let Some(label) = ingest.seal {
+                // `can_seal` is the only way a seal can fail; checking it
+                // here means the fsync below commits a label the graph is
+                // guaranteed to accept.
+                if !live.can_seal(label) {
+                    return Err(egraph_core::error::GraphError::UnsortedTimestamps {
+                        position: live.num_sealed(),
+                    });
+                }
+            }
+            Ok(())
         })()
     };
+    if let Err(err) = applied {
+        // Rejected events never become visible to queries — only sealed
+        // snapshots are searched, and a failing request reaches no seal —
+        // but events applied before the failure stay pending (in graph and
+        // log alike), so a corrected retry continues from them.
+        shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_response(&mut stream, 422, &http::error_body(&err.to_string()));
+        return;
+    }
 
-    match applied {
-        Err(err) => {
-            // Rejected events never become visible to queries — only sealed
-            // snapshots are searched, and a failing request reaches no seal
-            // — but events applied before the failure stay pending, so a
-            // corrected retry continues from them rather than replaying.
-            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
-            let _ = http::write_response(&mut stream, 422, &http::error_body(&err.to_string()));
-        }
-        Ok((version, num_sealed, sealed_index)) => {
-            if sealed_index.is_some() {
-                broadcast_frames(shared, ingest.seal.expect("sealed implies a label"));
+    // Phase 2 — write-ahead: fsync the segment before the snapshot becomes
+    // visible or the request is acknowledged. No graph lock is held here,
+    // so readers proceed while the disk syncs; `seal_lock` keeps other
+    // writers out.
+    let mut sealed: Option<Sealed> = None;
+    if let (Some(label), Some(log)) = (ingest.seal, shared.log.as_ref()) {
+        match lock(log).seal(label) {
+            Ok(segment) => sealed = Some(segment),
+            Err(err) => {
+                // Durability failed: nothing was published and the seal is
+                // not acknowledged. Events stay pending on both sides for
+                // a retry once the disk recovers.
+                let message = format!("failed to persist the seal: {err}");
+                let _ = http::write_response(&mut stream, 500, &http::error_body(&message));
+                return;
             }
-            let sealed_json = match sealed_index {
-                Some(index) => index.to_string(),
-                None => "null".to_string(),
-            };
-            let body = format!(
-                "{{\"version\": {version}, \"num_sealed\": {num_sealed}, \"sealed_index\": {sealed_json}}}"
-            );
-            let _ = http::write_response(&mut stream, 200, &body);
         }
     }
+
+    // Phase 3 — publish and acknowledge.
+    let (version, num_sealed, sealed_index) = {
+        let mut live = write_live(shared);
+        let sealed_index = ingest.seal.map(|label| {
+            live.seal_snapshot(label)
+                .expect("label was validated before the segment was fsynced")
+                .index()
+        });
+        (live.version(), live.num_sealed(), sealed_index)
+    };
+    if sealed_index.is_some() {
+        let label = ingest.seal.expect("sealed implies a label");
+        if let Some(segment) = sealed.as_ref() {
+            shared.segments_sealed.fetch_add(1, Ordering::Relaxed);
+            push_segment_to_tailers(shared, segment);
+        }
+        broadcast_frames(shared, label);
+    }
+    let sealed_json = match sealed_index {
+        Some(index) => index.to_string(),
+        None => "null".to_string(),
+    };
+    let body = format!(
+        "{{\"version\": {version}, \"num_sealed\": {num_sealed}, \"sealed_index\": {sealed_json}}}"
+    );
+    let _ = http::write_response(&mut stream, 200, &body);
 }
 
 /// Re-executes every standing subscription at the current version and
@@ -631,6 +885,7 @@ fn handle_ingest(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request)
 fn broadcast_frames(shared: &Arc<Shared>, label: i64) {
     let live = read_live(shared);
     let version = live.version();
+    let labels = log_labels(shared);
     let mut subscribers = lock(&shared.subscribers);
     let mut frames_pushed = 0u64;
     subscribers.retain_mut(|subscriber| {
@@ -641,6 +896,7 @@ fn broadcast_frames(shared: &Arc<Shared>, label: i64) {
                 version,
                 Some(label),
                 outcome_name(outcome),
+                labels,
                 Ok(&result),
             ),
             Err(err) => frame_body(
@@ -648,6 +904,7 @@ fn broadcast_frames(shared: &Arc<Shared>, label: i64) {
                 version,
                 Some(label),
                 "error",
+                labels,
                 Err(&err.to_string()),
             ),
         };
@@ -664,6 +921,216 @@ fn broadcast_frames(shared: &Arc<Shared>, label: i64) {
 }
 
 // ---------------------------------------------------------------------------
+// GET /log/tail — replication: serving the segment stream
+// ---------------------------------------------------------------------------
+
+/// Parses the `from=<seq>` parameter of a tail request (default `0`).
+fn parse_tail_from(query: Option<&str>) -> Result<u64, String> {
+    let Some(query) = query else { return Ok(0) };
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key == "from" {
+            return value
+                .parse()
+                .map_err(|_| format!("unparseable from={value:?}"));
+        }
+    }
+    Ok(0)
+}
+
+/// Writes one sealed segment onto a tail stream: a JSON header chunk
+/// (`seq`, byte length, and the log's latest seal count so followers can
+/// report their lag), then the segment's exact bytes as a binary chunk.
+fn write_segment_chunks(
+    stream: &mut TcpStream,
+    seq: u64,
+    latest: u64,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    let header = format!(
+        "{{\"seq\": {seq}, \"len\": {}, \"latest\": {latest}}}",
+        bytes.len()
+    );
+    http::write_chunk(stream, &header)?;
+    http::write_chunk_bytes(stream, bytes)
+}
+
+/// `GET /log/tail?from=seq`: streams every sealed segment from `from`
+/// onward, then parks the connection to receive future seals as they
+/// happen. Only a durable leader (a server with a log) can be tailed.
+fn handle_tail(shared: &Arc<Shared>, mut stream: TcpStream, query: Option<&str>) {
+    let Some(log) = shared.log.as_ref() else {
+        shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_response(
+            &mut stream,
+            403,
+            &http::error_body("this server has no durable log to tail (start it durable)"),
+        );
+        return;
+    };
+    let from = match parse_tail_from(query) {
+        Ok(from) => from,
+        Err(message) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(&mut stream, 400, &http::error_body(&message));
+            return;
+        }
+    };
+    let (num_nodes, directed, mut latest) = {
+        let log = lock(log);
+        let (num_nodes, directed) = log.init();
+        (num_nodes, directed, log.segments_sealed())
+    };
+    if from > latest {
+        shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let message = format!("from={from} is beyond the log's {latest} sealed segments");
+        let _ = http::write_response(&mut stream, 400, &http::error_body(&message));
+        return;
+    }
+    let init_frame = format!(
+        "{{\"init\": {{\"num_nodes\": {num_nodes}, \"directed\": {directed}}}, \"latest\": {latest}}}"
+    );
+    if http::write_chunked_head(&mut stream).is_err()
+        || http::write_chunk(&mut stream, &init_frame).is_err()
+    {
+        return;
+    }
+    let mut next = from;
+    loop {
+        // Catch up from disk without blocking ingest for the whole sweep:
+        // the log lock is taken per segment, never across the socket write.
+        while next < latest {
+            let bytes = match lock(log).segment_bytes(next) {
+                Ok(bytes) => bytes,
+                Err(_) => return, // disk trouble: drop the tailer, it will reconnect
+            };
+            if write_segment_chunks(&mut stream, next, latest, &bytes).is_err() {
+                return;
+            }
+            next += 1;
+        }
+        // Caught up to what we saw — register under `seal_lock` so no seal
+        // can slip between the last shipped segment and registration. If
+        // one landed while we were streaming, go around again.
+        let _ordering = lock(&shared.seal_lock);
+        let now = lock(log).segments_sealed();
+        if now > next {
+            latest = now;
+            continue;
+        }
+        lock(&shared.tailers).push(stream);
+        return;
+    }
+}
+
+/// Pushes one freshly sealed segment to every parked tailer (runs under
+/// `seal_lock`, right after the seal was published). Tailers whose sockets
+/// are gone are dropped; they reconnect from their own version.
+fn push_segment_to_tailers(shared: &Arc<Shared>, sealed: &Sealed) {
+    let latest = shared.segments_sealed.load(Ordering::Relaxed);
+    let mut tailers = lock(&shared.tailers);
+    tailers.retain_mut(|stream| {
+        write_segment_chunks(stream, sealed.seq, latest, &sealed.bytes).is_ok()
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Follower: tailing a leader's segment stream
+// ---------------------------------------------------------------------------
+
+/// Applies one tailed segment to the follower's graph and re-broadcasts to
+/// its subscribers. Returns `Err` on corruption or a sequence gap — state
+/// the leader's fsync-ordered stream can never produce, so replication
+/// stops loudly rather than serving a wrong graph.
+fn apply_tailed_segment(
+    shared: &Arc<Shared>,
+    segment: &crate::client::TailSegment,
+) -> Result<(), String> {
+    let decoded = decode_segment(&segment.bytes).map_err(|err| err.to_string())?;
+    let label = decoded.label;
+    // The same ordering discipline as `/ingest`: the whole apply→broadcast
+    // section is serialized against subscription registration.
+    let _ordering = lock(&shared.seal_lock);
+    let version = {
+        let mut live = write_live(shared);
+        let version = live.version();
+        if decoded.seq < version {
+            // Already applied (a reconnect re-shipped it); skip silently.
+            return Ok(());
+        }
+        if decoded.seq > version {
+            return Err(format!(
+                "segment gap: leader shipped seq {} but this follower is at {version}",
+                decoded.seq
+            ));
+        }
+        replay_segment(&mut live, &decoded).map_err(|err| err.to_string())?;
+        live.version()
+    };
+    shared.segments_replayed.fetch_add(1, Ordering::Relaxed);
+    shared
+        .follower_lag_seals
+        .store(segment.latest.saturating_sub(version), Ordering::Relaxed);
+    broadcast_frames(shared, label);
+    Ok(())
+}
+
+/// The follower's tail thread: consumes segments from the already-open
+/// bootstrap stream, and reconnects (from the current version) with
+/// backoff whenever the leader goes away — until shutdown.
+fn follower_tail_loop(shared: Arc<Shared>, first: Option<(TailInit, LogTail)>) {
+    let ctl = shared
+        .follower
+        .as_ref()
+        .expect("the tail loop only runs on a follower");
+    let mut session = first;
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let (init, mut tail) = match session.take() {
+            Some(open) => open,
+            None => {
+                let from = read_live(&shared).version();
+                let client = Client::new(ctl.leader).with_timeout(shared.config.io_timeout);
+                match client.tail_log(from) {
+                    Ok(open) => open,
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(100));
+                        continue;
+                    }
+                }
+            }
+        };
+        // Park the stream where shutdown can reach it, then re-check the
+        // flag so a shutdown racing the store cannot leave us blocked.
+        if let Ok(clone) = tail.try_clone_stream() {
+            *lock(&ctl.tail_stream) = Some(clone);
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        // Pushes arrive at seal pace, which can be far apart: the tail
+        // read must be allowed to block indefinitely.
+        let _ = tail.set_read_timeout(None);
+        let version = read_live(&shared).version();
+        shared
+            .follower_lag_seals
+            .store(init.latest.saturating_sub(version), Ordering::Relaxed);
+        // Leader closing or a transport failure ends this inner loop and
+        // reconnects from wherever we got to.
+        while let Ok(Some(segment)) = tail.next_segment() {
+            if let Err(message) = apply_tailed_segment(&shared, &segment) {
+                // Corrupt or out-of-order replication stream: refuse to
+                // keep serving a possibly-wrong graph.
+                eprintln!("egraph-serve follower: replication halted: {message}");
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // GET /stats
 // ---------------------------------------------------------------------------
 
@@ -674,6 +1141,7 @@ fn stats_body(shared: &Arc<Shared>) -> String {
         (live.version(), live.num_sealed(), live.graph().num_nodes())
     };
     let subscribers = lock(&shared.subscribers).len();
+    let labels = log_labels(shared);
     format!(
         "{{\"cache\": {{\"hits\": {}, \"extensions\": {}, \"extended_shared\": {}, \
          \"redimensioned\": {}, \"stable_core_resettled\": {}, \"recomputes\": {}, \
@@ -681,6 +1149,8 @@ fn stats_body(shared: &Arc<Shared>) -> String {
          \"hit_rate\": {:.6}}}, \
          \"server\": {{\"requests\": {}, \"bad_requests\": {}, \"subscribers\": {subscribers}, \
          \"subscriptions_opened\": {}, \"frames_pushed\": {}}}, \
+         \"log\": {{\"segments_sealed\": {}, \"segments_replayed\": {}, \
+         \"follower_lag_seals\": {}}}, \
          \"graph\": {{\"version\": {version}, \"num_sealed\": {num_sealed}, \"num_nodes\": {num_nodes}}}}}",
         cache.hits,
         cache.extensions,
@@ -697,6 +1167,9 @@ fn stats_body(shared: &Arc<Shared>) -> String {
         shared.bad_requests.load(Ordering::Relaxed),
         shared.subscriptions_opened.load(Ordering::Relaxed),
         shared.frames_pushed.load(Ordering::Relaxed),
+        labels.segments_sealed,
+        labels.segments_replayed,
+        labels.follower_lag_seals,
     )
 }
 
@@ -730,14 +1203,30 @@ mod tests {
     }
 
     #[test]
-    fn frames_carry_sequence_version_label_and_outcome() {
-        let frame = frame_body(3, 9, Some(41), "extended", Err("window moved"));
+    fn frames_carry_sequence_version_label_log_counters_and_outcome() {
+        let labels = LogLabels {
+            segments_sealed: 4,
+            segments_replayed: 2,
+            follower_lag_seals: 1,
+        };
+        let frame = frame_body(3, 9, Some(41), "extended", labels, Err("window moved"));
         assert_eq!(
             frame,
-            "{\"seq\": 3, \"version\": 9, \"label\": 41, \"outcome\": \"extended\", \
-             \"error\": \"window moved\"}"
+            "{\"seq\": 3, \"version\": 9, \"label\": 41, \"segments_sealed\": 4, \
+             \"segments_replayed\": 2, \"follower_lag_seals\": 1, \
+             \"outcome\": \"extended\", \"error\": \"window moved\"}"
         );
-        let initial = frame_body(0, 1, None, "miss", Err("x"));
-        assert!(!initial.contains("label"));
+        let initial = frame_body(0, 1, None, "miss", labels, Err("x"));
+        assert!(!initial.contains("\"label\""));
+    }
+
+    #[test]
+    fn tail_from_parameters_parse_and_reject() {
+        assert_eq!(parse_tail_from(None).unwrap(), 0);
+        assert_eq!(parse_tail_from(Some("")).unwrap(), 0);
+        assert_eq!(parse_tail_from(Some("from=7")).unwrap(), 7);
+        assert_eq!(parse_tail_from(Some("x=1&from=3")).unwrap(), 3);
+        assert!(parse_tail_from(Some("from=minus")).is_err());
+        assert!(parse_tail_from(Some("from=-1")).is_err());
     }
 }

@@ -1,0 +1,436 @@
+//! Durability for [`LiveGraph`]: write-ahead logging and crash recovery.
+//!
+//! This module is the bridge between the in-memory event model
+//! ([`EdgeEvent`]) and the graph-agnostic storage engine (`egraph-log`):
+//! it owns the `EdgeEvent` ↔ [`LogRecord`] mapping, the segment replay
+//! used by both recovery and follower replication, and [`DurableGraph`] —
+//! a `LiveGraph` paired with an [`EventLog`] so every applied event is
+//! mirrored into the log and every seal is fsynced *before* it is
+//! acknowledged.
+//!
+//! The write-ahead ordering on seal is:
+//!
+//! 1. validate the label with [`LiveGraph::can_seal`] (the only way a seal
+//!    can fail, checked before anything is committed);
+//! 2. [`EventLog::seal`] — encode, write, fsync; the durability point;
+//! 3. [`LiveGraph::seal_snapshot`] — publish to searches; cannot fail
+//!    after step 1.
+//!
+//! Events applied but not yet sealed live only in memory (both buffers);
+//! a crash loses them, which is exactly the contract — the seal is the
+//! acknowledgement boundary, and recovery restores the last sealed
+//! snapshot bit-for-bit.
+
+use std::path::Path;
+
+use egraph_core::error::GraphError;
+use egraph_core::ids::{NodeId, TimeIndex, Timestamp};
+use egraph_io::binary::LogRecord;
+use egraph_log::{EventLog, LogError, SealedSegment};
+
+use crate::event::EdgeEvent;
+use crate::live::LiveGraph;
+
+/// Why a durable-graph operation failed.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The graph layer rejected an event or a seal.
+    Graph(GraphError),
+    /// The log layer failed (I/O or on-disk corruption).
+    Log(LogError),
+    /// A replayed record could not be turned into an event (e.g. a node
+    /// count beyond this platform's address space). Never produced by
+    /// logs this process wrote.
+    Replay(String),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Graph(err) => write!(f, "graph: {err}"),
+            DurableError::Log(err) => write!(f, "log: {err}"),
+            DurableError::Replay(detail) => write!(f, "replay: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Graph(err) => Some(err),
+            DurableError::Log(err) => Some(err),
+            DurableError::Replay(_) => None,
+        }
+    }
+}
+
+impl From<GraphError> for DurableError {
+    fn from(err: GraphError) -> Self {
+        DurableError::Graph(err)
+    }
+}
+
+impl From<LogError> for DurableError {
+    fn from(err: LogError) -> Self {
+        DurableError::Log(err)
+    }
+}
+
+/// A [`DurableError`] result.
+pub type Result<T> = std::result::Result<T, DurableError>;
+
+/// The wire/log record for an event. Total: every event has a record.
+pub fn event_to_record(event: &EdgeEvent) -> LogRecord {
+    match *event {
+        EdgeEvent::Insert { src, dst } => LogRecord::Insert {
+            src: src.0,
+            dst: dst.0,
+        },
+        EdgeEvent::InsertUnique { src, dst } => LogRecord::InsertUnique {
+            src: src.0,
+            dst: dst.0,
+        },
+        EdgeEvent::GrowNodes { num_nodes } => LogRecord::GrowNodes {
+            num_nodes: num_nodes as u64,
+        },
+    }
+}
+
+/// The event a log record replays as.
+///
+/// # Errors
+/// [`DurableError::Replay`] for `Init`/`Seal` (the log's own framing —
+/// [`egraph_log::decode_segment`] never leaves them in a segment body) and
+/// for a `GrowNodes` count that does not fit this platform's `usize`.
+pub fn record_to_event(record: &LogRecord) -> Result<EdgeEvent> {
+    match *record {
+        LogRecord::Insert { src, dst } => Ok(EdgeEvent::insert(NodeId(src), NodeId(dst))),
+        LogRecord::InsertUnique { src, dst } => {
+            Ok(EdgeEvent::insert_unique(NodeId(src), NodeId(dst)))
+        }
+        LogRecord::GrowNodes { num_nodes } => match usize::try_from(num_nodes) {
+            Ok(num_nodes) => Ok(EdgeEvent::grow_nodes(num_nodes)),
+            Err(_) => Err(DurableError::Replay(format!(
+                "grow_nodes({num_nodes}) exceeds this platform's usize"
+            ))),
+        },
+        LogRecord::Seal { .. } | LogRecord::Init { .. } => Err(DurableError::Replay(format!(
+            "{record:?} is log framing, not an event"
+        ))),
+    }
+}
+
+/// Applies one sealed segment to a live graph: every event, then the seal
+/// under the segment's label. This is the single replay primitive shared
+/// by crash recovery and follower replication, so a follower's graph is
+/// built by exactly the code a restart uses.
+pub fn replay_segment(live: &mut LiveGraph, segment: &SealedSegment) -> Result<TimeIndex> {
+    for record in &segment.events {
+        live.apply(record_to_event(record)?)?;
+    }
+    Ok(live.seal_snapshot(segment.label)?)
+}
+
+/// What [`DurableGraph::seal_snapshot`] durably committed.
+#[derive(Clone, Debug)]
+pub struct SealReceipt {
+    /// The sealed snapshot's time index in the graph.
+    pub time: TimeIndex,
+    /// The sealed segment's sequence number in the log.
+    pub seq: u64,
+    /// The segment's exact on-disk bytes (what replication ships).
+    pub bytes: Vec<u8>,
+}
+
+/// What [`DurableGraph::open`] (and [`LiveGraph::recover`]) rebuilt.
+#[derive(Debug)]
+pub struct RecoveredGraph {
+    /// The recovered graph, ready to keep appending.
+    pub graph: DurableGraph,
+    /// How many sealed segments were replayed (= the restored
+    /// [`LiveGraph::version`]).
+    pub segments_replayed: u64,
+    /// Whether a torn final segment — the residue of a crash mid-seal —
+    /// was found and truncated away.
+    pub dropped_torn_tail: bool,
+}
+
+/// A [`LiveGraph`] whose event stream is write-ahead logged to an
+/// [`EventLog`] so it survives a crash or restart. See the
+/// [module docs](self) for the ordering contract.
+#[derive(Debug)]
+pub struct DurableGraph {
+    live: LiveGraph,
+    log: EventLog,
+}
+
+impl DurableGraph {
+    /// Creates a fresh durable graph: a new [`EventLog`] at `dir` plus an
+    /// empty [`LiveGraph`] over `num_nodes` nodes.
+    pub fn create(dir: impl AsRef<Path>, num_nodes: usize, directed: bool) -> Result<DurableGraph> {
+        let log = EventLog::create(dir, num_nodes as u64, directed)?;
+        let live = if directed {
+            LiveGraph::directed(num_nodes)
+        } else {
+            LiveGraph::undirected(num_nodes)
+        };
+        Ok(DurableGraph { live, log })
+    }
+
+    /// Opens the log at `dir` and replays every sealed segment, rebuilding
+    /// the live graph exactly as it stood at its last acknowledged seal
+    /// (same CSR contents, same monotone version = seal count). A torn
+    /// final segment is truncated; corrupt history fails loudly.
+    pub fn open(dir: impl AsRef<Path>) -> Result<RecoveredGraph> {
+        let recovered = EventLog::open(dir)?;
+        let (num_nodes, directed) = recovered.log.init();
+        let num_nodes = usize::try_from(num_nodes).map_err(|_| {
+            DurableError::Replay(format!(
+                "init num_nodes {num_nodes} exceeds this platform's usize"
+            ))
+        })?;
+        let mut live = if directed {
+            LiveGraph::directed(num_nodes)
+        } else {
+            LiveGraph::undirected(num_nodes)
+        };
+        for segment in &recovered.segments {
+            replay_segment(&mut live, segment)?;
+        }
+        Ok(RecoveredGraph {
+            graph: DurableGraph {
+                live,
+                log: recovered.log,
+            },
+            segments_replayed: recovered.segments.len() as u64,
+            dropped_torn_tail: recovered.dropped_torn_tail,
+        })
+    }
+
+    /// [`DurableGraph::open`] if a log exists at `dir`, otherwise
+    /// [`DurableGraph::create`] (reported as zero segments replayed).
+    pub fn open_or_create(
+        dir: impl AsRef<Path>,
+        num_nodes: usize,
+        directed: bool,
+    ) -> Result<RecoveredGraph> {
+        let dir = dir.as_ref();
+        if dir.join(egraph_log::log::MANIFEST_FILE).exists() {
+            Self::open(dir)
+        } else {
+            Ok(RecoveredGraph {
+                graph: Self::create(dir, num_nodes, directed)?,
+                segments_replayed: 0,
+                dropped_torn_tail: false,
+            })
+        }
+    }
+
+    /// The live graph (read-only: all mutation goes through this wrapper
+    /// so the log never falls behind the graph).
+    pub fn live(&self) -> &LiveGraph {
+        &self.live
+    }
+
+    /// The underlying event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Splits into the live graph and the log — for callers (like the
+    /// HTTP server) that interleave their own locking between the two.
+    /// The caller inherits the ordering contract in the [module docs](self).
+    pub fn into_parts(self) -> (LiveGraph, EventLog) {
+        (self.live, self.log)
+    }
+
+    /// Buffers one event into the open snapshot of both the graph and the
+    /// log. Validation happens in the graph first, so a rejected event is
+    /// never logged.
+    pub fn apply(&mut self, event: EdgeEvent) -> Result<()> {
+        self.live.apply(event)?;
+        self.log.append(event_to_record(&event));
+        Ok(())
+    }
+
+    /// Convenience: buffers a plain edge insert.
+    pub fn insert(&mut self, src: impl Into<NodeId>, dst: impl Into<NodeId>) -> Result<()> {
+        self.apply(EdgeEvent::insert(src, dst))
+    }
+
+    /// Durably seals the open snapshot: validates the label, fsyncs the
+    /// segment to disk, *then* publishes it to searches. Once this
+    /// returns, the snapshot survives any crash.
+    pub fn seal_snapshot(&mut self, label: Timestamp) -> Result<SealReceipt> {
+        if !self.live.can_seal(label) {
+            return Err(DurableError::Graph(GraphError::UnsortedTimestamps {
+                position: self.live.num_sealed(),
+            }));
+        }
+        let sealed = self.log.seal(label)?;
+        let time = self
+            .live
+            .seal_snapshot(label)
+            .expect("can_seal validated the label; publish after fsync cannot fail");
+        Ok(SealReceipt {
+            time,
+            seq: sealed.seq,
+            bytes: sealed.bytes,
+        })
+    }
+}
+
+impl LiveGraph {
+    /// Recovers a live graph from the event log at `dir` — replays every
+    /// durably sealed segment in order, rebuilding the CSR serve graph,
+    /// the touched sets and the monotone version stamp exactly as they
+    /// stood at the last acknowledged seal. Convenience alias for
+    /// [`DurableGraph::open`]; the returned [`RecoveredGraph`] keeps the
+    /// log handle so ingest can continue where it left off.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<RecoveredGraph> {
+        DurableGraph::open(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph_core::graph::EvolvingGraph;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("egraph-durable-{tag}-{}-{n}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn every_event_round_trips_through_its_record() {
+        for event in [
+            EdgeEvent::insert(NodeId(0), NodeId(u32::MAX)),
+            EdgeEvent::insert_unique(NodeId(7), NodeId(3)),
+            EdgeEvent::grow_nodes(0),
+            EdgeEvent::grow_nodes(1 << 20),
+        ] {
+            let record = event_to_record(&event);
+            assert_eq!(record_to_event(&record).unwrap(), event);
+        }
+        assert!(matches!(
+            record_to_event(&LogRecord::Seal { label: 3 }),
+            Err(DurableError::Replay(_))
+        ));
+        assert!(matches!(
+            record_to_event(&LogRecord::Init {
+                num_nodes: 1,
+                directed: true
+            }),
+            Err(DurableError::Replay(_))
+        ));
+    }
+
+    #[test]
+    fn recovery_rebuilds_the_graph_at_its_last_seal() {
+        let dir = TempDir::new("rebuild");
+        {
+            let mut durable = DurableGraph::create(dir.path(), 3, true).unwrap();
+            durable.insert(NodeId(0), NodeId(1)).unwrap();
+            let receipt = durable.seal_snapshot(10).unwrap();
+            assert_eq!((receipt.time, receipt.seq), (TimeIndex(0), 0));
+            durable.apply(EdgeEvent::grow_nodes(5)).unwrap();
+            durable.insert(NodeId(1), NodeId(4)).unwrap();
+            durable
+                .apply(EdgeEvent::insert_unique(NodeId(1), NodeId(4)))
+                .unwrap();
+            durable.seal_snapshot(20).unwrap();
+            // Applied but never sealed: must not survive.
+            durable.insert(NodeId(2), NodeId(3)).unwrap();
+        }
+        let recovered = LiveGraph::recover(dir.path()).unwrap();
+        assert_eq!(recovered.segments_replayed, 2);
+        assert!(!recovered.dropped_torn_tail);
+        let live = recovered.graph.live();
+        assert_eq!(live.version(), 2);
+        assert_eq!(live.num_pending(), 0);
+        assert_eq!(live.num_nodes(), 5);
+        assert_eq!(live.num_static_edges(), 2); // the InsertUnique deduped
+        assert!(live
+            .graph()
+            .has_static_edge(NodeId(0), NodeId(1), TimeIndex(0)));
+        assert!(live
+            .graph()
+            .has_static_edge(NodeId(1), NodeId(4), TimeIndex(1)));
+        assert_eq!(EvolvingGraph::timestamp(live, TimeIndex(1)), 20);
+
+        // Ingest continues where the log left off.
+        let mut durable = recovered.graph;
+        durable.insert(NodeId(2), NodeId(3)).unwrap();
+        let receipt = durable.seal_snapshot(30).unwrap();
+        assert_eq!((receipt.time, receipt.seq), (TimeIndex(2), 2));
+    }
+
+    #[test]
+    fn a_rejected_seal_commits_nothing_durably() {
+        let dir = TempDir::new("reject");
+        let mut durable = DurableGraph::create(dir.path(), 3, true).unwrap();
+        durable.seal_snapshot(5).unwrap();
+        durable.insert(NodeId(0), NodeId(1)).unwrap();
+        assert!(matches!(
+            durable.seal_snapshot(5),
+            Err(DurableError::Graph(GraphError::UnsortedTimestamps { .. }))
+        ));
+        // Neither the log nor the graph advanced; a later label succeeds.
+        assert_eq!(durable.log().segments_sealed(), 1);
+        durable.seal_snapshot(6).unwrap();
+        let recovered = DurableGraph::open(dir.path()).unwrap();
+        assert_eq!(recovered.segments_replayed, 2);
+    }
+
+    #[test]
+    fn a_rejected_event_is_never_logged() {
+        let dir = TempDir::new("badevent");
+        let mut durable = DurableGraph::create(dir.path(), 2, true).unwrap();
+        assert!(durable.insert(NodeId(0), NodeId(9)).is_err());
+        assert!(durable.insert(NodeId(1), NodeId(1)).is_err());
+        durable.insert(NodeId(0), NodeId(1)).unwrap();
+        durable.seal_snapshot(0).unwrap();
+        assert_eq!(durable.log().num_pending(), 0);
+        let recovered = DurableGraph::open(dir.path()).unwrap();
+        assert_eq!(recovered.graph.live().num_static_edges(), 1);
+    }
+
+    #[test]
+    fn open_or_create_is_idempotent_and_undirected_survives() {
+        let dir = TempDir::new("undirected");
+        {
+            let mut recovered = DurableGraph::open_or_create(dir.path(), 4, false).unwrap();
+            assert_eq!(recovered.segments_replayed, 0);
+            recovered.graph.insert(NodeId(0), NodeId(1)).unwrap();
+            recovered.graph.seal_snapshot(0).unwrap();
+        }
+        let recovered = DurableGraph::open_or_create(dir.path(), 4, false).unwrap();
+        assert_eq!(recovered.segments_replayed, 1);
+        let live = recovered.graph.live();
+        assert!(!live.is_directed());
+        // Undirected: the edge is visible from both endpoints.
+        assert!(live
+            .graph()
+            .has_static_edge(NodeId(1), NodeId(0), TimeIndex(0)));
+    }
+}

@@ -30,6 +30,11 @@
 //!   delta, while shapes the delta can invalidate (backward, reversed,
 //!   bounded-window, …) fall back to recompute-on-demand. See the
 //!   invalidation matrix in [`cache`].
+//! * [`durable`] — write-ahead logging over `egraph-log`:
+//!   [`DurableGraph`] fsyncs every sealed snapshot as one binary segment
+//!   before acknowledging it, and [`LiveGraph::recover`] replays the
+//!   segment chain after a crash or restart, rebuilding the CSR serve
+//!   graph and the monotone version stamp exactly.
 //!
 //! ```
 //! use egraph_core::ids::{NodeId, TemporalNode};
@@ -67,16 +72,22 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod durable;
 pub mod event;
 pub mod live;
 
 pub use cache::{CacheOutcome, CacheStats, CachedSession, QueryCache};
+pub use durable::{
+    event_to_record, record_to_event, replay_segment, DurableError, DurableGraph, RecoveredGraph,
+    SealReceipt,
+};
 pub use event::EdgeEvent;
 pub use live::LiveGraph;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::cache::{CacheOutcome, CacheStats, CachedSession, QueryCache};
+    pub use crate::durable::{DurableError, DurableGraph, RecoveredGraph, SealReceipt};
     pub use crate::event::EdgeEvent;
     pub use crate::live::LiveGraph;
 }

@@ -210,12 +210,10 @@ impl LiveGraph {
         // atomic (buffer, universe and graph untouched), and growth cannot
         // come after the append because the buffered edges may reference
         // grown nodes.
-        if let Some(last) = self.graph.last_timestamp() {
-            if label <= last {
-                return Err(GraphError::UnsortedTimestamps {
-                    position: self.num_sealed(),
-                });
-            }
+        if !self.can_seal(label) {
+            return Err(GraphError::UnsortedTimestamps {
+                position: self.num_sealed(),
+            });
         }
 
         // Materialise the snapshot's edge list (the buffer stays intact
@@ -261,6 +259,17 @@ impl LiveGraph {
         self.touched.push(touched);
         self.version += 1;
         Ok(t)
+    }
+
+    /// Whether [`LiveGraph::seal_snapshot`] would accept `label` — i.e. it
+    /// is strictly later than the last sealed label. This is the *only*
+    /// way a seal can fail, so durable callers use it to validate a label
+    /// *before* committing the seal to their write-ahead log.
+    pub fn can_seal(&self, label: Timestamp) -> bool {
+        match self.graph.last_timestamp() {
+            None => true,
+            Some(last) => label > last,
+        }
     }
 
     /// Convenience: buffers a plain edge insert (see [`LiveGraph::apply`]).

@@ -15,8 +15,11 @@
 //!   application;
 //! * [`stream`] (`egraph-stream`) — live graphs: append-only event
 //!   ingestion, query caching and incremental re-search;
+//! * [`log`] (`egraph-log`) — the durable segmented event log: append-only
+//!   CRC-framed segments, fsync-on-seal, torn-tail crash recovery;
 //! * [`serve`] (`egraph-serve`) — the HTTP serving layer: single-flight
-//!   admission over the query cache and standing-query push;
+//!   admission over the query cache, standing-query push, durable leaders
+//!   and follower replication;
 //! * [`baselines`] (`egraph-baselines`) — the incorrect/restricted schemes
 //!   the paper argues against;
 //! * [`io`] (`egraph-io`) — edge lists, JSON and benchmark report tables.
@@ -63,6 +66,7 @@ pub use egraph_citation as citation;
 pub use egraph_core as core;
 pub use egraph_gen as gen;
 pub use egraph_io as io;
+pub use egraph_log as log;
 pub use egraph_matrix as matrix;
 pub use egraph_query as query;
 pub use egraph_serve as serve;

@@ -1,0 +1,319 @@
+//! Socket-layer tests of durability and replication in `egraph-serve`:
+//! kill-and-restart round trips through the event log, and a follower
+//! replica tailing a leader's sealed-segment stream.
+//!
+//! The load-bearing assertions:
+//!
+//! * **kill and restart**: a durable server is shut down and rebooted from
+//!   its `--data-dir` log; every `/query` response is byte-identical to
+//!   the pre-crash answer, unsealed events are lost (the seal is the ack
+//!   boundary), and the restored version stamp re-validates cached
+//!   entries — the first post-restart seal pushes an `extended` frame,
+//!   not a recompute;
+//! * **replication**: a follower bootstraps from `GET /log/tail`,
+//!   converges to `follower_lag_seals == 0`, serves byte-identical reads
+//!   from its own cache, keeps pace as the leader seals more snapshots,
+//!   pushes frames to its own subscribers, and refuses writes;
+//! * **guards**: `/log/tail` on a log-less server is 403, malformed or
+//!   out-of-range `from` is 400.
+
+use std::time::{Duration, Instant};
+
+use egraph_core::ids::{NodeId, TemporalNode};
+use egraph_query::codec::search_result_to_json;
+use egraph_query::{Search, Strategy};
+use egraph_serve::{Client, Server, ServerConfig};
+use egraph_stream::{DurableGraph, LiveGraph};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A scratch directory under the system temp root, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "egraph-replication-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Boots a durable server over the log at `dir` (creating it on first
+/// call) and returns it with a client.
+fn start_durable(dir: &Path) -> (Server, Client) {
+    let recovered = DurableGraph::open_or_create(dir, 6, true).unwrap();
+    let server = Server::start_durable(recovered, ServerConfig::default()).unwrap();
+    let client = Client::new(server.addr());
+    (server, client)
+}
+
+/// Ingests the `serve_http` fixture history over the wire: three seals
+/// under labels 0, 1, 2.
+fn ingest_fixture(client: &Client) {
+    for body in [
+        r#"{"events": [[0, 1], [1, 2]], "seal": 0}"#,
+        r#"{"events": [[2, 3], [0, 4]], "seal": 1}"#,
+        r#"{"events": [[3, 5]], "seal": 2}"#,
+    ] {
+        let response = client.post("/ingest", body).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+}
+
+/// The local twin of [`ingest_fixture`]'s history.
+fn fixture_live() -> LiveGraph {
+    let mut live = LiveGraph::directed(6);
+    live.insert(NodeId(0), NodeId(1)).unwrap();
+    live.insert(NodeId(1), NodeId(2)).unwrap();
+    live.seal_snapshot(0).unwrap();
+    live.insert(NodeId(2), NodeId(3)).unwrap();
+    live.insert(NodeId(0), NodeId(4)).unwrap();
+    live.seal_snapshot(1).unwrap();
+    live.insert(NodeId(3), NodeId(5)).unwrap();
+    live.seal_snapshot(2).unwrap();
+    live
+}
+
+/// One descriptor per query shape the builder supports — the byte-identity
+/// sweep both tests below run.
+fn searches() -> Vec<Search> {
+    vec![
+        Search::from(TemporalNode::from_raw(0, 0)),
+        Search::from(TemporalNode::from_raw(0, 0)).strategy(Strategy::Parallel),
+        Search::from(TemporalNode::from_raw(0, 0)).strategy(Strategy::Algebraic),
+        Search::from(TemporalNode::from_raw(0, 0)).strategy(Strategy::Foremost),
+        Search::from(TemporalNode::from_raw(3, 2)).backward(),
+        Search::from(TemporalNode::from_raw(0, 0)).reverse(),
+        Search::from(TemporalNode::from_raw(0, 1)).window(1..=2),
+        Search::from(TemporalNode::from_raw(0, 0)).with_parents(),
+        Search::from_sources([TemporalNode::from_raw(0, 0), TemporalNode::from_raw(2, 1)])
+            .strategy(Strategy::SharedFrontier),
+    ]
+}
+
+/// Polls `ok` for up to ten seconds; panics with `what` on timeout.
+fn wait_until(what: &str, mut ok: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !ok() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Reads one integer out of the `"log"` section of a `/stats` body.
+fn log_stat(client: &Client, key: &str) -> i64 {
+    let response = client.get("/stats").unwrap();
+    assert_eq!(response.status, 200);
+    let value = egraph_io::parse_value(&response.body).unwrap();
+    let object = value.as_object("stats").unwrap();
+    let log = object.get("log").unwrap().as_object("log").unwrap();
+    log.get(key).unwrap().as_i64(key).unwrap()
+}
+
+#[test]
+fn kill_and_restart_serves_byte_identical_responses() {
+    let dir = TempDir::new("restart");
+    let searches = searches();
+
+    // First life: ingest the history, record every answer, then buffer an
+    // event that is applied but never sealed.
+    let before: Vec<String> = {
+        let (mut server, client) = start_durable(dir.path());
+        ingest_fixture(&client);
+        let bodies = searches
+            .iter()
+            .map(|s| {
+                let response = client.query(&s.descriptor()).unwrap();
+                assert_eq!(response.status, 200, "{}", response.body);
+                response.body
+            })
+            .collect();
+        let response = client.post("/ingest", r#"{"events": [[5, 0]]}"#).unwrap();
+        assert_eq!(response.status, 200);
+        server.shutdown();
+        bodies
+    };
+
+    // Second life: boot from the log alone.
+    let (mut server, client) = start_durable(dir.path());
+    assert_eq!(log_stat(&client, "segments_replayed"), 3);
+    assert_eq!(log_stat(&client, "segments_sealed"), 3);
+    assert_eq!(log_stat(&client, "follower_lag_seals"), 0);
+
+    let twin = fixture_live();
+    for (search, before_body) in searches.iter().zip(&before) {
+        let response = client.query(&search.descriptor()).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(
+            &response.body,
+            before_body,
+            "restart must not change the answer to {:?}",
+            search.descriptor()
+        );
+        // And both lives equal the scratch twin: the unsealed [5, 0] event
+        // from the first life never existed.
+        assert_eq!(
+            response.body,
+            search_result_to_json(&search.run(twin.graph()).unwrap()),
+            "{:?}",
+            search.descriptor()
+        );
+    }
+
+    // The restored version stamp re-validates the cache across the seal
+    // boundary: a standing forward query is *extended* by the first
+    // post-restart seal, and the frame carries the new segment count.
+    let standing = Search::from(TemporalNode::from_raw(0, 0));
+    let mut subscription = client.subscribe(&standing.descriptor()).unwrap();
+    assert!(subscription.next_frame().unwrap().is_some());
+    let response = client
+        .post("/ingest", r#"{"events": [[4, 5]], "seal": 7}"#)
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let frame = subscription.next_frame().unwrap().unwrap();
+    assert!(frame.contains("\"outcome\": \"extended\""), "{frame}");
+    assert!(frame.contains("\"segments_sealed\": 4"), "{frame}");
+    assert_eq!(server.cache_stats().recomputes, 0);
+    server.shutdown();
+
+    // Third life: both the replayed history and the post-restart seal are
+    // on disk.
+    let (mut server, client) = start_durable(dir.path());
+    assert_eq!(log_stat(&client, "segments_replayed"), 4);
+    let health = client.get("/health").unwrap();
+    assert!(health.body.contains("\"num_sealed\": 4"), "{}", health.body);
+    server.shutdown();
+}
+
+#[test]
+fn follower_converges_and_serves_byte_identical_reads() {
+    let dir = TempDir::new("leader");
+    let (mut leader, leader_client) = start_durable(dir.path());
+    ingest_fixture(&leader_client);
+
+    let mut follower = Server::start_follower(leader.addr(), ServerConfig::default()).unwrap();
+    let follower_client = Client::new(follower.addr());
+    wait_until("follower to replay the backlog", || {
+        log_stat(&follower_client, "follower_lag_seals") == 0
+            && log_stat(&follower_client, "segments_replayed") == 3
+    });
+
+    let compare = |stage: &str| {
+        for search in searches() {
+            let from_leader = leader_client.query(&search.descriptor()).unwrap();
+            let from_follower = follower_client.query(&search.descriptor()).unwrap();
+            assert_eq!(from_leader.status, 200, "{stage}: {}", from_leader.body);
+            assert_eq!(from_follower.status, 200, "{stage}: {}", from_follower.body);
+            assert_eq!(
+                from_follower.body,
+                from_leader.body,
+                "{stage}: follower must serve the leader's bytes for {:?}",
+                search.descriptor()
+            );
+        }
+    };
+    compare("after bootstrap");
+
+    // A standing query on the *follower* advances as the leader seals.
+    let standing = Search::from(TemporalNode::from_raw(0, 0));
+    let mut subscription = follower_client.subscribe(&standing.descriptor()).unwrap();
+    assert!(subscription.next_frame().unwrap().is_some());
+
+    // The leader keeps sealing; the follower keeps pace.
+    let mut twin = fixture_live();
+    for (u, v, label) in [(4u32, 5u32, 10i64), (5, 1, 11)] {
+        let response = leader_client
+            .post(
+                "/ingest",
+                &format!("{{\"events\": [[{u}, {v}]], \"seal\": {label}}}"),
+            )
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        twin.insert(NodeId(u), NodeId(v)).unwrap();
+        twin.seal_snapshot(label).unwrap();
+
+        let frame = subscription.next_frame().unwrap().unwrap();
+        assert!(
+            frame.contains(&format!("\"label\": {label}")),
+            "follower frame must carry the leader's seal label: {frame}"
+        );
+        assert!(
+            frame.contains(&format!(
+                "\"result\": {}",
+                search_result_to_json(&standing.run(twin.graph()).unwrap())
+            )),
+            "follower frame must carry the sealed answer: {frame}"
+        );
+    }
+    wait_until("follower to catch up to live seals", || {
+        log_stat(&follower_client, "follower_lag_seals") == 0
+            && log_stat(&follower_client, "segments_replayed") == 5
+    });
+    compare("after live seals");
+
+    // Followers are read replicas: writes are refused, and they expose no
+    // log of their own to tail.
+    let response = follower_client
+        .post("/ingest", r#"{"events": [[1, 3]], "seal": 99}"#)
+        .unwrap();
+    assert_eq!(response.status, 403, "{}", response.body);
+    assert_eq!(follower_client.get("/log/tail?from=0").unwrap().status, 403);
+
+    follower.shutdown();
+    leader.shutdown();
+}
+
+#[test]
+fn tail_endpoint_guards_reject_bad_requests() {
+    // No log, nothing to tail.
+    let mut plain = Server::start(fixture_live(), ServerConfig::default()).unwrap();
+    let client = Client::new(plain.addr());
+    let response = client.get("/log/tail?from=0").unwrap();
+    assert_eq!(response.status, 403, "{}", response.body);
+    plain.shutdown();
+
+    let dir = TempDir::new("guards");
+    let (mut server, client) = start_durable(dir.path());
+    ingest_fixture(&client);
+    assert_eq!(client.get("/log/tail?from=abc").unwrap().status, 400);
+    assert_eq!(client.get("/log/tail?from=99").unwrap().status, 400);
+
+    // The raw wire: tailing from 1 ships segments 1 and 2, bytes equal to
+    // the leader's own disk, then stays open for live seals.
+    let (init, mut tail) = client.tail_log(1).unwrap();
+    assert_eq!((init.num_nodes, init.directed, init.latest), (6, true, 3));
+    for expected_seq in [1u64, 2] {
+        let segment = tail.next_segment().unwrap().unwrap();
+        assert_eq!(segment.seq, expected_seq);
+        assert_eq!(
+            segment.bytes,
+            std::fs::read(egraph_log::log::segment_path(dir.path(), expected_seq)).unwrap(),
+            "tailed bytes must equal the on-disk segment"
+        );
+        let decoded = egraph_log::decode_segment(&segment.bytes).unwrap();
+        assert_eq!(decoded.seq, expected_seq);
+    }
+    let response = client
+        .post("/ingest", r#"{"events": [[4, 5]], "seal": 9}"#)
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let segment = tail.next_segment().unwrap().unwrap();
+    assert_eq!(segment.seq, 3);
+    assert_eq!(egraph_log::decode_segment(&segment.bytes).unwrap().label, 9);
+    server.shutdown();
+}
