@@ -1,0 +1,568 @@
+//! # egraph-fault
+//!
+//! A deterministic, zero-cost-when-disabled **failpoint registry** for the
+//! evolving-graphs stack. Production code declares *named sites* at the
+//! exact points where the outside world can fail — a segment write, an
+//! fsync, a directory sync, a replication read — and tests (or the
+//! `EGRAPH_FAILPOINTS` environment variable) script what those sites do:
+//! return an error, tear a write partway through, delay, or panic.
+//!
+//! ```
+//! use egraph_fault as fault;
+//!
+//! // Production code, at the site:
+//! fn write_block() -> std::io::Result<()> {
+//!     if fault::fired("example.write").is_some() {
+//!         return Err(fault::injected_io_error("example.write", "write refused"));
+//!     }
+//!     Ok(()) // ... the real write
+//! }
+//!
+//! // A test scripts the site, bounded to fire exactly once:
+//! fault::reset();
+//! fault::configure("example.write", fault::Rule::error().times(1));
+//! if fault::is_active_build() {
+//!     assert!(write_block().is_err()); // injected
+//!     assert!(write_block().is_ok());  // rule exhausted
+//! }
+//! fault::reset();
+//! ```
+//!
+//! ## Cost model
+//!
+//! * **Release builds**: [`fired`] starts with `cfg!(debug_assertions)`,
+//!   which is a compile-time `false` — the whole body constant-folds away
+//!   and every failpoint compiles to a no-op. No branch, no atomic, no
+//!   lock on any hot path. [`is_active_build`] reports this so test suites
+//!   can assert the contract instead of silently passing.
+//! * **Debug builds, nothing configured**: one relaxed atomic load.
+//! * **Debug builds, sites configured**: one mutex-guarded map lookup per
+//!   site evaluation — fine for tests, never reached in production.
+//!
+//! ## Determinism
+//!
+//! Triggers are either *counted* (`after`/`times`: fire on exactly the
+//! N-th..M-th evaluations) or *sampled* (`p`/`seed`: a seeded SplitMix64
+//! stream decides each evaluation), so every chaos schedule replays
+//! bit-identically from its seed. Nothing reads the clock.
+//!
+//! ## Scripting grammar (`EGRAPH_FAILPOINTS` / [`script`])
+//!
+//! ```text
+//! spec   := entry (';' entry)*
+//! entry  := site '=' rule
+//! rule   := (modifier ',')* action
+//! modifier := 'after:' N | 'times:' N | 'p:' FLOAT | 'seed:' N
+//! action := 'error' | 'partial:' PCT | 'delay:' MS | 'panic' | 'off'
+//! ```
+//!
+//! Example: `EGRAPH_FAILPOINTS="log.seal.fsync=times:1,error;serve.query.compute=delay:250"`
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What a triggered failpoint does at its site.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Action {
+    /// The site reports failure (mapped to the site's own error type).
+    Error,
+    /// The site performs only the given percentage (`0..=99`) of its write
+    /// before failing — the torn-file residue a crash mid-write leaves.
+    Partial(u8),
+    /// The site sleeps this many milliseconds, then proceeds normally.
+    Delay(u64),
+    /// The site panics — simulating a process crash at exactly this point.
+    Panic,
+}
+
+/// What [`fired`] tells the site to do. `Delay` and `Panic` act inside
+/// [`fired`] itself (sleep / panic), so sites only ever see the two
+/// variants that need site-specific handling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fired {
+    /// Fail the operation without side effects.
+    Error,
+    /// Perform only this percentage (`0..=99`) of the write, then fail.
+    Partial(u8),
+}
+
+/// A scripted trigger for one site: an [`Action`] plus when it applies.
+///
+/// Evaluations are counted per configured site. The rule skips the first
+/// `after` evaluations, fires at most `times` times (unlimited when
+/// `None`), and — if `probability` is set — consults a seeded RNG stream
+/// on each otherwise-eligible evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// What to do when the rule fires.
+    pub action: Action,
+    /// Skip this many eligible evaluations before the rule may fire.
+    pub after: u64,
+    /// Fire at most this many times; `None` is unlimited.
+    pub times: Option<u64>,
+    /// Fire with this probability per eligible evaluation (`None` = always).
+    pub probability: Option<f64>,
+    /// Seed for the sampling stream (only used with `probability`).
+    pub seed: u64,
+}
+
+impl Rule {
+    fn new(action: Action) -> Rule {
+        Rule {
+            action,
+            after: 0,
+            times: None,
+            probability: None,
+            seed: 0x5EED_FA17,
+        }
+    }
+
+    /// A rule that makes the site report failure.
+    pub fn error() -> Rule {
+        Rule::new(Action::Error)
+    }
+
+    /// A rule that tears the site's write after `percent` (`0..=99`) of its
+    /// bytes.
+    ///
+    /// # Panics
+    /// If `percent > 99` (a 100% partial write would be a complete write).
+    pub fn partial(percent: u8) -> Rule {
+        assert!(percent <= 99, "a partial write keeps at most 99% of bytes");
+        Rule::new(Action::Partial(percent))
+    }
+
+    /// A rule that delays the site by `ms` milliseconds, then proceeds.
+    pub fn delay_ms(ms: u64) -> Rule {
+        Rule::new(Action::Delay(ms))
+    }
+
+    /// A rule that panics at the site, simulating a crash exactly there.
+    pub fn panic_now() -> Rule {
+        Rule::new(Action::Panic)
+    }
+
+    /// Skips the first `n` eligible evaluations before firing.
+    pub fn after(mut self, n: u64) -> Rule {
+        self.after = n;
+        self
+    }
+
+    /// Fires at most `n` times, then the rule goes inert.
+    pub fn times(mut self, n: u64) -> Rule {
+        self.times = Some(n);
+        self
+    }
+
+    /// Fires with probability `p` per eligible evaluation, decided by a
+    /// deterministic stream seeded with `seed`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    pub fn sampled(mut self, p: f64, seed: u64) -> Rule {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        self.probability = Some(p);
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-site bookkeeping: the rule plus evaluation counters and the lazily
+/// created sampling stream.
+#[derive(Debug)]
+struct SiteState {
+    rule: Rule,
+    evaluations: u64,
+    fired: u64,
+    rng: Option<SmallRng>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> MutexGuard<'static, HashMap<String, SiteState>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Whether failpoints are compiled in at all: `true` in debug builds,
+/// `false` in release builds (where every site constant-folds to a no-op).
+/// Chaos suites check this to skip fault-dependent assertions in release
+/// rather than failing on faults that can never fire.
+#[inline]
+pub fn is_active_build() -> bool {
+    cfg!(debug_assertions)
+}
+
+/// Configures (or replaces) the rule for `site`. Counters restart at zero.
+/// No-op in release builds.
+pub fn configure(site: &str, rule: Rule) {
+    if !is_active_build() {
+        return;
+    }
+    registry().insert(
+        site.to_string(),
+        SiteState {
+            rule,
+            evaluations: 0,
+            fired: 0,
+            rng: None,
+        },
+    );
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Removes the rule for `site`, if any.
+pub fn clear(site: &str) {
+    if !is_active_build() {
+        return;
+    }
+    let mut sites = registry();
+    sites.remove(site);
+    if sites.is_empty() {
+        ARMED.store(false, Ordering::Release);
+    }
+}
+
+/// Removes every configured rule. Call between tests that share a process.
+pub fn reset() {
+    if !is_active_build() {
+        return;
+    }
+    registry().clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// How many times `site` has fired since it was configured (`0` when the
+/// site is not configured, and always `0` in release builds).
+pub fn times_fired(site: &str) -> u64 {
+    if !is_active_build() {
+        return 0;
+    }
+    registry().get(site).map_or(0, |state| state.fired)
+}
+
+/// How many times `site` has been evaluated since it was configured (`0`
+/// when not configured, and always `0` in release builds).
+pub fn times_evaluated(site: &str) -> u64 {
+    if !is_active_build() {
+        return 0;
+    }
+    registry().get(site).map_or(0, |state| state.evaluations)
+}
+
+/// The failpoint itself: production code calls this at every named site.
+///
+/// Returns `None` when the site should proceed normally — always, in
+/// release builds; otherwise whenever no rule is configured or the rule
+/// does not fire on this evaluation. `Delay` rules sleep here and return
+/// `None`; `Panic` rules panic here. `Error` and `Partial` are returned
+/// as [`Fired`] for the site to act on.
+#[inline]
+pub fn fired(site: &str) -> Option<Fired> {
+    if !is_active_build() {
+        return None; // compile-time false: the whole body folds away
+    }
+    if !ARMED.load(Ordering::Acquire) {
+        return None;
+    }
+    let action = {
+        let mut sites = registry();
+        let state = sites.get_mut(site)?;
+        state.evaluations += 1;
+        if state.evaluations <= state.rule.after {
+            return None;
+        }
+        if let Some(times) = state.rule.times {
+            if state.fired >= times {
+                return None;
+            }
+        }
+        if let Some(p) = state.rule.probability {
+            let seed = state.rule.seed;
+            let rng = state
+                .rng
+                .get_or_insert_with(|| SmallRng::seed_from_u64(seed));
+            if !rng.gen_bool(p) {
+                return None;
+            }
+        }
+        state.fired += 1;
+        state.rule.action
+    }; // the lock drops before any side effect below
+    match action {
+        Action::Error => Some(Fired::Error),
+        Action::Partial(percent) => Some(Fired::Partial(percent)),
+        Action::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        Action::Panic => panic!("failpoint {site}: injected panic"),
+    }
+}
+
+/// The `std::io::Error` an injected fault surfaces as: always
+/// `ErrorKind::Other` with a message naming the site, so a test can tell
+/// an injected failure from a real one.
+pub fn injected_io_error(site: &str, what: &str) -> std::io::Error {
+    std::io::Error::other(format!("failpoint {site}: injected {what}"))
+}
+
+/// Declares a failpoint site. Expands to [`fired`]`(site)`; exists so call
+/// sites read as annotations rather than function calls, and so release
+/// builds visibly compile the macro to the no-op path.
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {
+        $crate::fired($site)
+    };
+}
+
+/// Parses and applies a failpoint script (see the [module docs](self) for
+/// the grammar). `off` entries clear their site. Returns the number of
+/// sites configured. In release builds the script is still *parsed* (so
+/// typos fail loudly everywhere) but configures nothing.
+pub fn script(spec: &str) -> Result<usize, String> {
+    let mut configured = 0;
+    for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        let (site, rule_spec) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry {entry:?} has no '='"))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(format!("failpoint entry {entry:?} has an empty site"));
+        }
+        match parse_rule(rule_spec.trim())? {
+            Some(rule) => {
+                configure(site, rule);
+                configured += 1;
+            }
+            None => clear(site),
+        }
+    }
+    Ok(configured)
+}
+
+/// Applies the `EGRAPH_FAILPOINTS` environment variable as a script.
+/// Returns the number of sites configured (`0` when the variable is
+/// unset or empty).
+///
+/// # Errors
+/// A malformed script is an error even in release builds — a chaos run
+/// whose scripting silently parses to nothing would report false greens.
+pub fn script_from_env() -> Result<usize, String> {
+    match std::env::var("EGRAPH_FAILPOINTS") {
+        Ok(spec) if !spec.trim().is_empty() => script(&spec),
+        _ => Ok(0),
+    }
+}
+
+/// Parses one rule; `Ok(None)` is the explicit `off` action.
+fn parse_rule(spec: &str) -> Result<Option<Rule>, String> {
+    let mut after = 0u64;
+    let mut times = None;
+    let mut probability = None;
+    let mut seed = None;
+    let clauses: Vec<&str> = spec.split(',').map(str::trim).collect();
+    let (action_spec, modifiers) = clauses
+        .split_last()
+        .ok_or_else(|| format!("empty failpoint rule {spec:?}"))?;
+    for clause in modifiers {
+        let (key, value) = clause
+            .split_once(':')
+            .ok_or_else(|| format!("modifier {clause:?} has no ':'"))?;
+        let value = value.trim();
+        match key.trim() {
+            "after" => after = parse_num(value, "after")?,
+            "times" => times = Some(parse_num(value, "times")?),
+            "p" => {
+                let p: f64 = value
+                    .parse()
+                    .map_err(|_| format!("unparseable probability {value:?}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability {p} not in [0, 1]"));
+                }
+                probability = Some(p);
+            }
+            "seed" => seed = Some(parse_num(value, "seed")?),
+            other => return Err(format!("unknown failpoint modifier {other:?}")),
+        }
+    }
+    let action = match action_spec.split_once(':') {
+        None => match *action_spec {
+            "error" => Action::Error,
+            "panic" => Action::Panic,
+            "off" => {
+                if !modifiers.is_empty() {
+                    return Err("'off' takes no modifiers".into());
+                }
+                return Ok(None);
+            }
+            other => return Err(format!("unknown failpoint action {other:?}")),
+        },
+        Some((kind, arg)) => {
+            let arg = arg.trim();
+            match kind.trim() {
+                "partial" => {
+                    let percent: u8 = parse_num(arg, "partial")? as u8;
+                    if percent > 99 {
+                        return Err(format!("partial:{percent} must be <= 99"));
+                    }
+                    Action::Partial(percent)
+                }
+                "delay" => Action::Delay(parse_num(arg, "delay")?),
+                other => return Err(format!("unknown failpoint action {other:?}")),
+            }
+        }
+    };
+    let mut rule = Rule::new(action);
+    rule.after = after;
+    rule.times = times;
+    rule.probability = probability;
+    if let Some(seed) = seed {
+        rule.seed = seed;
+    }
+    Ok(Some(rule))
+}
+
+fn parse_num(value: &str, what: &str) -> Result<u64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("unparseable {what} value {value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// The registry is process-global; unit tests serialize on this gate
+    /// and reset around themselves so they cannot contaminate each other.
+    fn gate() -> MutexGuard<'static, ()> {
+        static GATE: StdMutex<()> = StdMutex::new(());
+        let guard = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        guard
+    }
+
+    #[test]
+    fn unconfigured_sites_never_fire() {
+        let _gate = gate();
+        assert_eq!(fired("nowhere"), None);
+        assert_eq!(times_fired("nowhere"), 0);
+    }
+
+    #[test]
+    fn counted_rules_fire_in_their_window_only() {
+        let _gate = gate();
+        if !is_active_build() {
+            assert_eq!(fired("t.counted"), None);
+            return;
+        }
+        configure("t.counted", Rule::error().after(1).times(2));
+        assert_eq!(fired("t.counted"), None); // skipped by `after`
+        assert_eq!(fired("t.counted"), Some(Fired::Error));
+        assert_eq!(fired("t.counted"), Some(Fired::Error));
+        assert_eq!(fired("t.counted"), None); // `times` exhausted
+        assert_eq!(times_fired("t.counted"), 2);
+        assert_eq!(times_evaluated("t.counted"), 4);
+        reset();
+    }
+
+    #[test]
+    fn sampled_rules_replay_identically_from_their_seed() {
+        let _gate = gate();
+        if !is_active_build() {
+            return;
+        }
+        let run = || -> Vec<bool> {
+            configure("t.sampled", Rule::error().sampled(0.5, 42));
+            let outcomes = (0..32).map(|_| fired("t.sampled").is_some()).collect();
+            clear("t.sampled");
+            outcomes
+        };
+        let first = run();
+        assert_eq!(first, run(), "same seed must replay the same schedule");
+        assert!(first.iter().any(|&f| f) && first.iter().any(|&f| !f));
+        reset();
+    }
+
+    #[test]
+    fn partial_rules_carry_their_percentage() {
+        let _gate = gate();
+        if !is_active_build() {
+            return;
+        }
+        configure("t.partial", Rule::partial(37));
+        assert_eq!(fired("t.partial"), Some(Fired::Partial(37)));
+        reset();
+    }
+
+    #[test]
+    #[should_panic(expected = "failpoint t.panic: injected panic")]
+    fn panic_rules_panic_at_the_site() {
+        // Deliberately not gated: in release the panic cannot fire, so the
+        // test would fail its expectation — gate on the build instead.
+        if !is_active_build() {
+            panic!("failpoint t.panic: injected panic"); // keep the contract trivially true
+        }
+        let _gate = gate();
+        configure("t.panic", Rule::panic_now());
+        let _ = fired("t.panic");
+    }
+
+    #[test]
+    fn scripts_parse_configure_and_reject() {
+        let _gate = gate();
+        let n =
+            script("a.b=times:1,error; c.d = after:2,partial:50 ;e.f=delay:5;g.h=panic").unwrap();
+        if is_active_build() {
+            assert_eq!(n, 4);
+            assert_eq!(fired("a.b"), Some(Fired::Error));
+            assert_eq!(fired("a.b"), None);
+            script("a.b=off").unwrap();
+            assert_eq!(times_evaluated("a.b"), 0);
+        } else {
+            assert_eq!(n, 4, "scripts parse (but configure nothing) in release");
+        }
+        for bad in [
+            "no-equals",
+            "=error",
+            "x=",
+            "x=maybe",
+            "x=partial:100",
+            "x=p:1.5,error",
+            "x=after:x,error",
+            "x=times:1,off",
+            "x=wat:3,error",
+        ] {
+            assert!(script(bad).is_err(), "{bad:?} must be rejected");
+        }
+        reset();
+    }
+
+    #[test]
+    fn clear_and_reset_disarm() {
+        let _gate = gate();
+        if !is_active_build() {
+            return;
+        }
+        configure("t.x", Rule::error());
+        configure("t.y", Rule::error());
+        clear("t.x");
+        assert_eq!(fired("t.x"), None);
+        assert_eq!(fired("t.y"), Some(Fired::Error));
+        reset();
+        assert_eq!(fired("t.y"), None);
+    }
+}

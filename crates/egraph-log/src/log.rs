@@ -23,6 +23,21 @@
 //! drops a torn final segment, and **fails loudly** on anything else — a
 //! CRC mismatch in sealed history, a sequence gap, a record after a seal.
 //! Recovery never hands back a silently corrupt event stream.
+//!
+//! ## Failpoints
+//!
+//! Every point where the filesystem can betray this contract is a named
+//! [`egraph_fault`] site, so the chaos suite can script ENOSPC, torn
+//! writes and fsync failures deterministically (all no-ops in release):
+//!
+//! | site | failure it injects |
+//! |------|--------------------|
+//! | `log.manifest.write` | manifest write fails (or tears partway) |
+//! | `log.manifest.fsync` | manifest fsync fails after a complete write |
+//! | `log.seal.write` | segment write fails or tears (crash residue) |
+//! | `log.seal.fsync` | segment fsync fails after a complete write |
+//! | `log.dir.fsync` | directory fsync fails (file name not durable) |
+//! | `log.segment.read` | re-reading a sealed segment for shipping fails |
 
 use std::fs::{self, File};
 use std::io::{self, Write};
@@ -157,7 +172,12 @@ impl EventLog {
         bytes.extend_from_slice(&MANIFEST_MAGIC);
         bytes.push(crate::segment::FORMAT_VERSION);
         encode_record(&init, &mut bytes);
-        write_durable(&manifest_path, &bytes)?;
+        write_durable(
+            &manifest_path,
+            &bytes,
+            "log.manifest.write",
+            "log.manifest.fsync",
+        )?;
         sync_dir(dir)?;
         Ok(EventLog {
             dir: dir.to_path_buf(),
@@ -318,7 +338,7 @@ impl EventLog {
         let seq = self.next_seq;
         let bytes = encode_segment(seq, &self.pending, label);
         let path = segment_path(&self.dir, seq);
-        write_durable(&path, &bytes)?;
+        write_durable(&path, &bytes, "log.seal.write", "log.seal.fsync")?;
         sync_dir(&self.dir)?;
         self.pending.clear();
         self.next_seq += 1;
@@ -329,6 +349,12 @@ impl EventLog {
     /// to a follower that is catching up).
     pub fn segment_bytes(&self, seq: u64) -> Result<Vec<u8>> {
         let path = segment_path(&self.dir, seq);
+        if egraph_fault::fired("log.segment.read").is_some() {
+            return io_err(
+                &path,
+                egraph_fault::injected_io_error("log.segment.read", "segment read error"),
+            );
+        }
         match fs::read(&path) {
             Ok(bytes) => Ok(bytes),
             Err(source) => io_err(&path, source),
@@ -377,11 +403,33 @@ fn read_manifest(path: &Path) -> Result<LogRecord> {
     }
 }
 
-/// Writes `bytes` to a fresh file at `path` and fsyncs it.
-fn write_durable(path: &Path, bytes: &[u8]) -> Result<()> {
+/// Writes `bytes` to a fresh file at `path` and fsyncs it. `write_site`
+/// and `fsync_site` are the failpoint names for the two failure classes:
+/// a scripted *partial* at `write_site` leaves exactly the torn file a
+/// crash mid-write would (and `File::create` truncates, so a retry
+/// overwrites it cleanly); an *error* at `fsync_site` fails after the
+/// bytes are fully written — the durability ack is lost but the file on
+/// disk is complete and valid.
+fn write_durable(path: &Path, bytes: &[u8], write_site: &str, fsync_site: &str) -> Result<()> {
     let result = (|| {
         let mut file = File::create(path)?;
+        match egraph_fault::fired(write_site) {
+            Some(egraph_fault::Fired::Partial(percent)) => {
+                let keep = bytes.len() * usize::from(percent) / 100;
+                file.write_all(&bytes[..keep])?;
+                let _ = file.sync_all();
+                return Err(egraph_fault::injected_io_error(write_site, "torn write"));
+            }
+            Some(egraph_fault::Fired::Error) => {
+                return Err(egraph_fault::injected_io_error(write_site, "write error"));
+            }
+            None => {}
+        }
         file.write_all(bytes)?;
+        if egraph_fault::fired(fsync_site).is_some() {
+            let _ = file.sync_all();
+            return Err(egraph_fault::injected_io_error(fsync_site, "fsync error"));
+        }
         file.sync_all()
     })();
     match result {
@@ -394,6 +442,12 @@ fn write_durable(path: &Path, bytes: &[u8]) -> Result<()> {
 /// durable — on Linux, file creation is only durable once the parent
 /// directory has been synced.
 fn sync_dir(dir: &Path) -> Result<()> {
+    if egraph_fault::fired("log.dir.fsync").is_some() {
+        return io_err(
+            dir,
+            egraph_fault::injected_io_error("log.dir.fsync", "directory fsync error"),
+        );
+    }
     let result = File::open(dir).and_then(|handle| handle.sync_all());
     match result {
         Ok(()) => Ok(()),

@@ -10,8 +10,37 @@ use std::time::Duration;
 
 use egraph_query::codec::descriptor_to_json;
 use egraph_query::QueryDescriptor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::http::{self, Response};
+
+/// How [`Client::post_with_retry`] paces itself when the server sheds load
+/// (`503`) or the transport fails. Backoff is exponential with
+/// deterministic jitter (seeded, so tests replay exactly); a `Retry-After`
+/// header from the server overrides the computed backoff for that round.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included. `1` means no retries.
+    pub attempts: u32,
+    /// Base backoff before the first retry; doubles each round.
+    pub backoff: Duration,
+    /// Ceiling on the (pre-jitter) backoff.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            seed: 0x5EED_0FF5,
+        }
+    }
+}
 
 /// A client bound to one server address. Cheap to clone; each request opens
 /// its own connection (the dialect is one request per connection).
@@ -67,6 +96,48 @@ impl Client {
         self.request("POST", path, body)
     }
 
+    /// `POST path`, retrying on `503` responses and transport failures
+    /// under `policy`. A `503` carrying `Retry-After: h` sleeps a jittered
+    /// `1.0–1.5 × h` seconds; otherwise the sleep is a jittered
+    /// `0.5–1.0 ×` of the exponential backoff. Returns the first non-`503`
+    /// response together with how many retries it took; when every attempt
+    /// sheds, the final `503` is returned (the caller sees the server's
+    /// answer, not a synthesized error), and when every attempt fails at
+    /// the transport, the last error is.
+    pub fn post_with_retry(
+        &self,
+        path: &str,
+        body: &str,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<(Response, u32)> {
+        assert!(policy.attempts >= 1, "a retry policy needs >= 1 attempt");
+        let mut rng = SmallRng::seed_from_u64(policy.seed);
+        let mut backoff = policy.backoff;
+        let mut retries = 0u32;
+        loop {
+            let outcome = self.post(path, body);
+            let retryable = match &outcome {
+                Ok(response) => response.status == 503,
+                Err(_) => true,
+            };
+            if !retryable || retries + 1 >= policy.attempts {
+                return outcome.map(|response| (response, retries));
+            }
+            let sleep = match &outcome {
+                Ok(response) => match response.retry_after {
+                    Some(secs) => Duration::from_secs(secs).mul_f64(rng.gen_range(1.0f64..1.5)),
+                    None => backoff.mul_f64(rng.gen_range(0.5f64..1.0)),
+                },
+                Err(_) => backoff.mul_f64(rng.gen_range(0.5f64..1.0)),
+            };
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
+            backoff = (backoff * 2).min(policy.max_backoff);
+            retries += 1;
+        }
+    }
+
     /// `GET path`.
     pub fn get(&self, path: &str) -> std::io::Result<Response> {
         self.request("GET", path, "")
@@ -84,9 +155,9 @@ impl Client {
     pub fn subscribe(&self, descriptor: &QueryDescriptor) -> std::io::Result<Subscription> {
         let stream = self.send_request("POST", "/subscribe", &descriptor_to_json(descriptor))?;
         let mut reader = BufReader::new(stream);
-        let (status, framing) = http::read_response_head(&mut reader)?;
-        if status != 200 {
-            let body = match framing {
+        let head = http::read_response_head(&mut reader)?;
+        if head.status != 200 {
+            let body = match head.framing {
                 http::BodyFraming::Sized(n) => {
                     let mut raw = vec![0u8; n];
                     std::io::Read::read_exact(&mut reader, &mut raw)?;
@@ -95,10 +166,11 @@ impl Client {
                 http::BodyFraming::Chunked => String::new(),
             };
             return Err(std::io::Error::other(format!(
-                "subscribe rejected with {status}: {body}"
+                "subscribe rejected with {}: {body}",
+                head.status
             )));
         }
-        if !matches!(framing, http::BodyFraming::Chunked) {
+        if !matches!(head.framing, http::BodyFraming::Chunked) {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "subscription responses must be chunked",
@@ -118,9 +190,9 @@ impl Client {
         let path = format!("/log/tail?from={from}");
         let stream = self.send_request("GET", &path, "")?;
         let mut reader = BufReader::new(stream);
-        let (status, framing) = http::read_response_head(&mut reader)?;
-        if status != 200 {
-            let body = match framing {
+        let head = http::read_response_head(&mut reader)?;
+        if head.status != 200 {
+            let body = match head.framing {
                 http::BodyFraming::Sized(n) => {
                     let mut raw = vec![0u8; n];
                     std::io::Read::read_exact(&mut reader, &mut raw)?;
@@ -129,10 +201,11 @@ impl Client {
                 http::BodyFraming::Chunked => String::new(),
             };
             return Err(std::io::Error::other(format!(
-                "tail rejected with {status}: {body}"
+                "tail rejected with {}: {body}",
+                head.status
             )));
         }
-        if !matches!(framing, http::BodyFraming::Chunked) {
+        if !matches!(head.framing, http::BodyFraming::Chunked) {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "tail responses must be chunked",

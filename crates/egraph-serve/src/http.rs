@@ -180,8 +180,23 @@ pub fn status_reason(status: u16) -> &'static str {
 
 /// Writes a complete `Connection: close` response with a JSON body.
 pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write_response_with_retry_after(stream, status, body, None)
+}
+
+/// Like [`write_response`], optionally adding a `Retry-After: <secs>`
+/// header — how a load-shedding `503` tells clients when to come back.
+pub fn write_response_with_retry_after(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    retry_after: Option<u64>,
+) -> io::Result<()> {
+    let retry_header = match retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_header}Connection: close\r\n\r\n",
         status_reason(status),
         body.len(),
     );
@@ -232,6 +247,9 @@ pub struct Response {
     pub status: u16,
     /// The response body.
     pub body: String,
+    /// The `Retry-After` header's value in seconds, if the server sent one
+    /// (a load-shedding `503` does).
+    pub retry_after: Option<u64>,
 }
 
 /// What a response head declared about its body framing.
@@ -242,8 +260,19 @@ pub enum BodyFraming {
     Chunked,
 }
 
+/// A parsed response head: the status, how the body is framed, and the
+/// retry hint (if any) before the body has been read.
+pub struct ResponseHead {
+    /// The status code.
+    pub status: u16,
+    /// How the body is framed.
+    pub framing: BodyFraming,
+    /// The `Retry-After` header's value in seconds, if present.
+    pub retry_after: Option<u64>,
+}
+
 /// Reads a response head, returning the status and how the body is framed.
-pub fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<(u16, BodyFraming)> {
+pub fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<ResponseHead> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let status_line = read_head_line(reader, &mut 0).map_err(request_error_to_io)?;
     let status: u16 = status_line
@@ -252,6 +281,7 @@ pub fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<(u16, BodyFr
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad(format!("unparseable status line {status_line:?}")))?;
     let mut framing = BodyFraming::Sized(0);
+    let mut retry_after = None;
     loop {
         let line = read_head_line(reader, &mut 0).map_err(request_error_to_io)?;
         if line.is_empty() {
@@ -271,16 +301,23 @@ pub fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<(u16, BodyFr
             "transfer-encoding" if value.trim().eq_ignore_ascii_case("chunked") => {
                 framing = BodyFraming::Chunked;
             }
+            // Only the delta-seconds form is part of the dialect (the
+            // HTTP-date form never is emitted by this server).
+            "retry-after" => retry_after = value.trim().parse().ok(),
             _ => {}
         }
     }
-    Ok((status, framing))
+    Ok(ResponseHead {
+        status,
+        framing,
+        retry_after,
+    })
 }
 
 /// Reads a complete non-chunked response.
 pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Response> {
-    let (status, framing) = read_response_head(reader)?;
-    let body = match framing {
+    let head = read_response_head(reader)?;
+    let body = match head.framing {
         BodyFraming::Sized(n) => {
             let mut raw = vec![0u8; n];
             reader.read_exact(&mut raw)?;
@@ -295,7 +332,11 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Response> {
             body
         }
     };
-    Ok(Response { status, body })
+    Ok(Response {
+        status: head.status,
+        body,
+        retry_after: head.retry_after,
+    })
 }
 
 /// Reads one chunk of a chunked response; `None` means the final chunk
@@ -437,6 +478,18 @@ mod tests {
         let response = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
         assert_eq!(response.status, 422);
         assert_eq!(response.body, "{\"error\": \"nope\"}");
+        assert_eq!(response.retry_after, None);
+    }
+
+    #[test]
+    fn retry_after_round_trips_on_a_shed_response() {
+        let mut wire = Vec::new();
+        write_response_with_retry_after(&mut wire, 503, "{\"error\": \"overloaded\"}", Some(2))
+            .unwrap();
+        let response = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(response.status, 503);
+        assert_eq!(response.retry_after, Some(2));
+        assert_eq!(response.body, "{\"error\": \"overloaded\"}");
     }
 
     #[test]
@@ -448,9 +501,9 @@ mod tests {
         write_final_chunk(&mut wire).unwrap();
 
         let mut reader = BufReader::new(wire.as_slice());
-        let (status, framing) = read_response_head(&mut reader).unwrap();
-        assert_eq!(status, 200);
-        assert!(matches!(framing, BodyFraming::Chunked));
+        let head = read_response_head(&mut reader).unwrap();
+        assert_eq!(head.status, 200);
+        assert!(matches!(head.framing, BodyFraming::Chunked));
         assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), "{\"seq\":0}\n");
         assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), "{\"seq\":1}\n");
         assert_eq!(read_chunk(&mut reader).unwrap(), None);
@@ -468,8 +521,8 @@ mod tests {
         write_final_chunk(&mut wire).unwrap();
 
         let mut reader = BufReader::new(wire.as_slice());
-        let (status, _) = read_response_head(&mut reader).unwrap();
-        assert_eq!(status, 200);
+        let head = read_response_head(&mut reader).unwrap();
+        assert_eq!(head.status, 200);
         assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), "{\"seq\": 0}\n");
         assert_eq!(read_chunk_bytes(&mut reader).unwrap().unwrap(), segment);
         assert_eq!(read_chunk_bytes(&mut reader).unwrap(), None);

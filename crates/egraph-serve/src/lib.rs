@@ -86,7 +86,19 @@
 //! leader's sealed-segment stream over `GET /log/tail` (see
 //! [`Client::tail_log`]) and serves reads and subscriptions from its own
 //! replica and cache — delta-sync read scaling on the same wire format the
-//! disk uses.
+//! disk uses. A follower *forwards* `/ingest` to its leader with bounded
+//! retries, so clients may write to any server in the group.
+//!
+//! ## Overload & fault tolerance
+//!
+//! Admission is bounded ([`ServerConfig::max_inflight`]): past the bound,
+//! connections are shed with `503` + `Retry-After` straight from the
+//! accept thread, and [`Client::post_with_retry`] honors the hint with
+//! jittered backoff ([`RetryPolicy`]). The whole write/replication path is
+//! instrumented with `egraph-fault` failpoints (zero-cost in release
+//! builds); the workspace's chaos suite (`tests/chaos.rs`) scripts them to
+//! prove the durability contract under injected fsync failures, torn
+//! writes, crashes and overload.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -96,13 +108,13 @@ pub mod http;
 pub mod server;
 pub mod singleflight;
 
-pub use client::{Client, LogTail, Subscription, TailInit, TailSegment};
+pub use client::{Client, LogTail, RetryPolicy, Subscription, TailInit, TailSegment};
 pub use http::Response;
 pub use server::{Server, ServerConfig, ServerStats};
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
-    pub use crate::client::{Client, LogTail, Subscription, TailInit, TailSegment};
+    pub use crate::client::{Client, LogTail, RetryPolicy, Subscription, TailInit, TailSegment};
     pub use crate::http::Response;
     pub use crate::server::{Server, ServerConfig, ServerStats};
 }

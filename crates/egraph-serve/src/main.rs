@@ -24,10 +24,45 @@ struct Args {
     nodes: usize,
     undirected: bool,
     port: Option<u16>,
+    max_inflight: Option<usize>,
+    retry_after: Option<u64>,
+    forward_attempts: Option<u32>,
+    forward_backoff_ms: Option<u64>,
 }
 
 const USAGE: &str = "usage: egraph-serve [--data-dir DIR | --follow HOST:PORT] \
-                     [--nodes N] [--undirected] [--port P]";
+                     [--nodes N] [--undirected] [--port P] \
+                     [--max-inflight N] [--retry-after SECS] \
+                     [--forward-attempts N] [--forward-backoff-ms MS]";
+
+const HELP: &str = "\
+Serve evolving-graph search over HTTP, in one of three roles.
+
+Roles (mutually exclusive):
+  --data-dir DIR        durable leader: write-ahead log every event into
+                        DIR, replaying an existing log on boot
+  --follow HOST:PORT    follower replica: tail the leader's sealed-segment
+                        stream, serve reads locally, forward writes
+  (neither)             plain in-memory server; events die with the process
+
+Graph creation (ignored when an existing log is replayed):
+  --nodes N             initial node-universe size        [default: 16]
+  --undirected          build an undirected graph         [default: directed]
+
+Serving:
+  --port P              listen on 127.0.0.1:P             [default: ephemeral]
+  --max-inflight N      admission bound: shed connections with 503 +
+                        Retry-After once N handlers are running
+                                                          [default: 256]
+  --retry-after SECS    Retry-After value stamped on shed responses
+                                                          [default: 1]
+
+Follower write-forwarding:
+  --forward-attempts N  attempts (first included) to reach the leader
+                        before answering 503              [default: 4]
+  --forward-backoff-ms MS
+                        base backoff between attempts (doubles, jittered);
+                        also the tail reconnect pause     [default: 50]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -36,10 +71,18 @@ fn parse_args() -> Result<Args, String> {
         nodes: 16,
         undirected: false,
         port: None,
+        max_inflight: None,
+        retry_after: None,
+        forward_attempts: None,
+        forward_backoff_ms: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |what: &str| argv.next().ok_or(format!("{flag} needs a {what}"));
+        fn parsed<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, String> {
+            raw.parse()
+                .map_err(|_| format!("unparseable {flag} {raw:?}"))
+        }
         match flag.as_str() {
             "--data-dir" => args.data_dir = Some(value("directory")?),
             "--follow" => {
@@ -49,19 +92,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("unparseable leader address {addr:?}"))?,
                 );
             }
-            "--nodes" => {
-                let n = value("count")?;
-                args.nodes = n
-                    .parse()
-                    .map_err(|_| format!("unparseable --nodes {n:?}"))?;
-            }
+            "--nodes" => args.nodes = parsed(&flag, value("count")?)?,
             "--undirected" => args.undirected = true,
-            "--port" => {
-                let p = value("port")?;
-                args.port = Some(p.parse().map_err(|_| format!("unparseable --port {p:?}"))?);
+            "--port" => args.port = Some(parsed(&flag, value("port")?)?),
+            "--max-inflight" => args.max_inflight = Some(parsed(&flag, value("count")?)?),
+            "--retry-after" => args.retry_after = Some(parsed(&flag, value("seconds")?)?),
+            "--forward-attempts" => args.forward_attempts = Some(parsed(&flag, value("count")?)?),
+            "--forward-backoff-ms" => {
+                args.forward_backoff_ms = Some(parsed(&flag, value("milliseconds")?)?)
             }
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{USAGE}\n\n{HELP}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
@@ -74,12 +115,21 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run(args: Args) -> Result<Server, String> {
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         bind: args
             .port
             .map(|port| SocketAddr::from(([127, 0, 0, 1], port))),
-        ..ServerConfig::default()
+        max_inflight: args.max_inflight.unwrap_or(defaults.max_inflight),
+        retry_after_secs: args.retry_after.unwrap_or(defaults.retry_after_secs),
+        forward_attempts: args.forward_attempts.unwrap_or(defaults.forward_attempts),
+        forward_backoff: args
+            .forward_backoff_ms
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.forward_backoff),
+        ..defaults
     };
+    config.validate()?;
     if let Some(leader) = args.follow {
         return Server::start_follower(leader, config).map_err(|e| e.to_string());
     }
@@ -106,6 +156,18 @@ fn run(args: Args) -> Result<Server, String> {
 }
 
 fn main() {
+    // Operator fault scripting: EGRAPH_FAILPOINTS arms failpoint sites in
+    // debug builds (release parses and validates the spec but every site
+    // stays a no-op). A malformed spec is a refusal to start, not a
+    // silently un-simulated fault.
+    match egraph_fault::script_from_env() {
+        Ok(0) => {}
+        Ok(n) => eprintln!("egraph-serve: {n} failpoint site(s) scripted via EGRAPH_FAILPOINTS"),
+        Err(message) => {
+            eprintln!("egraph-serve: bad EGRAPH_FAILPOINTS: {message}");
+            std::process::exit(2);
+        }
+    }
     let server = match parse_args().and_then(run) {
         Ok(server) => server,
         Err(message) => {

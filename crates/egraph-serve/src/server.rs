@@ -63,11 +63,34 @@
 //! leader ships — through the *same* [`egraph_stream::replay_segment`]
 //! crash recovery uses — then re-broadcasts to its own subscribers from
 //! its own [`QueryCache`], inheriting the full incremental-repair matrix
-//! per tailed seal. Followers refuse `/ingest` (`403`); reads and
-//! subscriptions are served locally. `follower_lag_seals` in `/stats` (and
-//! on every push frame) reports how far behind the leader's latest known
-//! seal this server is; the tail thread reconnects with backoff until
-//! shutdown.
+//! per tailed seal. A follower *forwards* `/ingest` to its leader with
+//! bounded jittered retries (relaying the leader's exact answer), so a
+//! client can write to any server in the group; reads and subscriptions
+//! are served locally. `follower_lag_seals` in `/stats` (and on every push
+//! frame) reports how far behind the leader's latest known seal this
+//! server is; the tail thread reconnects with backoff until shutdown.
+//!
+//! ## Overload
+//!
+//! Admission is bounded: when [`ServerConfig::max_inflight`] handlers are
+//! already running, the accept thread sheds the connection with `503` +
+//! `Retry-After` *before* reading the request — pool workers may all be
+//! pinned by slow cold computations, which is exactly the condition being
+//! defended against, so the shed path cannot depend on them. Parked
+//! connections (subscribers, tailers, coalesced single-flight waiters)
+//! hold no handler and do not count against the bound. Shed requests are
+//! counted as `requests_shed` in `/stats`;
+//! [`crate::client::Client::post_with_retry`] is the client side of the
+//! contract, honoring `Retry-After` with jittered backoff.
+//!
+//! ## Failpoints
+//!
+//! The serving path declares [`egraph_fault`] sites (no-ops in release
+//! builds): `serve.query.compute` (delay a cold computation — how the
+//! chaos suite manufactures overload deterministically) and
+//! `serve.ingest.forward` (fail a follower's forward before it reaches
+//! the leader). The layers below add their own sites (`log.*`,
+//! `durable.publish`).
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -102,6 +125,19 @@ pub struct ServerConfig {
     /// Address to bind; `None` binds an ephemeral loopback port (the right
     /// choice for tests and examples — the `egraph-serve` binary sets it).
     pub bind: Option<SocketAddr>,
+    /// Admission bound: connections accepted while this many handlers are
+    /// already running are shed with `503` + `Retry-After`. Parked
+    /// connections (subscribers, tailers, coalesced waiters) don't count.
+    pub max_inflight: usize,
+    /// The `Retry-After` value (seconds) stamped on shed responses. `0` is
+    /// legal — "immediately" — and what latency-sensitive tests use.
+    pub retry_after_secs: u64,
+    /// On a follower: total attempts (first included) when forwarding an
+    /// `/ingest` to the leader before giving up with `503`.
+    pub forward_attempts: u32,
+    /// Base backoff between forward attempts (doubles, jittered), and the
+    /// follower tail thread's pause between reconnect attempts.
+    pub forward_backoff: Duration,
 }
 
 impl Default for ServerConfig {
@@ -111,7 +147,29 @@ impl Default for ServerConfig {
             io_timeout: Some(Duration::from_secs(10)),
             hold_leader_until_waiters: None,
             bind: None,
+            max_inflight: 256,
+            retry_after_secs: 1,
+            forward_attempts: 4,
+            forward_backoff: Duration::from_millis(50),
         }
+    }
+}
+
+impl ServerConfig {
+    /// Rejects configurations that cannot serve: a zero admission bound
+    /// would shed every request, and zero forward attempts would make a
+    /// follower's `/ingest` unconditionally fail.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_inflight == 0 {
+            return Err("max_inflight must be >= 1 (0 would shed every request)".into());
+        }
+        if self.forward_attempts == 0 {
+            return Err("forward_attempts must be >= 1".into());
+        }
+        if self.max_body_bytes == 0 {
+            return Err("max_body_bytes must be >= 1".into());
+        }
+        Ok(())
     }
 }
 
@@ -137,6 +195,19 @@ pub struct ServerStats {
     /// server's applied count — `0` when fully converged. Always `0` on a
     /// leader or standalone server.
     pub follower_lag_seals: u64,
+    /// Connections shed by bounded admission (`503` + `Retry-After`
+    /// before the request was read).
+    pub requests_shed: u64,
+    /// Segment reads that failed while serving a `/log/tail` catch-up —
+    /// each one silently dropped a tailer before this counter existed, so
+    /// a non-zero value here is how an operator sees replication flapping.
+    pub tail_read_errors: u64,
+    /// On a follower: `/ingest` requests successfully forwarded to the
+    /// leader (whatever status the leader answered).
+    pub ingest_forwarded: u64,
+    /// On a follower: `/ingest` forwards that exhausted their retry budget
+    /// without reaching the leader (answered `503` locally).
+    pub forward_failures: u64,
 }
 
 /// One standing query: the held-open connection, what it asked for, and
@@ -188,6 +259,10 @@ struct Shared {
     segments_sealed: AtomicU64,
     segments_replayed: AtomicU64,
     follower_lag_seals: AtomicU64,
+    requests_shed: AtomicU64,
+    tail_read_errors: AtomicU64,
+    ingest_forwarded: AtomicU64,
+    forward_failures: AtomicU64,
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -294,6 +369,9 @@ impl Server {
         follower: Option<FollowerCtl>,
         segments_replayed: u64,
     ) -> std::io::Result<Server> {
+        config
+            .validate()
+            .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidInput, message))?;
         let listener = match config.bind {
             Some(addr) => TcpListener::bind(addr)?,
             None => TcpListener::bind(("127.0.0.1", 0))?,
@@ -320,6 +398,10 @@ impl Server {
             segments_sealed: AtomicU64::new(segments_sealed),
             segments_replayed: AtomicU64::new(segments_replayed),
             follower_lag_seals: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            tail_read_errors: AtomicU64::new(0),
+            ingest_forwarded: AtomicU64::new(0),
+            forward_failures: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -354,6 +436,10 @@ impl Server {
             segments_sealed: self.shared.segments_sealed.load(Ordering::Relaxed),
             segments_replayed: self.shared.segments_replayed.load(Ordering::Relaxed),
             follower_lag_seals: self.shared.follower_lag_seals.load(Ordering::Relaxed),
+            requests_shed: self.shared.requests_shed.load(Ordering::Relaxed),
+            tail_read_errors: self.shared.tail_read_errors.load(Ordering::Relaxed),
+            ingest_forwarded: self.shared.ingest_forwarded.load(Ordering::Relaxed),
+            forward_failures: self.shared.forward_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -424,7 +510,26 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        *lock(&shared.in_flight) += 1;
+        // Bounded admission, decided here on the accept thread: if every
+        // pool worker is pinned by a slow handler, a shed must not need
+        // one. The 503 goes out before the request is even read — an
+        // overloaded server spends only a head-sized socket write per
+        // refusal. The count is reserved under the lock so a burst cannot
+        // overshoot the bound between check and increment.
+        let admitted = {
+            let mut count = lock(&shared.in_flight);
+            if *count >= shared.config.max_inflight {
+                false
+            } else {
+                *count += 1;
+                true
+            }
+        };
+        if !admitted {
+            shared.requests_shed.fetch_add(1, Ordering::Relaxed);
+            shed_connection(&shared, stream);
+            continue;
+        }
         let job_shared = Arc::clone(&shared);
         rayon::spawn(move || {
             let guard = ConnectionGuard {
@@ -433,6 +538,32 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             handle_connection(&job_shared, stream);
             drop(guard);
         });
+    }
+}
+
+/// Refuses one connection with `503` + `Retry-After`, without reading the
+/// request. Closing with unread request bytes in the receive buffer would
+/// RST the connection and could destroy the response before the client
+/// reads it, so the refusal half-closes and briefly drains instead — the
+/// client sees the 503 and a clean FIN. The drain is tightly bounded (it
+/// runs on the accept thread): a cooperating client reads the response and
+/// closes within a round trip; a stalled one costs at most the short
+/// timeout.
+fn shed_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(shared.config.io_timeout);
+    let _ = http::write_response_with_retry_after(
+        &mut stream,
+        503,
+        &http::error_body("server overloaded; retry after the indicated delay"),
+        Some(shared.config.retry_after_secs),
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut scratch = [0u8; 4096];
+    while let Ok(n) = std::io::Read::read(&mut stream, &mut scratch) {
+        if n == 0 {
+            break;
+        }
     }
 }
 
@@ -554,6 +685,11 @@ fn handle_query(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request) 
     if let Some(count) = shared.config.hold_leader_until_waiters {
         leader.wait_for_waiters(count);
     }
+
+    // Failpoint: a scripted delay here stretches the cold computation,
+    // which is how the chaos suite pins pool workers to manufacture
+    // overload deterministically.
+    let _ = egraph_fault::fired("serve.query.compute");
 
     // Tier 3: compute through the cache, under the graph's read lock (the
     // graph cannot move mid-computation; concurrent `/query`s share the
@@ -765,13 +901,8 @@ fn parse_ingest(body: &str) -> Result<IngestRequest, String> {
 }
 
 fn handle_ingest(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request) {
-    if shared.follower.is_some() {
-        shared.bad_requests.fetch_add(1, Ordering::Relaxed);
-        let _ = http::write_response(
-            &mut stream,
-            403,
-            &http::error_body("this server is a follower; send writes to the leader"),
-        );
+    if let Some(ctl) = shared.follower.as_ref() {
+        forward_ingest(shared, stream, request, ctl.leader);
         return;
     }
     let ingest = match parse_ingest(&request.body) {
@@ -876,6 +1007,55 @@ fn handle_ingest(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request)
         "{{\"version\": {version}, \"num_sealed\": {num_sealed}, \"sealed_index\": {sealed_json}}}"
     );
     let _ = http::write_response(&mut stream, 200, &body);
+}
+
+/// Write-forwarding: a follower proxies `/ingest` to its leader with
+/// bounded jittered retries and relays the leader's exact status and body
+/// — from a client's point of view, writes work against any server in the
+/// group. The forward happens *before* any local lock: the write becomes
+/// visible here only when the leader's segment arrives on the tail stream,
+/// exactly like every other replicated write. When the retry budget is
+/// exhausted (leader down longer than the backoff window) the client gets
+/// `503` + `Retry-After` and may retry against the recovering leader
+/// through us again.
+fn forward_ingest(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    request: &Request,
+    leader: SocketAddr,
+) {
+    let unavailable = |stream: &mut TcpStream, shared: &Arc<Shared>, detail: &str| {
+        shared.forward_failures.fetch_add(1, Ordering::Relaxed);
+        let message = format!("could not forward the write to the leader: {detail}");
+        let _ = http::write_response_with_retry_after(
+            stream,
+            503,
+            &http::error_body(&message),
+            Some(shared.config.retry_after_secs),
+        );
+    };
+    if egraph_fault::fired("serve.ingest.forward").is_some() {
+        unavailable(&mut stream, shared, "injected forward failure");
+        return;
+    }
+    let client = Client::new(leader).with_timeout(shared.config.io_timeout);
+    let policy = crate::client::RetryPolicy {
+        attempts: shared.config.forward_attempts,
+        backoff: shared.config.forward_backoff,
+        ..crate::client::RetryPolicy::default()
+    };
+    match client.post_with_retry("/ingest", &request.body, &policy) {
+        Ok((response, _retries)) => {
+            shared.ingest_forwarded.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response_with_retry_after(
+                &mut stream,
+                response.status,
+                &response.body,
+                response.retry_after,
+            );
+        }
+        Err(err) => unavailable(&mut stream, shared, &err.to_string()),
+    }
 }
 
 /// Re-executes every standing subscription at the current version and
@@ -1002,7 +1182,15 @@ fn handle_tail(shared: &Arc<Shared>, mut stream: TcpStream, query: Option<&str>)
         while next < latest {
             let bytes = match lock(log).segment_bytes(next) {
                 Ok(bytes) => bytes,
-                Err(_) => return, // disk trouble: drop the tailer, it will reconnect
+                Err(err) => {
+                    // Disk trouble: drop the tailer (it reconnects from its
+                    // own version) — but *count* it, so an operator watching
+                    // `/stats` can see replication flapping instead of
+                    // wondering why followers keep falling behind.
+                    shared.tail_read_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("egraph-serve: tail segment read failed: {err}");
+                    return;
+                }
             };
             if write_segment_chunks(&mut stream, next, latest, &bytes).is_err() {
                 return;
@@ -1096,7 +1284,7 @@ fn follower_tail_loop(shared: Arc<Shared>, first: Option<(TailInit, LogTail)>) {
                 match client.tail_log(from) {
                     Ok(open) => open,
                     Err(_) => {
-                        std::thread::sleep(Duration::from_millis(100));
+                        std::thread::sleep(shared.config.forward_backoff);
                         continue;
                     }
                 }
@@ -1148,7 +1336,8 @@ fn stats_body(shared: &Arc<Shared>) -> String {
          \"misses\": {}, \"evictions\": {}, \"coalesced\": {}, \"requests\": {}, \
          \"hit_rate\": {:.6}}}, \
          \"server\": {{\"requests\": {}, \"bad_requests\": {}, \"subscribers\": {subscribers}, \
-         \"subscriptions_opened\": {}, \"frames_pushed\": {}}}, \
+         \"subscriptions_opened\": {}, \"frames_pushed\": {}, \"requests_shed\": {}, \
+         \"tail_read_errors\": {}, \"ingest_forwarded\": {}, \"forward_failures\": {}}}, \
          \"log\": {{\"segments_sealed\": {}, \"segments_replayed\": {}, \
          \"follower_lag_seals\": {}}}, \
          \"graph\": {{\"version\": {version}, \"num_sealed\": {num_sealed}, \"num_nodes\": {num_nodes}}}}}",
@@ -1167,6 +1356,10 @@ fn stats_body(shared: &Arc<Shared>) -> String {
         shared.bad_requests.load(Ordering::Relaxed),
         shared.subscriptions_opened.load(Ordering::Relaxed),
         shared.frames_pushed.load(Ordering::Relaxed),
+        shared.requests_shed.load(Ordering::Relaxed),
+        shared.tail_read_errors.load(Ordering::Relaxed),
+        shared.ingest_forwarded.load(Ordering::Relaxed),
+        shared.forward_failures.load(Ordering::Relaxed),
         labels.segments_sealed,
         labels.segments_replayed,
         labels.follower_lag_seals,

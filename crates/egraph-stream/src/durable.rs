@@ -268,6 +268,10 @@ impl DurableGraph {
             }));
         }
         let sealed = self.log.seal(label)?;
+        // Failpoint between the durability point and the publish: a panic
+        // scripted here models a crash *after* the fsync — recovery must
+        // replay the sealed segment even though no ack was ever sent.
+        let _ = egraph_fault::fired("durable.publish");
         let time = self
             .live
             .seal_snapshot(label)

@@ -17,6 +17,8 @@
 //!   ingestion, query caching and incremental re-search;
 //! * [`log`] (`egraph-log`) — the durable segmented event log: append-only
 //!   CRC-framed segments, fsync-on-seal, torn-tail crash recovery;
+//! * [`fault`] (`egraph-fault`) — the deterministic failpoint registry the
+//!   chaos suite scripts against (zero-cost in release builds);
 //! * [`serve`] (`egraph-serve`) — the HTTP serving layer: single-flight
 //!   admission over the query cache, standing-query push, durable leaders
 //!   and follower replication;
@@ -64,6 +66,7 @@
 pub use egraph_baselines as baselines;
 pub use egraph_citation as citation;
 pub use egraph_core as core;
+pub use egraph_fault as fault;
 pub use egraph_gen as gen;
 pub use egraph_io as io;
 pub use egraph_log as log;

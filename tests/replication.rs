@@ -117,12 +117,21 @@ fn wait_until(what: &str, mut ok: impl FnMut() -> bool) {
 
 /// Reads one integer out of the `"log"` section of a `/stats` body.
 fn log_stat(client: &Client, key: &str) -> i64 {
+    stat_in(client, "log", key)
+}
+
+/// Reads one integer out of the `"server"` section of a `/stats` body.
+fn server_stat(client: &Client, key: &str) -> i64 {
+    stat_in(client, "server", key)
+}
+
+fn stat_in(client: &Client, section: &str, key: &str) -> i64 {
     let response = client.get("/stats").unwrap();
     assert_eq!(response.status, 200);
     let value = egraph_io::parse_value(&response.body).unwrap();
     let object = value.as_object("stats").unwrap();
-    let log = object.get("log").unwrap().as_object("log").unwrap();
-    log.get(key).unwrap().as_i64(key).unwrap()
+    let section = object.get(section).unwrap().as_object(section).unwrap();
+    section.get(key).unwrap().as_i64(key).unwrap()
 }
 
 #[test]
@@ -266,12 +275,26 @@ fn follower_converges_and_serves_byte_identical_reads() {
     });
     compare("after live seals");
 
-    // Followers are read replicas: writes are refused, and they expose no
-    // log of their own to tail.
+    // Writes sent to the follower are forwarded to the leader (the
+    // follower relays the leader's answer) and come back on the tail
+    // stream like any replicated write. Followers still expose no log of
+    // their own to tail.
     let response = follower_client
         .post("/ingest", r#"{"events": [[1, 3]], "seal": 99}"#)
         .unwrap();
-    assert_eq!(response.status, 403, "{}", response.body);
+    assert_eq!(response.status, 200, "{}", response.body);
+    twin.insert(NodeId(1), NodeId(3)).unwrap();
+    twin.seal_snapshot(99).unwrap();
+    wait_until("forwarded write to replicate back", || {
+        log_stat(&follower_client, "follower_lag_seals") == 0
+            && log_stat(&follower_client, "segments_replayed") == 6
+    });
+    assert_eq!(
+        server_stat(&follower_client, "ingest_forwarded"),
+        1,
+        "the follower must count the forwarded write"
+    );
+    compare("after a forwarded write");
     assert_eq!(follower_client.get("/log/tail?from=0").unwrap().status, 403);
 
     follower.shutdown();
