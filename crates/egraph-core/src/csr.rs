@@ -329,6 +329,180 @@ impl CsrAdjacency {
     }
 }
 
+/// The raw columns of a [`CsrAdjacency`], exposed for serialization.
+///
+/// A checkpointing layer (see `egraph-log`) persists a sealed graph by
+/// writing these columns out and rebuilds it with
+/// [`CsrAdjacency::from_parts`], which re-validates every structural
+/// invariant — offset rows must tile the pools exactly, activeness lists
+/// must be sorted, labels must be strictly increasing — so bytes that pass
+/// a CRC but describe an impossible graph are rejected instead of becoming
+/// out-of-bounds slices at query time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsrParts {
+    /// Snapshot labels, strictly increasing.
+    pub timestamps: Vec<Timestamp>,
+    /// Size of the node universe.
+    pub num_nodes: usize,
+    /// Whether edges are directed.
+    pub directed: bool,
+    /// Per-snapshot absolute offsets into `out_pool`.
+    pub out_offsets: Vec<Vec<u32>>,
+    /// All out-neighbor lists, snapshot-major then node-major.
+    pub out_pool: Vec<NodeId>,
+    /// Mirror of `out_offsets` for in-neighbors; empty when undirected.
+    pub in_offsets: Vec<Vec<u32>>,
+    /// Mirror of `out_pool` for in-neighbors; empty when undirected.
+    pub in_pool: Vec<NodeId>,
+    /// `active[v]` = sorted snapshot indices at which `v` is active.
+    pub active: Vec<Vec<TimeIndex>>,
+    /// Total number of static edges (each undirected edge counted once).
+    pub num_static_edges: usize,
+}
+
+impl CsrAdjacency {
+    /// Copies the graph's raw columns out for serialization.
+    pub fn to_parts(&self) -> CsrParts {
+        CsrParts {
+            timestamps: self.timestamps.clone(),
+            num_nodes: self.num_nodes,
+            directed: self.directed,
+            out_offsets: self.out_offsets.clone(),
+            out_pool: self.out_pool.clone(),
+            in_offsets: self.in_offsets.clone(),
+            in_pool: self.in_pool.clone(),
+            active: self.active.clone(),
+            num_static_edges: self.num_static_edges,
+        }
+    }
+
+    /// Rebuilds a graph from deserialized columns, validating every
+    /// invariant the traversal hot paths rely on.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant. A graph
+    /// accepted here is safe to traverse: no offset, node id or time index
+    /// can reach out of bounds.
+    pub fn from_parts(parts: CsrParts) -> std::result::Result<Self, String> {
+        validate_parts(&parts)?;
+        Ok(CsrAdjacency {
+            timestamps: parts.timestamps,
+            num_nodes: parts.num_nodes,
+            directed: parts.directed,
+            out_offsets: parts.out_offsets,
+            out_pool: parts.out_pool,
+            in_offsets: parts.in_offsets,
+            in_pool: parts.in_pool,
+            active: parts.active,
+            num_static_edges: parts.num_static_edges,
+        })
+    }
+}
+
+/// Checks all structural invariants of a deserialized [`CsrParts`].
+fn validate_parts(parts: &CsrParts) -> std::result::Result<(), String> {
+    let snapshots = parts.timestamps.len();
+    if let Some(w) = parts.timestamps.windows(2).position(|w| w[1] <= w[0]) {
+        return Err(format!("timestamps not strictly increasing at index {w}"));
+    }
+    validate_offsets("out", &parts.out_offsets, &parts.out_pool, parts, snapshots)?;
+    if parts.directed {
+        validate_offsets("in", &parts.in_offsets, &parts.in_pool, parts, snapshots)?;
+        if parts.in_pool.len() != parts.out_pool.len() {
+            return Err(format!(
+                "in pool holds {} entries but out pool holds {}",
+                parts.in_pool.len(),
+                parts.out_pool.len()
+            ));
+        }
+    } else if !parts.in_offsets.is_empty() || !parts.in_pool.is_empty() {
+        return Err("undirected graph carries in-neighbor structures".into());
+    }
+    let expected_pool = if parts.directed {
+        parts.num_static_edges
+    } else {
+        2 * parts.num_static_edges
+    };
+    if parts.out_pool.len() != expected_pool {
+        return Err(format!(
+            "num_static_edges {} disagrees with out pool of {} entries",
+            parts.num_static_edges,
+            parts.out_pool.len()
+        ));
+    }
+    if parts.active.len() != parts.num_nodes {
+        return Err(format!(
+            "active table covers {} nodes but the universe holds {}",
+            parts.active.len(),
+            parts.num_nodes
+        ));
+    }
+    for (v, times) in parts.active.iter().enumerate() {
+        if times.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(format!("active times of node {v} not strictly increasing"));
+        }
+        if let Some(&t) = times.last() {
+            if t.index() >= snapshots {
+                return Err(format!(
+                    "active time {t} of node {v} exceeds {snapshots} snapshots"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that one side's offset rows tile its pool exactly: each row starts
+/// where the previous ended, rows are monotone, and every pool entry is a
+/// valid node id.
+fn validate_offsets(
+    side: &str,
+    offsets: &[Vec<u32>],
+    pool: &[NodeId],
+    parts: &CsrParts,
+    snapshots: usize,
+) -> std::result::Result<(), String> {
+    if offsets.len() != snapshots {
+        return Err(format!(
+            "{side} offsets cover {} snapshots but the graph has {snapshots}",
+            offsets.len()
+        ));
+    }
+    let mut cursor = 0u32;
+    for (t, row) in offsets.iter().enumerate() {
+        if row.is_empty() || row.len() > parts.num_nodes + 1 {
+            return Err(format!(
+                "{side} offset row {t} holds {} entries for a universe of {} nodes",
+                row.len(),
+                parts.num_nodes
+            ));
+        }
+        if row[0] != cursor {
+            return Err(format!(
+                "{side} offset row {t} starts at {} but the previous row ended at {cursor}",
+                row[0]
+            ));
+        }
+        if row.windows(2).any(|w| w[1] < w[0]) {
+            return Err(format!("{side} offset row {t} is not monotone"));
+        }
+        cursor = row[row.len() - 1];
+    }
+    if cursor as usize != pool.len() {
+        return Err(format!(
+            "{side} offsets end at {cursor} but the pool holds {} entries",
+            pool.len()
+        ));
+    }
+    if let Some(w) = pool.iter().find(|w| w.index() >= parts.num_nodes) {
+        return Err(format!(
+            "{side} pool entry {w} exceeds the universe of {} nodes",
+            parts.num_nodes
+        ));
+    }
+    Ok(())
+}
+
 /// A pool length as a stored `u32` offset — failing loudly instead of
 /// wrapping if a graph outgrows the offset space.
 fn pool_offset(len: usize) -> u32 {
@@ -569,6 +743,77 @@ mod tests {
         assert_eq!(csr.num_timestamps(), 1);
         assert!(csr.active_at(TimeIndex(0)).is_empty());
         assert!(csr.out_slice(NodeId(1), TimeIndex(0)).is_empty());
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_the_graph_exactly() {
+        let g = paper_figure1();
+        let csr = CsrAdjacency::from_graph(&g);
+        let rebuilt = CsrAdjacency::from_parts(csr.to_parts()).unwrap();
+        assert_same_graph(&rebuilt, &g);
+        for &root in &g.active_nodes() {
+            assert_eq!(
+                bfs(&rebuilt, root).unwrap().as_flat_slice(),
+                bfs(&csr, root).unwrap().as_flat_slice(),
+            );
+        }
+
+        // Grown nodes and undirected storage survive the round trip too.
+        let mut csr = CsrAdjacency::new(2, false);
+        csr.append_snapshot(0, &[(NodeId(0), NodeId(1))]).unwrap();
+        csr.grow_nodes(5);
+        csr.append_snapshot(4, &[(NodeId(3), NodeId(4))]).unwrap();
+        let rebuilt = CsrAdjacency::from_parts(csr.to_parts()).unwrap();
+        assert_same_graph(&rebuilt, &csr);
+    }
+
+    #[test]
+    fn from_parts_rejects_every_broken_invariant() {
+        let good = {
+            let mut csr = CsrAdjacency::new(3, true);
+            csr.append_snapshot(0, &[(NodeId(0), NodeId(1))]).unwrap();
+            csr.append_snapshot(7, &[(NodeId(1), NodeId(2))]).unwrap();
+            csr.to_parts()
+        };
+        assert!(CsrAdjacency::from_parts(good.clone()).is_ok());
+
+        type Breakage = (&'static str, Box<dyn Fn(&mut CsrParts)>);
+        let mut breakages: Vec<Breakage> = Vec::new();
+        breakages.push(("timestamps", Box::new(|p| p.timestamps[1] = 0)));
+        breakages.push(("row count", Box::new(|p| p.out_offsets.truncate(1))));
+        breakages.push(("row start", Box::new(|p| p.out_offsets[1][0] = 0)));
+        breakages.push(("monotone", Box::new(|p| p.out_offsets[0][1] = 9)));
+        breakages.push(("pool tile", Box::new(|p| p.out_pool.push(NodeId(0)))));
+        breakages.push(("node range", Box::new(|p| p.out_pool[0] = NodeId(9))));
+        breakages.push(("in pool", Box::new(|p| p.in_pool.clear())));
+        breakages.push(("edge count", Box::new(|p| p.num_static_edges = 5)));
+        breakages.push((
+            "active len",
+            Box::new(|p| p.active.pop().map(|_| ()).unwrap()),
+        ));
+        breakages.push((
+            "active sorted",
+            Box::new(|p| p.active[0] = vec![TimeIndex(1), TimeIndex(0)]),
+        ));
+        breakages.push((
+            "active range",
+            Box::new(|p| p.active[2] = vec![TimeIndex(7)]),
+        ));
+        breakages.push((
+            "undirected extras",
+            Box::new(|p| {
+                p.directed = false;
+                p.num_static_edges = 1;
+            }),
+        ));
+        for (what, breakage) in breakages {
+            let mut bad = good.clone();
+            breakage(&mut bad);
+            assert!(
+                CsrAdjacency::from_parts(bad).is_err(),
+                "{what} breakage must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! The checkpoint payload codec: one sealed `CsrAdjacency` plus its
+//! monotone version stamp, as compact varint-encoded bytes.
+//!
+//! A checkpoint replaces replaying a prefix of the event log, so it must
+//! persist exactly what replaying that prefix would have rebuilt: the CSR
+//! columns ([`CsrParts`] — neighbor pools, offset rows, activeness lists,
+//! seal labels) and the version counter cached query descriptors re-validate
+//! against. This module is only the *payload* codec — framing (magic, CRC,
+//! atomic install) is `egraph-log`'s job, mirroring how segment files wrap
+//! [`crate::binary`] records.
+//!
+//! Decoding is allocation-safe against arbitrary bytes: every claimed
+//! length is checked against the remaining input before reserving space, so
+//! a corrupt length field yields [`BinaryError::Truncated`], not an OOM.
+//! Structural validity of the decoded columns is the caller's problem
+//! (`CsrAdjacency::from_parts` re-checks every invariant).
+
+use egraph_core::csr::CsrParts;
+use egraph_core::ids::{NodeId, TimeIndex};
+
+use crate::binary::{read_varint, unzigzag, write_varint, zigzag, BinaryError};
+
+/// Encodes a graph's columns and version stamp as checkpoint payload bytes.
+pub fn encode_checkpoint(parts: &CsrParts, version: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, version);
+    write_varint(&mut out, parts.num_nodes as u64);
+    out.push(parts.directed as u8);
+    write_varint(&mut out, parts.num_static_edges as u64);
+    write_varint(&mut out, parts.timestamps.len() as u64);
+    for &label in &parts.timestamps {
+        write_varint(&mut out, zigzag(label));
+    }
+    for row in &parts.out_offsets {
+        write_offset_row(&mut out, row);
+    }
+    write_pool(&mut out, &parts.out_pool);
+    if parts.directed {
+        for row in &parts.in_offsets {
+            write_offset_row(&mut out, row);
+        }
+        write_pool(&mut out, &parts.in_pool);
+    }
+    for times in &parts.active {
+        write_varint(&mut out, times.len() as u64);
+        for &t in times {
+            write_varint(&mut out, t.0 as u64);
+        }
+    }
+    out
+}
+
+/// Decodes checkpoint payload bytes back into graph columns and the version
+/// stamp. The inverse of [`encode_checkpoint`]; trailing bytes are corrupt.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<(CsrParts, u64), BinaryError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let version = r.varint()?;
+    let num_nodes = r.length("num_nodes")?;
+    let directed = match r.byte()? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(BinaryError::Corrupt(format!(
+                "checkpoint directed flag is {other}, not 0 or 1"
+            )))
+        }
+    };
+    let num_static_edges = r.length("num_static_edges")?;
+    let snapshots = r.bounded_length("snapshot count")?;
+    let mut timestamps = Vec::with_capacity(snapshots);
+    for _ in 0..snapshots {
+        timestamps.push(unzigzag(r.varint()?));
+    }
+    let out_offsets = r.offset_rows(snapshots)?;
+    let out_pool = r.pool()?;
+    let (in_offsets, in_pool) = if directed {
+        (r.offset_rows(snapshots)?, r.pool()?)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let mut active = Vec::with_capacity(num_nodes.min(r.remaining()));
+    for _ in 0..num_nodes {
+        let len = r.bounded_length("active list length")?;
+        let mut times = Vec::with_capacity(len);
+        for _ in 0..len {
+            times.push(TimeIndex(r.u32("active time index")?));
+        }
+        active.push(times);
+    }
+    if r.pos != bytes.len() {
+        return Err(BinaryError::Corrupt(format!(
+            "checkpoint payload has {} trailing bytes",
+            bytes.len() - r.pos
+        )));
+    }
+    Ok((
+        CsrParts {
+            timestamps,
+            num_nodes,
+            directed,
+            out_offsets,
+            out_pool,
+            in_offsets,
+            in_pool,
+            active,
+            num_static_edges,
+        },
+        version,
+    ))
+}
+
+fn write_offset_row(out: &mut Vec<u8>, row: &[u32]) {
+    write_varint(out, row.len() as u64);
+    for &offset in row {
+        write_varint(out, offset as u64);
+    }
+}
+
+fn write_pool(out: &mut Vec<u8>, pool: &[NodeId]) {
+    write_varint(out, pool.len() as u64);
+    for &node in pool {
+        write_varint(out, node.0 as u64);
+    }
+}
+
+/// A cursor over the payload bytes with length-sanity helpers.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn varint(&mut self) -> Result<u64, BinaryError> {
+        let (value, used) = read_varint(&self.bytes[self.pos..])?;
+        self.pos += used;
+        Ok(value)
+    }
+
+    fn byte(&mut self) -> Result<u8, BinaryError> {
+        let b = *self.bytes.get(self.pos).ok_or(BinaryError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, BinaryError> {
+        let value = self.varint()?;
+        u32::try_from(value)
+            .map_err(|_| BinaryError::Corrupt(format!("checkpoint {what} {value} exceeds u32")))
+    }
+
+    /// A length field that must fit in `usize`.
+    fn length(&mut self, what: &str) -> Result<usize, BinaryError> {
+        let value = self.varint()?;
+        usize::try_from(value)
+            .map_err(|_| BinaryError::Corrupt(format!("checkpoint {what} {value} exceeds usize")))
+    }
+
+    /// A length field counting items that each occupy at least one byte of
+    /// the remaining input — a claim larger than that is a truncation (or a
+    /// corrupt length), caught *before* any allocation.
+    fn bounded_length(&mut self, what: &str) -> Result<usize, BinaryError> {
+        let len = self.length(what)?;
+        if len > self.remaining() {
+            return Err(BinaryError::Truncated);
+        }
+        Ok(len)
+    }
+
+    fn offset_rows(&mut self, snapshots: usize) -> Result<Vec<Vec<u32>>, BinaryError> {
+        let mut rows = Vec::with_capacity(snapshots.min(self.remaining()));
+        for _ in 0..snapshots {
+            let len = self.bounded_length("offset row length")?;
+            let mut row = Vec::with_capacity(len);
+            for _ in 0..len {
+                row.push(self.u32("offset")?);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+
+    fn pool(&mut self) -> Result<Vec<NodeId>, BinaryError> {
+        let len = self.bounded_length("pool length")?;
+        let mut pool = Vec::with_capacity(len);
+        for _ in 0..len {
+            pool.push(NodeId(self.u32("pool entry")?));
+        }
+        Ok(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph_core::csr::CsrAdjacency;
+    use egraph_core::ids::NodeId;
+
+    fn fixture(directed: bool) -> CsrAdjacency {
+        let mut csr = CsrAdjacency::new(4, directed);
+        csr.append_snapshot(-3, &[(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))])
+            .unwrap();
+        csr.grow_nodes(6);
+        csr.append_snapshot(9, &[(NodeId(4), NodeId(5)), (NodeId(0), NodeId(1))])
+            .unwrap();
+        csr
+    }
+
+    #[test]
+    fn round_trips_directed_and_undirected_graphs() {
+        for directed in [true, false] {
+            let csr = fixture(directed);
+            let parts = csr.to_parts();
+            let bytes = encode_checkpoint(&parts, 2);
+            let (decoded, version) = decode_checkpoint(&bytes).unwrap();
+            assert_eq!(version, 2);
+            assert_eq!(decoded, parts, "directed={directed}");
+            // The decoded columns pass full structural re-validation.
+            CsrAdjacency::from_parts(decoded).unwrap();
+        }
+    }
+
+    #[test]
+    fn round_trips_an_empty_graph() {
+        let csr = CsrAdjacency::new(0, true);
+        let bytes = encode_checkpoint(&csr.to_parts(), 0);
+        let (decoded, version) = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(version, 0);
+        assert_eq!(decoded, csr.to_parts());
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_checkpoint(&fixture(true).to_parts(), 2);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_checkpoint(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_flags_are_corrupt() {
+        let mut bytes = encode_checkpoint(&fixture(false).to_parts(), 1);
+        bytes.push(0);
+        assert!(matches!(
+            decode_checkpoint(&bytes),
+            Err(BinaryError::Corrupt(_))
+        ));
+
+        // Flip every byte in turn: decode must never panic, and must never
+        // hand back the original payload.
+        let bytes = encode_checkpoint(&fixture(true).to_parts(), 1);
+        let parts = fixture(true).to_parts();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0xFF;
+            if let Ok((decoded, version)) = decode_checkpoint(&flipped) {
+                assert!(
+                    decoded != parts || version != 1,
+                    "flipping byte {i} must not decode to the same payload"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_length_claims_fail_without_allocating() {
+        // varint 2^60 as a claimed snapshot count over a tiny buffer.
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, 1); // version
+        write_varint(&mut bytes, 4); // num_nodes
+        bytes.push(1); // directed
+        write_varint(&mut bytes, 0); // num_static_edges
+        write_varint(&mut bytes, 1u64 << 60); // snapshot count: absurd
+        assert!(matches!(
+            decode_checkpoint(&bytes),
+            Err(BinaryError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,402 @@
+//! Checkpoint files: atomically installed snapshots of sealed graph state.
+//!
+//! A checkpoint absorbs a prefix of the segment chain so recovery can skip
+//! replaying it: `checkpoint-<seq>.bin` holds the payload a caller built
+//! (for graphs, the `egraph-io` checkpoint codec's CSR columns + version)
+//! covering every segment with sequence number `<= seq`. Its layout mirrors
+//! the segment format:
+//!
+//! ```text
+//! checkpoint := magic "EGCP" ++ format_version u8 ++ last_seq u64 LE
+//!               ++ varint(payload_len) ++ payload ++ crc32(payload) u32 LE
+//! ```
+//!
+//! Installation is atomic against crashes at *every* byte offset: the bytes
+//! are written and fsynced to `checkpoint-<seq>.tmp`, then renamed into
+//! place, then the directory is fsynced. A crash before the rename leaves a
+//! `.tmp` file that readers ignore; a crash after it leaves a complete,
+//! valid checkpoint. There is no window in which the installed name holds
+//! torn bytes, which is what makes it safe for compaction to delete the
+//! covered segments — strictly *after* the rename + directory fsync.
+//!
+//! Reading is paranoid in the other direction: magic, version, length and
+//! CRC are all validated, and the file name's sequence number must match
+//! the header's. A checkpoint that fails any check is reported (never
+//! silently used); the recovery layer falls back to an older checkpoint or
+//! to full replay.
+//!
+//! ## Failpoints
+//!
+//! | site | failure it injects |
+//! |------|--------------------|
+//! | `ckpt.write` | temp-file write fails (or tears partway) |
+//! | `ckpt.fsync` | temp-file fsync fails after a complete write |
+//! | `ckpt.rename` | crash window between fsync and rename |
+//! | `ckpt.read` | reading a checkpoint back fails |
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use egraph_io::binary::{crc32, read_varint, write_varint};
+
+use crate::log::{corrupt, file_len, io_err, sync_dir, write_durable, Result};
+use crate::segment::FORMAT_VERSION;
+
+/// First bytes of every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"EGCP";
+
+/// Fixed header size: magic + version byte + `u64` last covered sequence.
+pub const CHECKPOINT_HEADER_BYTES: usize = 4 + 1 + 8;
+
+/// The file a checkpoint covering segments `..= last_seq` lives in.
+pub fn checkpoint_path(dir: &Path, last_seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{last_seq:010}.bin"))
+}
+
+/// The temp file a checkpoint is staged in before its atomic rename.
+fn checkpoint_tmp_path(dir: &Path, last_seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{last_seq:010}.tmp"))
+}
+
+/// Parses `checkpoint-<seq>.bin` file names; anything else (including the
+/// `.tmp` staging residue a crash can leave) returns `None`.
+fn parse_checkpoint_file_name(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("checkpoint-")?.strip_suffix(".bin")?;
+    if digits.len() != 10 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Lists the last-covered sequence numbers of every *installed* checkpoint
+/// in `dir`, ascending. Installed means renamed into place — staging
+/// `.tmp` files are invisible here. Validity is not checked; that happens
+/// per file at read time.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<u64>> {
+    let mut seqs = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(source) => return io_err(dir, source),
+    };
+    for entry in entries {
+        let entry = match entry {
+            Ok(entry) => entry,
+            Err(source) => return io_err(dir, source),
+        };
+        if let Some(seq) = parse_checkpoint_file_name(&entry.path()) {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Encodes a complete checkpoint file: header, CRC-framed payload.
+pub fn encode_checkpoint_file(last_seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(CHECKPOINT_HEADER_BYTES + payload.len() + 16);
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.push(FORMAT_VERSION);
+    out.extend_from_slice(&last_seq.to_le_bytes());
+    write_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Decodes and validates checkpoint file bytes, returning the last covered
+/// sequence number and the payload. Used both on the recovery path (via
+/// [`read_checkpoint`]) and by followers on bytes fetched over
+/// `GET /checkpoint/latest`.
+///
+/// # Errors
+/// A description of the first failed check. Torn and corrupt files are not
+/// distinguished — either way the checkpoint is unusable and the caller
+/// falls back.
+pub fn decode_checkpoint_file(bytes: &[u8]) -> std::result::Result<(u64, Vec<u8>), String> {
+    if bytes.len() < CHECKPOINT_HEADER_BYTES {
+        return Err(format!(
+            "{} bytes is shorter than the {CHECKPOINT_HEADER_BYTES}-byte header",
+            bytes.len()
+        ));
+    }
+    if bytes[..4] != CHECKPOINT_MAGIC {
+        return Err("bad magic".into());
+    }
+    if bytes[4] != FORMAT_VERSION {
+        return Err(format!("unsupported format version {}", bytes[4]));
+    }
+    let last_seq = u64::from_le_bytes(bytes[5..13].try_into().expect("8 header bytes"));
+    let (len, used) = read_varint(&bytes[CHECKPOINT_HEADER_BYTES..])
+        .map_err(|err| format!("payload length: {err}"))?;
+    let payload_at = CHECKPOINT_HEADER_BYTES + used;
+    let Ok(len) = usize::try_from(len) else {
+        return Err(format!("payload length {len} exceeds usize"));
+    };
+    let expected = payload_at
+        .checked_add(len)
+        .and_then(|n| n.checked_add(4))
+        .ok_or_else(|| format!("payload length {len} overflows"))?;
+    if bytes.len() < expected {
+        return Err(format!(
+            "payload truncated: {} bytes present, {expected} framed",
+            bytes.len()
+        ));
+    }
+    if bytes.len() > expected {
+        return Err(format!("{} trailing bytes", bytes.len() - expected));
+    }
+    let payload = &bytes[payload_at..payload_at + len];
+    let stored = u32::from_le_bytes(bytes[expected - 4..].try_into().expect("4 crc bytes"));
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(format!(
+            "payload crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        ));
+    }
+    Ok((last_seq, payload.to_vec()))
+}
+
+/// Durably installs a checkpoint covering segments `..= last_seq`:
+/// write + fsync the staging `.tmp` (sites `ckpt.write` / `ckpt.fsync`),
+/// rename it into place (site `ckpt.rename` models a crash in the window
+/// between the two), fsync the directory. Returns the installed file's
+/// size in bytes.
+///
+/// On any failure the installed name is untouched — either the old
+/// checkpoint (if one existed) or nothing; the staging file may remain as
+/// inert residue that readers ignore and the next install overwrites.
+pub fn write_checkpoint(dir: &Path, last_seq: u64, payload: &[u8]) -> Result<u64> {
+    let bytes = encode_checkpoint_file(last_seq, payload);
+    let tmp = checkpoint_tmp_path(dir, last_seq);
+    write_durable(&tmp, &bytes, "ckpt.write", "ckpt.fsync")?;
+    let path = checkpoint_path(dir, last_seq);
+    if egraph_fault::fired("ckpt.rename").is_some() {
+        return io_err(
+            &path,
+            egraph_fault::injected_io_error("ckpt.rename", "checkpoint rename"),
+        );
+    }
+    if let Err(source) = fs::rename(&tmp, &path) {
+        return io_err(&path, source);
+    }
+    sync_dir(dir)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and validates the checkpoint covering `..= last_seq` (site
+/// `ckpt.read`), returning its payload. The header's sequence must match
+/// the file name's.
+///
+/// # Errors
+/// [`LogError::Io`](crate::log::LogError::Io) if the file cannot be read,
+/// [`LogError::Corrupt`](crate::log::LogError::Corrupt) if any validation
+/// fails — the caller treats both as "this candidate is unusable, fall
+/// back".
+pub fn read_checkpoint(dir: &Path, last_seq: u64) -> Result<Vec<u8>> {
+    let path = checkpoint_path(dir, last_seq);
+    if egraph_fault::fired("ckpt.read").is_some() {
+        return io_err(
+            &path,
+            egraph_fault::injected_io_error("ckpt.read", "checkpoint read"),
+        );
+    }
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(source) => return io_err(&path, source),
+    };
+    let (stored_seq, payload) = match decode_checkpoint_file(&bytes) {
+        Ok(decoded) => decoded,
+        Err(detail) => return corrupt(&path, detail),
+    };
+    if stored_seq != last_seq {
+        return corrupt(
+            &path,
+            format!("file named seq {last_seq} but header says {stored_seq}"),
+        );
+    }
+    Ok(payload)
+}
+
+/// Deletes superseded checkpoints, keeping the newest `retain`, and sweeps
+/// any staging `.tmp` residue older than the newest installed checkpoint.
+/// Returns the retained checkpoints' last-covered sequences (ascending) —
+/// the oldest of which bounds what segment compaction may delete.
+///
+/// Deletion failures are not fatal (an extra old checkpoint costs disk,
+/// not correctness); the directory is fsynced when anything was removed.
+pub fn retain_checkpoints(dir: &Path, retain: usize) -> Result<Vec<u64>> {
+    let seqs = list_checkpoints(dir)?;
+    let retain = retain.max(1);
+    let cut = seqs.len().saturating_sub(retain);
+    let mut removed = false;
+    for &seq in &seqs[..cut] {
+        if fs::remove_file(checkpoint_path(dir, seq)).is_ok() {
+            removed = true;
+        }
+    }
+    if let Some(&newest) = seqs.last() {
+        for seq in list_checkpoint_tmps(dir) {
+            if seq < newest && fs::remove_file(checkpoint_tmp_path(dir, seq)).is_ok() {
+                removed = true;
+            }
+        }
+    }
+    if removed {
+        sync_dir(dir)?;
+    }
+    Ok(seqs[cut..].to_vec())
+}
+
+/// Lists the sequences of staging `.tmp` checkpoint files (crash residue).
+fn list_checkpoint_tmps(dir: &Path) -> Vec<u64> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut seqs = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(digits) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|rest| rest.strip_suffix(".tmp"))
+        {
+            if digits.len() == 10 && digits.bytes().all(|b| b.is_ascii_digit()) {
+                if let Ok(seq) = digits.parse() {
+                    seqs.push(seq);
+                }
+            }
+        }
+    }
+    seqs
+}
+
+/// Total on-disk size of every installed checkpoint in `dir` — the
+/// `/stats` disk-accounting number. Staging residue is excluded (it is
+/// invisible to recovery too).
+pub fn checkpoints_bytes(dir: &Path) -> u64 {
+    list_checkpoints(dir)
+        .map(|seqs| {
+            seqs.iter()
+                .map(|&seq| file_len(&checkpoint_path(dir, seq)))
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogError;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path =
+                std::env::temp_dir().join(format!("egraph-ckpt-{tag}-{}-{n}", std::process::id()));
+            let _ = fs::remove_dir_all(&path);
+            fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn write_read_round_trips_and_lists() {
+        let dir = TempDir::new("roundtrip");
+        let written = write_checkpoint(dir.path(), 3, b"hello graph").unwrap();
+        assert_eq!(written, file_len(&checkpoint_path(dir.path(), 3)));
+        write_checkpoint(dir.path(), 7, b"newer graph").unwrap();
+        assert_eq!(list_checkpoints(dir.path()).unwrap(), vec![3, 7]);
+        assert_eq!(read_checkpoint(dir.path(), 3).unwrap(), b"hello graph");
+        assert_eq!(read_checkpoint(dir.path(), 7).unwrap(), b"newer graph");
+        assert_eq!(
+            checkpoints_bytes(dir.path()),
+            file_len(&checkpoint_path(dir.path(), 3)) + file_len(&checkpoint_path(dir.path(), 7))
+        );
+    }
+
+    #[test]
+    fn every_truncation_and_every_bit_flip_is_rejected() {
+        let bytes = encode_checkpoint_file(5, b"payload bytes here");
+        assert_eq!(decode_checkpoint_file(&bytes).unwrap().0, 5);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_checkpoint_file(&bytes[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x01;
+            // The only byte a flip may survive in is the sequence number
+            // (it is not CRC-covered; the *name* cross-check in
+            // read_checkpoint catches it).
+            if let Ok((seq, payload)) = decode_checkpoint_file(&flipped) {
+                assert_ne!(seq, 5, "flipping byte {i} must change something");
+                assert_eq!(payload, b"payload bytes here");
+                assert!((5..13).contains(&i));
+            }
+        }
+        let mut extended = bytes.clone();
+        extended.push(9);
+        assert!(decode_checkpoint_file(&extended).is_err());
+    }
+
+    #[test]
+    fn a_name_header_seq_mismatch_is_corrupt() {
+        let dir = TempDir::new("mismatch");
+        let bytes = encode_checkpoint_file(9, b"x");
+        fs::write(checkpoint_path(dir.path(), 2), bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint(dir.path(), 2),
+            Err(LogError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn staging_residue_is_invisible_and_swept() {
+        let dir = TempDir::new("residue");
+        // A crash mid-write leaves a torn .tmp; a crash pre-rename leaves a
+        // complete one. Neither is listed.
+        fs::write(checkpoint_tmp_path(dir.path(), 1), b"torn").unwrap();
+        fs::write(
+            checkpoint_tmp_path(dir.path(), 2),
+            encode_checkpoint_file(2, b"complete"),
+        )
+        .unwrap();
+        assert!(list_checkpoints(dir.path()).unwrap().is_empty());
+
+        write_checkpoint(dir.path(), 4, b"real").unwrap();
+        let kept = retain_checkpoints(dir.path(), 2).unwrap();
+        assert_eq!(kept, vec![4]);
+        assert!(!checkpoint_tmp_path(dir.path(), 1).exists());
+        assert!(!checkpoint_tmp_path(dir.path(), 2).exists());
+    }
+
+    #[test]
+    fn retain_keeps_the_newest_n() {
+        let dir = TempDir::new("retain");
+        for seq in [1u64, 4, 9, 12] {
+            write_checkpoint(dir.path(), seq, b"p").unwrap();
+        }
+        assert_eq!(retain_checkpoints(dir.path(), 2).unwrap(), vec![9, 12]);
+        assert_eq!(list_checkpoints(dir.path()).unwrap(), vec![9, 12]);
+        // retain 0 is clamped to 1: the newest checkpoint always survives.
+        assert_eq!(retain_checkpoints(dir.path(), 0).unwrap(), vec![12]);
+    }
+}

@@ -17,7 +17,11 @@
 //!   anything else fails loudly, never silently corrupting the graph);
 //! * **replication** ships the exact sealed bytes to followers, who decode
 //!   and apply them with the same [`segment::decode_segment`] the recovery
-//!   path uses.
+//!   path uses;
+//! * **checkpoints** ([`checkpoint`]) bound both: an atomically installed
+//!   `checkpoint-<seq>.bin` absorbs the segment prefix `..= seq`, so
+//!   recovery replays only the suffix and compaction
+//!   ([`log::EventLog::compact_through`]) may delete the covered files.
 //!
 //! This crate is graph-agnostic on purpose: it stores and retrieves
 //! [`egraph_io::binary::LogRecord`]s and knows nothing about `LiveGraph`.
@@ -27,8 +31,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod log;
 pub mod segment;
 
+pub use checkpoint::{
+    checkpoint_path, checkpoints_bytes, decode_checkpoint_file, encode_checkpoint_file,
+    list_checkpoints, read_checkpoint, retain_checkpoints, write_checkpoint,
+};
 pub use log::{read_log_init, EventLog, LogError, RecoveredLog, Sealed};
 pub use segment::{decode_segment, encode_segment, SealedSegment, SegmentError};

@@ -38,6 +38,10 @@
 //! | `log.seal.fsync` | segment fsync fails after a complete write |
 //! | `log.dir.fsync` | directory fsync fails (file name not durable) |
 //! | `log.segment.read` | re-reading a sealed segment for shipping fails |
+//! | `log.compact.delete` | deleting a checkpoint-covered segment fails |
+//!
+//! (The checkpoint files that make compaction legal have their own sites —
+//! see [`crate::checkpoint`].)
 
 use std::fs::{self, File};
 use std::io::{self, Write};
@@ -72,6 +76,18 @@ pub enum LogError {
         /// What was wrong.
         detail: String,
     },
+    /// The manifest — the log's birth certificate — is torn or corrupt.
+    /// Unlike a torn segment tail there is no crash that legitimately
+    /// produces this (the manifest is written once, fsynced, before any
+    /// seal), and without a readable `Init` record nothing about the log
+    /// can be trusted, so it gets its own loud, file-naming error instead
+    /// of being folded into generic corruption.
+    Manifest {
+        /// The manifest file.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for LogError {
@@ -81,6 +97,9 @@ impl std::fmt::Display for LogError {
             LogError::Corrupt { path, detail } => {
                 write!(f, "log corrupt at {}: {detail}", path.display())
             }
+            LogError::Manifest { path, detail } => {
+                write!(f, "log manifest unusable at {}: {detail}", path.display())
+            }
         }
     }
 }
@@ -89,7 +108,7 @@ impl std::error::Error for LogError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LogError::Io { source, .. } => Some(source),
-            LogError::Corrupt { .. } => None,
+            LogError::Corrupt { .. } | LogError::Manifest { .. } => None,
         }
     }
 }
@@ -97,14 +116,14 @@ impl std::error::Error for LogError {
 /// A [`LogError`] result.
 pub type Result<T> = std::result::Result<T, LogError>;
 
-fn io_err<T>(path: &Path, source: io::Error) -> Result<T> {
+pub(crate) fn io_err<T>(path: &Path, source: io::Error) -> Result<T> {
     Err(LogError::Io {
         path: path.to_path_buf(),
         source,
     })
 }
 
-fn corrupt<T>(path: &Path, detail: impl Into<String>) -> Result<T> {
+pub(crate) fn corrupt<T>(path: &Path, detail: impl Into<String>) -> Result<T> {
     Err(LogError::Corrupt {
         path: path.to_path_buf(),
         detail: detail.into(),
@@ -128,11 +147,17 @@ pub struct RecoveredLog {
     /// The log, positioned to continue appending after the last durable
     /// segment.
     pub log: EventLog,
-    /// Every durably sealed segment, in sequence order — the replay input.
+    /// Every durably sealed segment still on disk, in sequence order — the
+    /// replay input. After compaction this starts at `first_seq`, not 0;
+    /// whether the missing prefix is legal is the caller's call (it is iff
+    /// a valid checkpoint covers it).
     pub segments: Vec<SealedSegment>,
     /// Whether a torn (partially written, never acknowledged) final
     /// segment file was found and truncated away.
     pub dropped_torn_tail: bool,
+    /// Sequence number of the oldest segment still on disk (equals the next
+    /// sequence number when no segments remain).
+    pub first_seq: u64,
 }
 
 /// A durable segmented event log rooted at one directory. See the
@@ -141,6 +166,7 @@ pub struct RecoveredLog {
 pub struct EventLog {
     dir: PathBuf,
     init: LogRecord,
+    first_seq: u64,
     next_seq: u64,
     pending: Vec<LogRecord>,
 }
@@ -182,6 +208,7 @@ impl EventLog {
         Ok(EventLog {
             dir: dir.to_path_buf(),
             init,
+            first_seq: 0,
             next_seq: 0,
             pending: Vec::new(),
         })
@@ -189,6 +216,14 @@ impl EventLog {
 
     /// Opens an existing log, validating the whole segment chain and
     /// truncating a torn tail (see the [module docs](self)).
+    ///
+    /// The chain must be contiguous but — since compaction deletes
+    /// checkpoint-covered prefixes — need not start at 0; the first present
+    /// sequence is reported as [`RecoveredLog::first_seq`] and the caller
+    /// decides whether the missing prefix is covered. A hole *inside* the
+    /// chain is still corruption. When every segment was compacted away the
+    /// sequence counter resumes from the newest checkpoint file's name, so
+    /// fresh seals never reuse a covered sequence number.
     pub fn open(dir: impl AsRef<Path>) -> Result<RecoveredLog> {
         let dir = dir.as_ref();
         let manifest_path = dir.join(MANIFEST_FILE);
@@ -216,11 +251,13 @@ impl EventLog {
         let mut segments = Vec::with_capacity(seqs.len());
         let mut dropped_torn_tail = false;
         let last_index = seqs.len().wrapping_sub(1);
+        let first_seq = seqs.first().map_or(0, |&(seq, _)| seq);
         for (i, (seq, path)) in seqs.iter().enumerate() {
-            if *seq != i as u64 {
+            let expected = first_seq + i as u64;
+            if *seq != expected {
                 return corrupt(
                     dir,
-                    format!("segment sequence gap: expected seq {i}, found {seq}"),
+                    format!("segment sequence gap: expected seq {expected}, found {seq}"),
                 );
             }
             let bytes = match fs::read(path) {
@@ -252,16 +289,31 @@ impl EventLog {
             }
         }
 
-        let next_seq = segments.len() as u64;
+        // The sequence resumes after the last surviving segment — or, when
+        // compaction deleted every segment a checkpoint covers, after the
+        // newest checkpoint's coverage (its file name records the last
+        // sequence it absorbed). Without this, a fully compacted log would
+        // hand out already-covered sequence numbers to fresh seals.
+        let mut next_seq = first_seq + segments.len() as u64;
+        for seq in crate::checkpoint::list_checkpoints(dir)? {
+            next_seq = next_seq.max(seq + 1);
+        }
+        let first_seq = if segments.is_empty() {
+            next_seq
+        } else {
+            first_seq
+        };
         Ok(RecoveredLog {
             log: EventLog {
                 dir: dir.to_path_buf(),
                 init,
+                first_seq,
                 next_seq,
                 pending: Vec::new(),
             },
             segments,
             dropped_torn_tail,
+            first_seq,
         })
     }
 
@@ -281,6 +333,7 @@ impl EventLog {
                 log: Self::create(dir, num_nodes, directed)?,
                 segments: Vec::new(),
                 dropped_torn_tail: false,
+                first_seq: 0,
             })
         }
     }
@@ -304,6 +357,67 @@ impl EventLog {
     /// Number of durably sealed segments (also the next sequence number).
     pub fn segments_sealed(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Sequence number of the oldest segment still on disk. Equals
+    /// [`EventLog::segments_sealed`] when compaction has deleted every
+    /// segment (nothing is left to replay or ship).
+    pub fn first_seq(&self) -> u64 {
+        self.first_seq
+    }
+
+    /// Deletes every segment with `seq <= through`, oldest first, fsyncing
+    /// the directory afterwards. The caller must only compact sequences a
+    /// durably installed checkpoint covers — this method just deletes.
+    ///
+    /// Returns how many segment files were removed. Deletion proceeds in
+    /// ascending sequence order so a failure partway (site
+    /// `log.compact.delete`) leaves the surviving chain contiguous — a
+    /// half-compacted log reopens fine.
+    pub fn compact_through(&mut self, through: u64) -> Result<u64> {
+        let mut removed = 0u64;
+        let stop = self.next_seq.min(through.saturating_add(1));
+        let mut seq = self.first_seq;
+        while seq < stop {
+            let path = segment_path(&self.dir, seq);
+            if egraph_fault::fired("log.compact.delete").is_some() {
+                if removed > 0 {
+                    sync_dir(&self.dir)?;
+                }
+                return io_err(
+                    &path,
+                    egraph_fault::injected_io_error("log.compact.delete", "compaction delete"),
+                );
+            }
+            match fs::remove_file(&path) {
+                Ok(()) => removed += 1,
+                // Already gone (e.g. a crashed earlier compaction got this
+                // far): the goal state, not an error.
+                Err(source) if source.kind() == io::ErrorKind::NotFound => {}
+                Err(source) => {
+                    if removed > 0 {
+                        sync_dir(&self.dir)?;
+                    }
+                    return io_err(&path, source);
+                }
+            }
+            seq += 1;
+            self.first_seq = seq;
+        }
+        if removed > 0 {
+            sync_dir(&self.dir)?;
+        }
+        Ok(removed)
+    }
+
+    /// Total on-disk size of the surviving segment files plus the manifest
+    /// — the `/stats` disk-accounting number.
+    pub fn segments_bytes(&self) -> u64 {
+        let mut total = file_len(&self.dir.join(MANIFEST_FILE));
+        for seq in self.first_seq..self.next_seq {
+            total += file_len(&segment_path(&self.dir, seq));
+        }
+        total
     }
 
     /// Number of event records buffered for the open (unsealed) segment.
@@ -367,6 +481,11 @@ pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("seg-{seq:010}.seg"))
 }
 
+/// Size of the file at `path`, 0 if it does not exist.
+pub(crate) fn file_len(path: &Path) -> u64 {
+    fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
 /// Parses `seg-<seq>.seg` file names; anything else returns `None`.
 fn parse_segment_file_name(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
@@ -377,29 +496,37 @@ fn parse_segment_file_name(path: &Path) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// Reads and validates the manifest, returning its `Init` record.
+/// Reads and validates the manifest, returning its `Init` record. Any torn
+/// or corrupt manifest is [`LogError::Manifest`], naming the file — no
+/// crash legitimately produces one, so there is no quiet fallback.
 fn read_manifest(path: &Path) -> Result<LogRecord> {
+    let manifest = |detail: String| -> Result<LogRecord> {
+        Err(LogError::Manifest {
+            path: path.to_path_buf(),
+            detail,
+        })
+    };
     let bytes = match fs::read(path) {
         Ok(bytes) => bytes,
         Err(source) => return io_err(path, source),
     };
     if bytes.len() < 5 || bytes[..4] != MANIFEST_MAGIC {
-        return corrupt(path, "bad manifest magic");
+        return manifest("bad manifest magic".into());
     }
     if bytes[4] != crate::segment::FORMAT_VERSION {
-        return corrupt(path, format!("unsupported format version {}", bytes[4]));
+        return manifest(format!("unsupported format version {}", bytes[4]));
     }
     let (record, consumed) = match decode_record(&bytes[5..]) {
         Ok(decoded) => decoded,
-        Err(BinaryError::Truncated) => return corrupt(path, "manifest truncated"),
-        Err(err) => return corrupt(path, err.to_string()),
+        Err(BinaryError::Truncated) => return manifest("manifest truncated".into()),
+        Err(err) => return manifest(err.to_string()),
     };
     if 5 + consumed != bytes.len() {
-        return corrupt(path, "trailing bytes after the init record");
+        return manifest("trailing bytes after the init record".into());
     }
     match record {
         init @ LogRecord::Init { .. } => Ok(init),
-        other => corrupt(path, format!("manifest holds {other:?}, not Init")),
+        other => manifest(format!("manifest holds {other:?}, not Init")),
     }
 }
 
@@ -410,7 +537,12 @@ fn read_manifest(path: &Path) -> Result<LogRecord> {
 /// overwrites it cleanly); an *error* at `fsync_site` fails after the
 /// bytes are fully written — the durability ack is lost but the file on
 /// disk is complete and valid.
-fn write_durable(path: &Path, bytes: &[u8], write_site: &str, fsync_site: &str) -> Result<()> {
+pub(crate) fn write_durable(
+    path: &Path,
+    bytes: &[u8],
+    write_site: &str,
+    fsync_site: &str,
+) -> Result<()> {
     let result = (|| {
         let mut file = File::create(path)?;
         match egraph_fault::fired(write_site) {
@@ -441,7 +573,7 @@ fn write_durable(path: &Path, bytes: &[u8], write_site: &str, fsync_site: &str) 
 /// Fsyncs a directory so a freshly created (or removed) file name is
 /// durable — on Linux, file creation is only durable once the parent
 /// directory has been synced.
-fn sync_dir(dir: &Path) -> Result<()> {
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
     if egraph_fault::fired("log.dir.fsync").is_some() {
         return io_err(
             dir,
@@ -644,6 +776,115 @@ mod tests {
         let decoded = decode_segment(&sealed.bytes).unwrap();
         assert_eq!(decoded.label, 5);
         assert_eq!(decoded.events, vec![insert(0, 1)]);
+    }
+
+    #[test]
+    fn a_torn_or_corrupt_manifest_fails_with_a_dedicated_error_naming_the_file() {
+        type Damage<'a> = &'a dyn Fn(&mut Vec<u8>);
+        let corruptions: [Damage; 4] = [
+            &|bytes| bytes.truncate(3),                  // torn inside the magic
+            &|bytes| bytes.truncate(bytes.len() - 2),    // torn inside the record
+            &|bytes| bytes[0] = b'X',                    // wrong magic
+            &|bytes| *bytes.last_mut().unwrap() ^= 0x08, // CRC flip
+        ];
+        for (i, damage) in corruptions.iter().enumerate() {
+            let dir = TempDir::new("manifest");
+            EventLog::create(dir.path(), 4, true).unwrap();
+            let manifest = dir.path().join(MANIFEST_FILE);
+            let mut bytes = fs::read(&manifest).unwrap();
+            damage(&mut bytes);
+            fs::write(&manifest, &bytes).unwrap();
+            let err = EventLog::open(dir.path()).unwrap_err();
+            assert!(
+                matches!(err, LogError::Manifest { .. }),
+                "damage {i} must be LogError::Manifest, got {err:?}"
+            );
+            let message = err.to_string();
+            assert!(
+                message.contains(MANIFEST_FILE),
+                "damage {i}: the error must name the manifest file: {message}"
+            );
+            // read_log_init takes the same loud path.
+            assert!(matches!(
+                read_log_init(dir.path()),
+                Err(LogError::Manifest { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn compaction_deletes_a_covered_prefix_and_reopen_accepts_the_suffix() {
+        let dir = TempDir::new("compact");
+        let mut log = EventLog::create(dir.path(), 4, true).unwrap();
+        for label in 0..4 {
+            log.append(insert(0, 1));
+            log.seal(label).unwrap();
+        }
+        assert_eq!(log.first_seq(), 0);
+        assert_eq!(log.compact_through(1).unwrap(), 2);
+        assert_eq!(log.first_seq(), 2);
+        assert!(!segment_path(dir.path(), 0).exists());
+        assert!(!segment_path(dir.path(), 1).exists());
+        // Compacting the same range again is a no-op, not an error.
+        assert_eq!(log.compact_through(1).unwrap(), 0);
+        drop(log);
+
+        let recovered = EventLog::open(dir.path()).unwrap();
+        assert_eq!(recovered.first_seq, 2);
+        assert_eq!(recovered.log.first_seq(), 2);
+        assert_eq!(recovered.log.segments_sealed(), 4);
+        assert_eq!(recovered.segments.len(), 2);
+        assert_eq!(recovered.segments[0].seq, 2);
+
+        // A hole *inside* the surviving chain is still corruption: with
+        // segments {2, 3} on disk, removing 3 and adding 4 leaves {2, 4}.
+        fs::write(
+            segment_path(dir.path(), 4),
+            encode_segment(4, &[insert(0, 1)], 99),
+        )
+        .unwrap();
+        fs::remove_file(segment_path(dir.path(), 3)).unwrap();
+        assert!(matches!(
+            EventLog::open(dir.path()),
+            Err(LogError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn a_fully_compacted_log_resumes_its_sequence_from_the_checkpoint_name() {
+        let dir = TempDir::new("resume");
+        let mut log = EventLog::create(dir.path(), 4, true).unwrap();
+        for label in 0..3 {
+            log.append(insert(0, 1));
+            log.seal(label).unwrap();
+        }
+        crate::checkpoint::write_checkpoint(dir.path(), 2, b"covers 0..=2").unwrap();
+        assert_eq!(log.compact_through(2).unwrap(), 3);
+        drop(log);
+
+        let recovered = EventLog::open(dir.path()).unwrap();
+        assert!(recovered.segments.is_empty());
+        assert_eq!(recovered.first_seq, 3);
+        // The next seal must not reuse a covered sequence number.
+        let mut log = recovered.log;
+        log.append(insert(1, 2));
+        assert_eq!(log.seal(10).unwrap().seq, 3);
+    }
+
+    #[test]
+    fn segments_bytes_tracks_the_surviving_files() {
+        let dir = TempDir::new("bytes");
+        let mut log = EventLog::create(dir.path(), 4, true).unwrap();
+        let manifest_len = fs::metadata(dir.path().join(MANIFEST_FILE)).unwrap().len();
+        assert_eq!(log.segments_bytes(), manifest_len);
+        log.append(insert(0, 1));
+        let sealed = log.seal(0).unwrap();
+        assert_eq!(
+            log.segments_bytes(),
+            manifest_len + sealed.bytes.len() as u64
+        );
+        log.compact_through(0).unwrap();
+        assert_eq!(log.segments_bytes(), manifest_len);
     }
 
     #[test]

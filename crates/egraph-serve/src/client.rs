@@ -220,6 +220,40 @@ impl Client {
         let init = parse_tail_init(init_frame.trim())?;
         Ok((init, LogTail { reader }))
     }
+
+    /// `GET /checkpoint/latest` against a durable leader: the newest
+    /// installed checkpoint, already unframed and CRC-checked. Returns the
+    /// checkpoint's sequence number (the last log segment it absorbs) and
+    /// its payload bytes — decode with [`egraph_io::decode_checkpoint`].
+    /// `Ok(None)` means the leader has no checkpoint yet; bootstrap by
+    /// tailing from 0 instead.
+    pub fn fetch_checkpoint(&self) -> std::io::Result<Option<(u64, Vec<u8>)>> {
+        let stream = self.send_request("GET", "/checkpoint/latest", "")?;
+        let mut reader = BufReader::new(stream);
+        let head = http::read_response_head(&mut reader)?;
+        let raw = match head.framing {
+            http::BodyFraming::Sized(n) => {
+                let mut raw = vec![0u8; n];
+                std::io::Read::read_exact(&mut reader, &mut raw)?;
+                raw
+            }
+            http::BodyFraming::Chunked => {
+                return Err(invalid("checkpoint responses must be sized".into()))
+            }
+        };
+        match head.status {
+            200 => {}
+            404 => return Ok(None),
+            status => {
+                return Err(std::io::Error::other(format!(
+                    "checkpoint fetch rejected with {status}: {}",
+                    String::from_utf8_lossy(&raw)
+                )))
+            }
+        }
+        let (last_seq, payload) = egraph_log::decode_checkpoint_file(&raw).map_err(invalid)?;
+        Ok(Some((last_seq, payload)))
+    }
 }
 
 /// The first frame of a tail stream: how to construct the follower's graph

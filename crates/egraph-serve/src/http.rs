@@ -170,6 +170,7 @@ pub fn status_reason(status: u16) -> &'static str {
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        410 => "Gone",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
@@ -202,6 +203,20 @@ pub fn write_response_with_retry_after(
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a complete `Connection: close` response carrying raw bytes
+/// (`application/octet-stream`) — how `GET /checkpoint/latest` ships a
+/// checkpoint file verbatim, CRC framing included.
+pub fn write_response_bytes(stream: &mut impl Write, status: u16, body: &[u8]) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/octet-stream\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
     stream.flush()
 }
 
@@ -526,6 +541,24 @@ mod tests {
         assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), "{\"seq\": 0}\n");
         assert_eq!(read_chunk_bytes(&mut reader).unwrap().unwrap(), segment);
         assert_eq!(read_chunk_bytes(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn binary_responses_round_trip_every_byte() {
+        let body: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        let mut wire = Vec::new();
+        write_response_bytes(&mut wire, 200, &body).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let head = read_response_head(&mut reader).unwrap();
+        assert_eq!(head.status, 200);
+        match head.framing {
+            BodyFraming::Sized(n) => {
+                let mut raw = vec![0u8; n];
+                std::io::Read::read_exact(&mut reader, &mut raw).unwrap();
+                assert_eq!(raw, body);
+            }
+            BodyFraming::Chunked => panic!("binary responses are sized, not chunked"),
+        }
     }
 
     #[test]

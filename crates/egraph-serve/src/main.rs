@@ -28,12 +28,15 @@ struct Args {
     retry_after: Option<u64>,
     forward_attempts: Option<u32>,
     forward_backoff_ms: Option<u64>,
+    checkpoint_every: Option<u64>,
+    retain_checkpoints: Option<usize>,
 }
 
 const USAGE: &str = "usage: egraph-serve [--data-dir DIR | --follow HOST:PORT] \
                      [--nodes N] [--undirected] [--port P] \
                      [--max-inflight N] [--retry-after SECS] \
-                     [--forward-attempts N] [--forward-backoff-ms MS]";
+                     [--forward-attempts N] [--forward-backoff-ms MS] \
+                     [--checkpoint-every N] [--retain-checkpoints N]";
 
 const HELP: &str = "\
 Serve evolving-graph search over HTTP, in one of three roles.
@@ -62,7 +65,15 @@ Follower write-forwarding:
                         before answering 503              [default: 4]
   --forward-backoff-ms MS
                         base backoff between attempts (doubles, jittered);
-                        also the tail reconnect pause     [default: 50]";
+                        also the tail reconnect pause     [default: 50]
+
+Checkpointing (durable leader only):
+  --checkpoint-every N  install a checkpoint of the sealed graph every N
+                        seals and compact covered segments; 0 disables
+                                                          [default: 0]
+  --retain-checkpoints N
+                        installed checkpoints kept on disk; must be >= 1
+                                                          [default: 2]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -75,6 +86,8 @@ fn parse_args() -> Result<Args, String> {
         retry_after: None,
         forward_attempts: None,
         forward_backoff_ms: None,
+        checkpoint_every: None,
+        retain_checkpoints: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -100,6 +113,10 @@ fn parse_args() -> Result<Args, String> {
             "--forward-attempts" => args.forward_attempts = Some(parsed(&flag, value("count")?)?),
             "--forward-backoff-ms" => {
                 args.forward_backoff_ms = Some(parsed(&flag, value("milliseconds")?)?)
+            }
+            "--checkpoint-every" => args.checkpoint_every = Some(parsed(&flag, value("count")?)?),
+            "--retain-checkpoints" => {
+                args.retain_checkpoints = Some(parsed(&flag, value("count")?)?)
             }
             "--help" | "-h" => {
                 println!("{USAGE}\n\n{HELP}");
@@ -127,6 +144,10 @@ fn run(args: Args) -> Result<Server, String> {
             .forward_backoff_ms
             .map(Duration::from_millis)
             .unwrap_or(defaults.forward_backoff),
+        checkpoint_every: args.checkpoint_every.unwrap_or(defaults.checkpoint_every),
+        retain_checkpoints: args
+            .retain_checkpoints
+            .unwrap_or(defaults.retain_checkpoints),
         ..defaults
     };
     config.validate()?;
@@ -136,9 +157,15 @@ fn run(args: Args) -> Result<Server, String> {
     if let Some(dir) = args.data_dir {
         let recovered = DurableGraph::open_or_create(&dir, args.nodes, !args.undirected)
             .map_err(|e| e.to_string())?;
+        let from_checkpoint = match recovered.checkpoint_seq {
+            Some(seq) => format!("checkpoint {seq} + "),
+            None => String::new(),
+        };
         eprintln!(
-            "egraph-serve: data dir {dir}: {} segment(s) replayed{}",
+            "egraph-serve: data dir {dir}: recovered from {from_checkpoint}{} segment(s) \
+             ({} event(s) replayed){}",
             recovered.segments_replayed,
+            recovered.recovery_replayed_events,
             if recovered.dropped_torn_tail {
                 ", torn tail truncated"
             } else {

@@ -17,6 +17,7 @@
 //! | `GET /stats` | — | cache + server + log counters |
 //! | `GET /health` | — | `{"ok": true, ...}` |
 //! | `GET /log/tail?from=seq` | — | chunked stream: init frame, then per sealed segment a JSON header + the raw segment bytes |
+//! | `GET /checkpoint/latest` | — | the newest installed checkpoint file, byte-for-byte (`404` when none exists) |
 //!
 //! Malformed bodies get structured `400`s (`{"error": ...}`), oversized
 //! bodies `413`, semantically failing queries (root outside the sealed
@@ -57,6 +58,15 @@
 //! the disk. A crash can only lose events whose seal was never
 //! acknowledged; [`egraph_stream::DurableGraph::open`] replays the rest.
 //!
+//! With [`ServerConfig::checkpoint_every`] set, every N-th seal also
+//! serializes the sealed CSR state into an atomically installed
+//! `checkpoint-<seq>.bin`, prunes checkpoints beyond
+//! [`ServerConfig::retain_checkpoints`], and compacts the segment files
+//! the oldest surviving checkpoint covers — recovery then replays only the
+//! bounded suffix sealed after the newest valid checkpoint
+//! (`recovery_replayed_events` in `/stats` is the proof). A checkpoint
+//! failure is logged and skipped: the seal it rode on is already durable.
+//!
 //! [`Server::start_follower`] runs the read-scaling side: it opens
 //! `GET /log/tail?from=version` against a leader, rebuilds its own
 //! [`LiveGraph`] from the init frame, and applies each sealed segment the
@@ -69,6 +79,11 @@
 //! are served locally. `follower_lag_seals` in `/stats` (and on every push
 //! frame) reports how far behind the leader's latest known seal this
 //! server is; the tail thread reconnects with backoff until shutdown.
+//! Bootstrap is checkpoint-first (`GET /checkpoint/latest` restores the
+//! leader's sealed CSR state directly, then only the suffix is tailed),
+//! and a follower whose resume point the leader compacted away (`410` on
+//! tail, or a sequence gap) re-bootstraps from the leader's checkpoint
+//! instead of halting.
 //!
 //! ## Overload
 //!
@@ -90,7 +105,8 @@
 //! chaos suite manufactures overload deterministically) and
 //! `serve.ingest.forward` (fail a follower's forward before it reaches
 //! the leader). The layers below add their own sites (`log.*`,
-//! `durable.publish`).
+//! `durable.publish`, and the checkpoint lifecycle's `ckpt.write`,
+//! `ckpt.fsync`, `ckpt.rename`, `ckpt.read`, `log.compact.delete`).
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -98,6 +114,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::Duration;
 
+use egraph_core::csr::CsrAdjacency;
+use egraph_io::checkpoint::{decode_checkpoint, encode_checkpoint};
 use egraph_log::{decode_segment, EventLog, Sealed};
 use egraph_query::codec::{descriptor_from_json, search_result_to_json};
 use egraph_query::QueryDescriptor;
@@ -138,6 +156,12 @@ pub struct ServerConfig {
     /// Base backoff between forward attempts (doubles, jittered), and the
     /// follower tail thread's pause between reconnect attempts.
     pub forward_backoff: Duration,
+    /// On a durable leader: write a checkpoint (and compact covered
+    /// segments) every this many seals. `0` disables checkpointing.
+    pub checkpoint_every: u64,
+    /// How many installed checkpoints to keep on disk; must be at least 1
+    /// (the newest checkpoint is what covers the compacted prefix).
+    pub retain_checkpoints: usize,
 }
 
 impl Default for ServerConfig {
@@ -151,6 +175,8 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             forward_attempts: 4,
             forward_backoff: Duration::from_millis(50),
+            checkpoint_every: 0,
+            retain_checkpoints: 2,
         }
     }
 }
@@ -168,6 +194,13 @@ impl ServerConfig {
         }
         if self.max_body_bytes == 0 {
             return Err("max_body_bytes must be >= 1".into());
+        }
+        if self.retain_checkpoints == 0 {
+            return Err(
+                "retain_checkpoints must be >= 1 (compaction may only delete segments \
+                 a surviving checkpoint covers)"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -208,6 +241,21 @@ pub struct ServerStats {
     /// On a follower: `/ingest` forwards that exhausted their retry budget
     /// without reaching the leader (answered `503` locally).
     pub forward_failures: u64,
+    /// Checkpoints durably installed by this server (policy-driven, at
+    /// seal time). Zero without a log or with `checkpoint_every: 0`.
+    pub checkpoints_written: u64,
+    /// Segment files deleted by compaction after their covering checkpoint
+    /// was installed.
+    pub segments_compacted: u64,
+    /// Events replayed from segment files when this server's graph was
+    /// recovered at boot — the bounded-replay proof: with checkpointing
+    /// enabled this stays at most `checkpoint_every` seals' worth of
+    /// events, however long the log's history grows.
+    pub recovery_replayed_events: u64,
+    /// Bytes currently on disk in manifest + segment files (gauge).
+    pub segments_bytes: u64,
+    /// Bytes currently on disk in installed checkpoint files (gauge).
+    pub checkpoint_bytes: u64,
 }
 
 /// One standing query: the held-open connection, what it asked for, and
@@ -263,6 +311,9 @@ struct Shared {
     tail_read_errors: AtomicU64,
     ingest_forwarded: AtomicU64,
     forward_failures: AtomicU64,
+    checkpoints_written: AtomicU64,
+    segments_compacted: AtomicU64,
+    recovery_replayed_events: AtomicU64,
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -322,8 +373,14 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let segments_replayed = recovered.segments_replayed;
+        let recovery_replayed_events = recovered.recovery_replayed_events;
         let (live, log) = recovered.graph.into_parts();
-        Self::start_inner(live, config, Some(log), None, segments_replayed)
+        let server = Self::start_inner(live, config, Some(log), None, segments_replayed)?;
+        server
+            .shared
+            .recovery_replayed_events
+            .store(recovery_replayed_events, Ordering::Relaxed);
+        Ok(server)
     }
 
     /// Starts a **follower** replicating from the durable leader at
@@ -334,16 +391,43 @@ impl Server {
     /// frame read) before this returns; segment catch-up and live tailing
     /// continue on a background thread that reconnects with backoff until
     /// shutdown.
+    ///
+    /// Bootstrap is checkpoint-first: the follower fetches
+    /// `GET /checkpoint/latest`, restores the leader's sealed CSR state
+    /// directly when one exists, and tails only the segment suffix sealed
+    /// after it. A leader without checkpoints (or an unusable one) is
+    /// tailed from segment 0 as before.
     pub fn start_follower(leader: SocketAddr, config: ServerConfig) -> std::io::Result<Server> {
         // Bootstrap synchronously so a bad leader address fails here, not
         // silently on a background thread.
         let client = Client::new(leader).with_timeout(config.io_timeout);
-        let (init, tail) = client.tail_log(0)?;
-        let live = if init.directed {
-            LiveGraph::directed(init.num_nodes)
-        } else {
-            LiveGraph::undirected(init.num_nodes)
+        let bootstrapped = match client.fetch_checkpoint() {
+            Ok(Some((last_seq, payload))) => live_from_checkpoint(last_seq, &payload).ok(),
+            // No checkpoint (404) or an unreachable/odd answer: tail from 0
+            // — a dead leader fails loudly on the tail_log below.
+            Ok(None) | Err(_) => None,
         };
+        let from = bootstrapped.as_ref().map_or(0, LiveGraph::version);
+        let (init, tail) = client.tail_log(from)?;
+        let fresh = |init: &TailInit| {
+            if init.directed {
+                LiveGraph::directed(init.num_nodes)
+            } else {
+                LiveGraph::undirected(init.num_nodes)
+            }
+        };
+        let (live, init, tail) = match bootstrapped {
+            Some(live) if live.graph().is_directed() == init.directed => (live, init, tail),
+            Some(_) => {
+                // The checkpoint contradicts the leader's init frame:
+                // distrust it and re-tail the full log from 0.
+                drop(tail);
+                let (init, tail) = client.tail_log(0)?;
+                (fresh(&init), init, tail)
+            }
+            None => (fresh(&init), init, tail),
+        };
+        let lag = init.latest.saturating_sub(live.version());
         let ctl = FollowerCtl {
             leader,
             tail_stream: Mutex::new(None),
@@ -352,7 +436,7 @@ impl Server {
         server
             .shared
             .follower_lag_seals
-            .store(init.latest, Ordering::Relaxed);
+            .store(lag, Ordering::Relaxed);
         let tail_shared = Arc::clone(&server.shared);
         server.tail_thread = Some(
             std::thread::Builder::new()
@@ -402,6 +486,9 @@ impl Server {
             tail_read_errors: AtomicU64::new(0),
             ingest_forwarded: AtomicU64::new(0),
             forward_failures: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            segments_compacted: AtomicU64::new(0),
+            recovery_replayed_events: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -428,6 +515,7 @@ impl Server {
     /// The server's own counters — what `/stats` reports under `"server"`
     /// and `"log"`.
     pub fn stats(&self) -> ServerStats {
+        let (segments_bytes, checkpoint_bytes) = disk_bytes(&self.shared);
         ServerStats {
             requests: self.shared.requests.load(Ordering::Relaxed),
             bad_requests: self.shared.bad_requests.load(Ordering::Relaxed),
@@ -440,6 +528,11 @@ impl Server {
             tail_read_errors: self.shared.tail_read_errors.load(Ordering::Relaxed),
             ingest_forwarded: self.shared.ingest_forwarded.load(Ordering::Relaxed),
             forward_failures: self.shared.forward_failures.load(Ordering::Relaxed),
+            checkpoints_written: self.shared.checkpoints_written.load(Ordering::Relaxed),
+            segments_compacted: self.shared.segments_compacted.load(Ordering::Relaxed),
+            recovery_replayed_events: self.shared.recovery_replayed_events.load(Ordering::Relaxed),
+            segments_bytes,
+            checkpoint_bytes,
         }
     }
 
@@ -616,6 +709,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         ("POST", "/subscribe") => handle_subscribe(shared, stream, &request),
         ("POST", "/ingest") => handle_ingest(shared, stream, &request),
         ("GET", "/log/tail") => handle_tail(shared, stream, query),
+        ("GET", "/checkpoint/latest") => handle_checkpoint_latest(shared, stream),
         ("GET", "/stats") => {
             let body = stats_body(shared);
             let _ = http::write_response(&mut stream, 200, &body);
@@ -629,7 +723,11 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 format!("{{\"ok\": true, \"version\": {version}, \"num_sealed\": {num_sealed}}}");
             let _ = http::write_response(&mut stream, 200, &body);
         }
-        (_, "/query" | "/subscribe" | "/ingest" | "/stats" | "/health" | "/log/tail") => {
+        (
+            _,
+            "/query" | "/subscribe" | "/ingest" | "/stats" | "/health" | "/log/tail"
+            | "/checkpoint/latest",
+        ) => {
             shared.bad_requests.fetch_add(1, Ordering::Relaxed);
             let message = format!("method {} not allowed here", request.method);
             let _ = http::write_response(&mut stream, 405, &http::error_body(&message));
@@ -998,6 +1096,7 @@ fn handle_ingest(shared: &Arc<Shared>, mut stream: TcpStream, request: &Request)
             push_segment_to_tailers(shared, segment);
         }
         broadcast_frames(shared, label);
+        maybe_checkpoint(shared, version);
     }
     let sealed_json = match sealed_index {
         Some(index) => index.to_string(),
@@ -1100,6 +1199,49 @@ fn broadcast_frames(shared: &Arc<Shared>, label: i64) {
         .fetch_add(frames_pushed, Ordering::Relaxed);
 }
 
+/// Policy-driven checkpointing, run under `seal_lock` right after a seal
+/// was published and broadcast. Serializes the sealed CSR state, installs
+/// it atomically as `checkpoint-<seq>.bin`, prunes checkpoints beyond the
+/// retention bound, and compacts every segment the oldest *surviving*
+/// checkpoint covers. Failure is logged, never surfaced to the ingesting
+/// client — the seal itself is already fsynced and acknowledged; a
+/// checkpoint only bounds how much of the log future recoveries replay.
+fn maybe_checkpoint(shared: &Arc<Shared>, version: u64) {
+    let every = shared.config.checkpoint_every;
+    if every == 0 || version == 0 || !version.is_multiple_of(every) {
+        return;
+    }
+    let Some(log) = shared.log.as_ref() else {
+        return;
+    };
+    let last_seq = version - 1;
+    let payload = {
+        let live = read_live(shared);
+        encode_checkpoint(&live.graph().to_parts(), version)
+    };
+    let result: Result<u64, egraph_log::LogError> = (|| {
+        let mut log = lock(log);
+        egraph_log::write_checkpoint(log.dir(), last_seq, &payload)?;
+        let retained = egraph_log::retain_checkpoints(log.dir(), shared.config.retain_checkpoints)?;
+        // Deletion strictly follows the covering checkpoint's install:
+        // only segments the oldest checkpoint still on disk covers go.
+        let oldest = retained.first().copied().unwrap_or(last_seq);
+        log.compact_through(oldest)
+    })();
+    match result {
+        Ok(deleted) => {
+            shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            shared
+                .segments_compacted
+                .fetch_add(deleted, Ordering::Relaxed);
+        }
+        Err(err) => eprintln!(
+            "egraph-serve: checkpoint at version {version} failed \
+             (the seal itself is already durable): {err}"
+        ),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // GET /log/tail — replication: serving the segment stream
 // ---------------------------------------------------------------------------
@@ -1156,15 +1298,27 @@ fn handle_tail(shared: &Arc<Shared>, mut stream: TcpStream, query: Option<&str>)
             return;
         }
     };
-    let (num_nodes, directed, mut latest) = {
+    let (num_nodes, directed, mut latest, first_seq) = {
         let log = lock(log);
         let (num_nodes, directed) = log.init();
-        (num_nodes, directed, log.segments_sealed())
+        (num_nodes, directed, log.segments_sealed(), log.first_seq())
     };
     if from > latest {
         shared.bad_requests.fetch_add(1, Ordering::Relaxed);
         let message = format!("from={from} is beyond the log's {latest} sealed segments");
         let _ = http::write_response(&mut stream, 400, &http::error_body(&message));
+        return;
+    }
+    if from < first_seq {
+        // Compaction deleted the requested prefix. The covering state
+        // lives in a checkpoint now, so point the tailer there instead of
+        // streaming a hole.
+        shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let message = format!(
+            "from={from} was compacted away (the log now starts at segment {first_seq}); \
+             bootstrap from GET /checkpoint/latest and tail the suffix"
+        );
+        let _ = http::write_response(&mut stream, 410, &http::error_body(&message));
         return;
     }
     let init_frame = format!(
@@ -1211,6 +1365,54 @@ fn handle_tail(shared: &Arc<Shared>, mut stream: TcpStream, query: Option<&str>)
     }
 }
 
+/// `GET /checkpoint/latest`: serves the newest installed checkpoint file
+/// byte-for-byte (the full `EGCP` container, CRC included), so a
+/// bootstrapping follower verifies exactly what local recovery would.
+/// `404` when no checkpoint has been installed yet; only a durable leader
+/// has checkpoints to serve.
+fn handle_checkpoint_latest(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let Some(log) = shared.log.as_ref() else {
+        shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_response(
+            &mut stream,
+            403,
+            &http::error_body("this server has no durable log (and so no checkpoints)"),
+        );
+        return;
+    };
+    // Hold the log lock across list+read: a concurrent checkpoint's
+    // retention sweep also runs under it, so the file picked here cannot
+    // be deleted between the listing and the read.
+    let log = lock(log);
+    let newest = match egraph_log::list_checkpoints(log.dir()) {
+        Ok(seqs) => seqs.last().copied(),
+        Err(err) => {
+            let message = format!("could not list checkpoints: {err}");
+            let _ = http::write_response(&mut stream, 500, &http::error_body(&message));
+            return;
+        }
+    };
+    let Some(seq) = newest else {
+        shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_response(
+            &mut stream,
+            404,
+            &http::error_body("no checkpoint has been installed yet"),
+        );
+        return;
+    };
+    match std::fs::read(egraph_log::checkpoint_path(log.dir(), seq)) {
+        Ok(bytes) => {
+            drop(log); // a slow client must not pin the log
+            let _ = http::write_response_bytes(&mut stream, 200, &bytes);
+        }
+        Err(err) => {
+            let message = format!("could not read checkpoint {seq}: {err}");
+            let _ = http::write_response(&mut stream, 500, &http::error_body(&message));
+        }
+    }
+}
+
 /// Pushes one freshly sealed segment to every parked tailer (runs under
 /// `seal_lock`, right after the seal was published). Tailers whose sockets
 /// are gone are dropped; they reconnect from their own version.
@@ -1225,6 +1427,57 @@ fn push_segment_to_tailers(shared: &Arc<Shared>, sealed: &Sealed) {
 // ---------------------------------------------------------------------------
 // Follower: tailing a leader's segment stream
 // ---------------------------------------------------------------------------
+
+/// Rebuilds a [`LiveGraph`] from a fetched checkpoint payload: decodes the
+/// CSR parts, cross-checks the pinned version against the checkpoint's
+/// sequence number (a checkpoint named `last_seq` covers segments
+/// `0..=last_seq`, so it must pin version `last_seq + 1`), and adopts the
+/// version stamp so later tailed segments line up.
+fn live_from_checkpoint(last_seq: u64, payload: &[u8]) -> Result<LiveGraph, String> {
+    let (parts, version) = decode_checkpoint(payload).map_err(|err| err.to_string())?;
+    if version != last_seq + 1 {
+        return Err(format!(
+            "checkpoint {last_seq} pins version {version}, expected {}",
+            last_seq + 1
+        ));
+    }
+    let graph = CsrAdjacency::from_parts(parts)?;
+    Ok(LiveGraph::from_csr_at_version(graph, version))
+}
+
+/// Re-bootstraps a follower whose tail position the leader has compacted
+/// away: fetches the leader's newest checkpoint and adopts it when it is
+/// strictly ahead of the local graph. Returns `false` (the caller halts)
+/// when no usable checkpoint moves us forward — without forward progress
+/// this would spin against the same gap forever.
+fn try_rebootstrap(shared: &Arc<Shared>, ctl: &FollowerCtl) -> bool {
+    let client = Client::new(ctl.leader).with_timeout(shared.config.io_timeout);
+    let Ok(Some((last_seq, payload))) = client.fetch_checkpoint() else {
+        return false;
+    };
+    let Ok(live) = live_from_checkpoint(last_seq, &payload) else {
+        return false;
+    };
+    let version = live.version();
+    // Same ordering discipline as a tailed segment: the swap serializes
+    // against ingest/broadcast sections and subscription registration.
+    let _ordering = lock(&shared.seal_lock);
+    {
+        let mut current = write_live(shared);
+        if version <= current.version() {
+            return false;
+        }
+        // The fresh graph carries a fresh graph id, so every cached entry
+        // re-validates (and recomputes) rather than extending across the
+        // jump.
+        *current = live;
+    }
+    eprintln!(
+        "egraph-serve follower: tail position compacted on the leader; \
+         re-bootstrapped from its checkpoint at version {version}"
+    );
+    true
+}
 
 /// Applies one tailed segment to the follower's graph and re-broadcasts to
 /// its subscribers. Returns `Err` on corruption or a sequence gap — state
@@ -1283,6 +1536,18 @@ fn follower_tail_loop(shared: Arc<Shared>, first: Option<(TailInit, LogTail)>) {
                 let client = Client::new(ctl.leader).with_timeout(shared.config.io_timeout);
                 match client.tail_log(from) {
                     Ok(open) => open,
+                    Err(err) if err.to_string().contains("rejected with 410") => {
+                        // Our resume point was compacted on the leader; the
+                        // only way forward is its checkpoint.
+                        if try_rebootstrap(&shared, ctl) {
+                            continue;
+                        }
+                        eprintln!(
+                            "egraph-serve follower: replication halted: resume point \
+                             compacted on the leader and no usable checkpoint: {err}"
+                        );
+                        return;
+                    }
                     Err(_) => {
                         std::thread::sleep(shared.config.forward_backoff);
                         continue;
@@ -1309,8 +1574,14 @@ fn follower_tail_loop(shared: Arc<Shared>, first: Option<(TailInit, LogTail)>) {
         // reconnects from wherever we got to.
         while let Ok(Some(segment)) = tail.next_segment() {
             if let Err(message) = apply_tailed_segment(&shared, &segment) {
-                // Corrupt or out-of-order replication stream: refuse to
-                // keep serving a possibly-wrong graph.
+                // A sequence gap can be legitimate: the leader may have
+                // compacted past our resume point, and its checkpoint can
+                // legally jump the graph forward. Anything else — or a
+                // failed bootstrap — halts loudly rather than serving a
+                // possibly-wrong graph.
+                if try_rebootstrap(&shared, ctl) {
+                    break; // reconnect from the bootstrapped version
+                }
                 eprintln!("egraph-serve follower: replication halted: {message}");
                 return;
             }
@@ -1322,6 +1593,22 @@ fn follower_tail_loop(shared: Arc<Shared>, first: Option<(TailInit, LogTail)>) {
 // GET /stats
 // ---------------------------------------------------------------------------
 
+/// Disk gauges for `/stats` and [`Server::stats`]: bytes currently held by
+/// manifest + segment files, and by installed checkpoint files. `(0, 0)`
+/// on a server without a log.
+fn disk_bytes(shared: &Shared) -> (u64, u64) {
+    match shared.log.as_ref() {
+        Some(log) => {
+            let log = lock(log);
+            (
+                log.segments_bytes(),
+                egraph_log::checkpoints_bytes(log.dir()),
+            )
+        }
+        None => (0, 0),
+    }
+}
+
 fn stats_body(shared: &Arc<Shared>) -> String {
     let cache = shared.cache.stats();
     let (version, num_sealed, num_nodes) = {
@@ -1330,6 +1617,7 @@ fn stats_body(shared: &Arc<Shared>) -> String {
     };
     let subscribers = lock(&shared.subscribers).len();
     let labels = log_labels(shared);
+    let (segments_bytes, checkpoint_bytes) = disk_bytes(shared);
     format!(
         "{{\"cache\": {{\"hits\": {}, \"extensions\": {}, \"extended_shared\": {}, \
          \"redimensioned\": {}, \"stable_core_resettled\": {}, \"recomputes\": {}, \
@@ -1339,7 +1627,9 @@ fn stats_body(shared: &Arc<Shared>) -> String {
          \"subscriptions_opened\": {}, \"frames_pushed\": {}, \"requests_shed\": {}, \
          \"tail_read_errors\": {}, \"ingest_forwarded\": {}, \"forward_failures\": {}}}, \
          \"log\": {{\"segments_sealed\": {}, \"segments_replayed\": {}, \
-         \"follower_lag_seals\": {}}}, \
+         \"follower_lag_seals\": {}, \"segments_bytes\": {segments_bytes}, \
+         \"checkpoint_bytes\": {checkpoint_bytes}, \"segments_compacted\": {}, \
+         \"checkpoints_written\": {}, \"recovery_replayed_events\": {}}}, \
          \"graph\": {{\"version\": {version}, \"num_sealed\": {num_sealed}, \"num_nodes\": {num_nodes}}}}}",
         cache.hits,
         cache.extensions,
@@ -1363,6 +1653,9 @@ fn stats_body(shared: &Arc<Shared>) -> String {
         labels.segments_sealed,
         labels.segments_replayed,
         labels.follower_lag_seals,
+        shared.segments_compacted.load(Ordering::Relaxed),
+        shared.checkpoints_written.load(Ordering::Relaxed),
+        shared.recovery_replayed_events.load(Ordering::Relaxed),
     )
 }
 

@@ -20,12 +20,23 @@
 //! a crash loses them, which is exactly the contract — the seal is the
 //! acknowledgement boundary, and recovery restores the last sealed
 //! snapshot bit-for-bit.
+//!
+//! Checkpoints bound how much of that log recovery must replay:
+//! [`DurableGraph::write_checkpoint`] serializes the sealed CSR state and
+//! version (via `egraph-io`'s checkpoint codec) into an atomically
+//! installed `checkpoint-<seq>.bin`, after which covered segment files may
+//! be compacted away. [`DurableGraph::open`] restores from the newest
+//! valid checkpoint and replays only the segments sealed after it; any
+//! invalid checkpoint falls back to an older one, and ultimately to full
+//! replay — never silent corruption.
 
 use std::path::Path;
 
+use egraph_core::csr::CsrAdjacency;
 use egraph_core::error::GraphError;
 use egraph_core::ids::{NodeId, TimeIndex, Timestamp};
 use egraph_io::binary::LogRecord;
+use egraph_io::checkpoint::{decode_checkpoint, encode_checkpoint};
 use egraph_log::{EventLog, LogError, SealedSegment};
 
 use crate::event::EdgeEvent;
@@ -42,6 +53,11 @@ pub enum DurableError {
     /// count beyond this platform's address space). Never produced by
     /// logs this process wrote.
     Replay(String),
+    /// Checkpoint bookkeeping failed, or recovery found a compacted log
+    /// whose missing prefix no valid checkpoint covers — the one corruption
+    /// shape the fallback chain cannot repair, reported loudly instead of
+    /// rebuilding a silently shorter history.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for DurableError {
@@ -50,6 +66,7 @@ impl std::fmt::Display for DurableError {
             DurableError::Graph(err) => write!(f, "graph: {err}"),
             DurableError::Log(err) => write!(f, "log: {err}"),
             DurableError::Replay(detail) => write!(f, "replay: {detail}"),
+            DurableError::Checkpoint(detail) => write!(f, "checkpoint: {detail}"),
         }
     }
 }
@@ -59,7 +76,7 @@ impl std::error::Error for DurableError {
         match self {
             DurableError::Graph(err) => Some(err),
             DurableError::Log(err) => Some(err),
-            DurableError::Replay(_) => None,
+            DurableError::Replay(_) | DurableError::Checkpoint(_) => None,
         }
     }
 }
@@ -131,6 +148,18 @@ pub fn replay_segment(live: &mut LiveGraph, segment: &SealedSegment) -> Result<T
     Ok(live.seal_snapshot(segment.label)?)
 }
 
+/// What [`DurableGraph::write_checkpoint`] durably installed.
+#[derive(Clone, Debug)]
+pub struct CheckpointReceipt {
+    /// The checkpoint's sequence number: the last log segment it absorbs
+    /// (= the checkpointed version − 1).
+    pub last_seq: u64,
+    /// The installed checkpoint file's size in bytes.
+    pub bytes: u64,
+    /// How many covered segment files compaction deleted afterwards.
+    pub segments_compacted: u64,
+}
+
 /// What [`DurableGraph::seal_snapshot`] durably committed.
 #[derive(Clone, Debug)]
 pub struct SealReceipt {
@@ -140,6 +169,12 @@ pub struct SealReceipt {
     pub seq: u64,
     /// The segment's exact on-disk bytes (what replication ships).
     pub bytes: Vec<u8>,
+    /// The checkpoint this seal triggered under the configured policy, if
+    /// any. `None` when no checkpoint was due — or when one was due but
+    /// failed: a checkpoint is a recovery optimisation, not part of the
+    /// durability contract, so its failure never fails the already-fsynced
+    /// seal.
+    pub checkpoint: Option<CheckpointReceipt>,
 }
 
 /// What [`DurableGraph::open`] (and [`LiveGraph::recover`]) rebuilt.
@@ -147,9 +182,20 @@ pub struct SealReceipt {
 pub struct RecoveredGraph {
     /// The recovered graph, ready to keep appending.
     pub graph: DurableGraph,
-    /// How many sealed segments were replayed (= the restored
-    /// [`LiveGraph::version`]).
+    /// How many sealed segments were replayed from disk. Without a
+    /// checkpoint this equals the restored [`LiveGraph::version`]; with one
+    /// it counts only the suffix sealed after [`checkpoint_seq`].
+    ///
+    /// [`checkpoint_seq`]: RecoveredGraph::checkpoint_seq
     pub segments_replayed: u64,
+    /// How many events (edge inserts and grows) those segments replayed —
+    /// the bounded-replay metric: with checkpointing enabled this stays at
+    /// most the events of `checkpoint_every` seals, however long the total
+    /// history grows.
+    pub recovery_replayed_events: u64,
+    /// The checkpoint recovery restored state from (its `last_seq`), or
+    /// `None` for a full replay from segment 0.
+    pub checkpoint_seq: Option<u64>,
     /// Whether a torn final segment — the residue of a crash mid-seal —
     /// was found and truncated away.
     pub dropped_torn_tail: bool,
@@ -162,9 +208,22 @@ pub struct RecoveredGraph {
 pub struct DurableGraph {
     live: LiveGraph,
     log: EventLog,
+    /// Auto-checkpoint every this many seals (0 = never).
+    checkpoint_every: u64,
+    /// How many installed checkpoints to keep on disk (min 1).
+    checkpoint_retain: usize,
 }
 
 impl DurableGraph {
+    fn assemble(live: LiveGraph, log: EventLog) -> DurableGraph {
+        DurableGraph {
+            live,
+            log,
+            checkpoint_every: 0,
+            checkpoint_retain: 2,
+        }
+    }
+
     /// Creates a fresh durable graph: a new [`EventLog`] at `dir` plus an
     /// empty [`LiveGraph`] over `num_nodes` nodes.
     pub fn create(dir: impl AsRef<Path>, num_nodes: usize, directed: bool) -> Result<DurableGraph> {
@@ -174,14 +233,23 @@ impl DurableGraph {
         } else {
             LiveGraph::undirected(num_nodes)
         };
-        Ok(DurableGraph { live, log })
+        Ok(DurableGraph::assemble(live, log))
     }
 
-    /// Opens the log at `dir` and replays every sealed segment, rebuilding
-    /// the live graph exactly as it stood at its last acknowledged seal
-    /// (same CSR contents, same monotone version = seal count). A torn
-    /// final segment is truncated; corrupt history fails loudly.
+    /// Opens the log at `dir` and rebuilds the live graph exactly as it
+    /// stood at its last acknowledged seal (same CSR contents, same
+    /// monotone version = seal count).
+    ///
+    /// Recovery is checkpoint-first with bounded replay: the newest *valid*
+    /// checkpoint restores the sealed CSR state directly and only segments
+    /// sealed after it are replayed. A corrupt, torn or inconsistent
+    /// checkpoint falls back to the next older one, and ultimately to a
+    /// full replay from segment 0 — never silent corruption. A torn final
+    /// segment is truncated; corrupt segment history fails loudly, as does
+    /// a compacted log whose missing prefix no valid checkpoint covers
+    /// ([`DurableError::Checkpoint`]).
     pub fn open(dir: impl AsRef<Path>) -> Result<RecoveredGraph> {
+        let dir = dir.as_ref();
         let recovered = EventLog::open(dir)?;
         let (num_nodes, directed) = recovered.log.init();
         let num_nodes = usize::try_from(num_nodes).map_err(|_| {
@@ -189,20 +257,66 @@ impl DurableGraph {
                 "init num_nodes {num_nodes} exceeds this platform's usize"
             ))
         })?;
+
+        // Newest installed checkpoint first; every failure mode (unreadable
+        // file, bad CRC, version/name mismatch, shape mismatch with the
+        // manifest, columns failing CSR re-validation, suffix segments
+        // already compacted) falls back to the next older candidate.
+        let mut checkpoints = egraph_log::list_checkpoints(dir)?;
+        while let Some(last_seq) = checkpoints.pop() {
+            if recovered.first_seq > last_seq + 1 {
+                // Segments this checkpoint needs were compacted away — only
+                // a *newer* checkpoint (already tried) could cover them.
+                continue;
+            }
+            let Ok(live) = load_checkpoint(dir, last_seq, num_nodes, directed) else {
+                continue;
+            };
+            let mut live = live;
+            let mut segments_replayed = 0u64;
+            let mut recovery_replayed_events = 0u64;
+            for segment in &recovered.segments {
+                if segment.seq <= last_seq {
+                    continue;
+                }
+                recovery_replayed_events += segment.events.len() as u64;
+                replay_segment(&mut live, segment)?;
+                segments_replayed += 1;
+            }
+            return Ok(RecoveredGraph {
+                graph: DurableGraph::assemble(live, recovered.log),
+                segments_replayed,
+                recovery_replayed_events,
+                checkpoint_seq: Some(last_seq),
+                dropped_torn_tail: recovered.dropped_torn_tail,
+            });
+        }
+
+        // Full replay — only legal if the segment chain still starts at 0.
+        if recovered.first_seq > 0 {
+            return Err(DurableError::Checkpoint(format!(
+                "log at {} starts at segment {} and no valid checkpoint covers \
+                 segments 0..={}; refusing to rebuild a truncated history",
+                dir.display(),
+                recovered.first_seq,
+                recovered.first_seq - 1,
+            )));
+        }
         let mut live = if directed {
             LiveGraph::directed(num_nodes)
         } else {
             LiveGraph::undirected(num_nodes)
         };
+        let mut recovery_replayed_events = 0u64;
         for segment in &recovered.segments {
+            recovery_replayed_events += segment.events.len() as u64;
             replay_segment(&mut live, segment)?;
         }
         Ok(RecoveredGraph {
-            graph: DurableGraph {
-                live,
-                log: recovered.log,
-            },
+            graph: DurableGraph::assemble(live, recovered.log),
             segments_replayed: recovered.segments.len() as u64,
+            recovery_replayed_events,
+            checkpoint_seq: None,
             dropped_torn_tail: recovered.dropped_torn_tail,
         })
     }
@@ -221,6 +335,8 @@ impl DurableGraph {
             Ok(RecoveredGraph {
                 graph: Self::create(dir, num_nodes, directed)?,
                 segments_replayed: 0,
+                recovery_replayed_events: 0,
+                checkpoint_seq: None,
                 dropped_torn_tail: false,
             })
         }
@@ -261,6 +377,15 @@ impl DurableGraph {
     /// Durably seals the open snapshot: validates the label, fsyncs the
     /// segment to disk, *then* publishes it to searches. Once this
     /// returns, the snapshot survives any crash.
+    ///
+    /// When a checkpoint policy is set ([`set_checkpoint_policy`]) and the
+    /// new version is a multiple of `every`, the seal also writes a
+    /// checkpoint, prunes old ones and compacts covered segments. That
+    /// bookkeeping is best-effort: the seal is already durable, so a
+    /// checkpoint failure is reported as `checkpoint: None` on the receipt,
+    /// never as a seal error.
+    ///
+    /// [`set_checkpoint_policy`]: DurableGraph::set_checkpoint_policy
     pub fn seal_snapshot(&mut self, label: Timestamp) -> Result<SealReceipt> {
         if !self.live.can_seal(label) {
             return Err(DurableError::Graph(GraphError::UnsortedTimestamps {
@@ -276,21 +401,103 @@ impl DurableGraph {
             .live
             .seal_snapshot(label)
             .expect("can_seal validated the label; publish after fsync cannot fail");
+        let checkpoint = if self.checkpoint_every > 0
+            && self.live.version().is_multiple_of(self.checkpoint_every)
+        {
+            self.write_checkpoint().ok()
+        } else {
+            None
+        };
         Ok(SealReceipt {
             time,
             seq: sealed.seq,
             bytes: sealed.bytes,
+            checkpoint,
+        })
+    }
+
+    /// Sets the auto-checkpoint policy: every `every` seals (0 = never),
+    /// keeping the newest `retain` checkpoints on disk (clamped to at
+    /// least 1 so compaction can never orphan the log's missing prefix).
+    pub fn set_checkpoint_policy(&mut self, every: u64, retain: usize) {
+        self.checkpoint_every = every;
+        self.checkpoint_retain = retain.max(1);
+    }
+
+    /// Checkpoints the sealed state right now: serializes the CSR columns
+    /// and version, installs `checkpoint-<seq>.bin` atomically (temp →
+    /// fsync → rename → dir fsync), prunes checkpoints beyond the retain
+    /// count, then deletes the segment files the *oldest surviving*
+    /// checkpoint absorbs — deletion strictly after the covering
+    /// checkpoint's rename is durable.
+    ///
+    /// # Errors
+    /// [`DurableError::Checkpoint`] if nothing is sealed yet (version 0);
+    /// [`DurableError::Log`] for I/O failures at any step. A failure
+    /// leaves the log recoverable: segments are only deleted after their
+    /// covering checkpoint is installed.
+    pub fn write_checkpoint(&mut self) -> Result<CheckpointReceipt> {
+        let version = self.live.version();
+        if version == 0 {
+            return Err(DurableError::Checkpoint(
+                "version 0 has no sealed history to checkpoint".to_string(),
+            ));
+        }
+        let last_seq = version - 1;
+        let payload = encode_checkpoint(&self.live.graph().to_parts(), version);
+        let bytes = egraph_log::write_checkpoint(self.log.dir(), last_seq, &payload)?;
+        let retained = egraph_log::retain_checkpoints(self.log.dir(), self.checkpoint_retain)?;
+        let oldest = retained.first().copied().unwrap_or(last_seq);
+        let segments_compacted = self.log.compact_through(oldest)?;
+        Ok(CheckpointReceipt {
+            last_seq,
+            bytes,
+            segments_compacted,
         })
     }
 }
 
+/// Restores a [`LiveGraph`] from one installed checkpoint, or says why it
+/// cannot be trusted (the caller falls back to an older candidate).
+fn load_checkpoint(
+    dir: &Path,
+    last_seq: u64,
+    init_num_nodes: usize,
+    directed: bool,
+) -> std::result::Result<LiveGraph, String> {
+    let payload = egraph_log::read_checkpoint(dir, last_seq).map_err(|err| err.to_string())?;
+    let (parts, version) = decode_checkpoint(&payload).map_err(|err| err.to_string())?;
+    if version != last_seq + 1 {
+        return Err(format!(
+            "checkpoint {last_seq} stores version {version}, expected {}",
+            last_seq + 1
+        ));
+    }
+    if parts.directed != directed {
+        return Err(format!(
+            "checkpoint {last_seq} directedness {} contradicts the manifest",
+            parts.directed
+        ));
+    }
+    if parts.num_nodes < init_num_nodes {
+        return Err(format!(
+            "checkpoint {last_seq} has {} nodes, fewer than the manifest's {init_num_nodes}",
+            parts.num_nodes
+        ));
+    }
+    let csr = CsrAdjacency::from_parts(parts)?;
+    Ok(LiveGraph::from_csr_at_version(csr, version))
+}
+
 impl LiveGraph {
-    /// Recovers a live graph from the event log at `dir` — replays every
-    /// durably sealed segment in order, rebuilding the CSR serve graph,
-    /// the touched sets and the monotone version stamp exactly as they
-    /// stood at the last acknowledged seal. Convenience alias for
-    /// [`DurableGraph::open`]; the returned [`RecoveredGraph`] keeps the
-    /// log handle so ingest can continue where it left off.
+    /// Recovers a live graph from the event log at `dir`, rebuilding the
+    /// CSR serve graph, the touched sets and the monotone version stamp
+    /// exactly as they stood at the last acknowledged seal — from the
+    /// newest valid checkpoint plus the segment suffix sealed after it,
+    /// or by replaying every durably sealed segment in order when no
+    /// checkpoint exists. Convenience alias for [`DurableGraph::open`];
+    /// the returned [`RecoveredGraph`] keeps the log handle so ingest can
+    /// continue where it left off.
     pub fn recover(dir: impl AsRef<Path>) -> Result<RecoveredGraph> {
         DurableGraph::open(dir)
     }
@@ -417,6 +624,143 @@ mod tests {
         assert_eq!(durable.log().num_pending(), 0);
         let recovered = DurableGraph::open(dir.path()).unwrap();
         assert_eq!(recovered.graph.live().num_static_edges(), 1);
+    }
+
+    /// Seal `s`'s scripted event batch and label — the same deterministic
+    /// stream for a durable graph and its never-restarted twin.
+    fn scripted_batch(s: u64) -> (Vec<EdgeEvent>, Timestamp) {
+        let src = NodeId((s % 4) as u32);
+        let dst = NodeId(((s + 1) % 4) as u32);
+        let events = vec![
+            EdgeEvent::insert(src, dst),
+            EdgeEvent::insert_unique(dst, src),
+        ];
+        (events, 10 * (s as i64 + 1))
+    }
+
+    #[test]
+    fn checkpointed_recovery_replays_only_the_suffix() {
+        let dir = TempDir::new("ckpt-suffix");
+        let mut twin = LiveGraph::directed(4);
+        {
+            let mut durable = DurableGraph::create(dir.path(), 4, true).unwrap();
+            durable.set_checkpoint_policy(2, 1);
+            for s in 0..5 {
+                let (events, label) = scripted_batch(s);
+                for event in events {
+                    durable.apply(event).unwrap();
+                    twin.apply(event).unwrap();
+                }
+                let receipt = durable.seal_snapshot(label).unwrap();
+                twin.seal_snapshot(label).unwrap();
+                let checkpoint = receipt.checkpoint;
+                if (s + 1) % 2 == 0 {
+                    let checkpoint = checkpoint.expect("policy-due seal must checkpoint");
+                    assert_eq!(checkpoint.last_seq, s);
+                    assert_eq!(checkpoint.segments_compacted, 2);
+                } else {
+                    assert!(checkpoint.is_none());
+                }
+            }
+        }
+        let recovered = LiveGraph::recover(dir.path()).unwrap();
+        assert_eq!(recovered.checkpoint_seq, Some(3));
+        assert_eq!(recovered.segments_replayed, 1);
+        // Bounded replay: only seal 4's two events, not the whole history.
+        assert_eq!(recovered.recovery_replayed_events, 2);
+        let live = recovered.graph.live();
+        assert_eq!(live.version(), 5);
+        assert_eq!(live.graph().to_parts(), twin.graph().to_parts());
+        // Ingest continues after the compacted prefix without seq reuse.
+        let mut durable = recovered.graph;
+        durable.insert(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(durable.seal_snapshot(1000).unwrap().seq, 5);
+    }
+
+    #[test]
+    fn a_bad_checkpoint_falls_back_to_an_older_one_and_then_to_full_replay() {
+        let dir = TempDir::new("ckpt-fallback");
+        let mut parts_v2 = None;
+        {
+            let mut durable = DurableGraph::create(dir.path(), 4, true).unwrap();
+            for s in 0..3 {
+                let (events, label) = scripted_batch(s);
+                for event in events {
+                    durable.apply(event).unwrap();
+                }
+                durable.seal_snapshot(label).unwrap();
+                if s == 1 {
+                    parts_v2 = Some(durable.live().graph().to_parts());
+                }
+            }
+            // Install checkpoints by hand (no compaction) so every
+            // fallback tier stays reachable: a valid one at seq 1 and a
+            // newest one at seq 2 we then damage.
+            let v2 = encode_checkpoint(parts_v2.as_ref().unwrap(), 2);
+            egraph_log::write_checkpoint(dir.path(), 1, &v2).unwrap();
+            let v3 = encode_checkpoint(&durable.live().graph().to_parts(), 3);
+            egraph_log::write_checkpoint(dir.path(), 2, &v3).unwrap();
+        }
+        let newest = egraph_log::checkpoint_path(dir.path(), 2);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // breaks the payload CRC
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let recovered = LiveGraph::recover(dir.path()).unwrap();
+        assert_eq!(recovered.checkpoint_seq, Some(1));
+        assert_eq!(recovered.segments_replayed, 1);
+        assert_eq!(recovered.graph.live().version(), 3);
+        let full_state = recovered.graph.live().graph().to_parts();
+
+        // Damage the older one too (version/name mismatch this time):
+        // recovery degrades to a full replay of the intact segment chain.
+        let older = egraph_log::checkpoint_path(dir.path(), 1);
+        let wrong_version = encode_checkpoint(parts_v2.as_ref().unwrap(), 99);
+        std::fs::write(
+            &older,
+            egraph_log::encode_checkpoint_file(1, &wrong_version),
+        )
+        .unwrap();
+        let recovered = LiveGraph::recover(dir.path()).unwrap();
+        assert_eq!(recovered.checkpoint_seq, None);
+        assert_eq!(recovered.segments_replayed, 3);
+        assert_eq!(recovered.graph.live().version(), 3);
+        assert_eq!(recovered.graph.live().graph().to_parts(), full_state);
+    }
+
+    #[test]
+    fn a_compacted_log_without_a_valid_checkpoint_fails_loudly() {
+        let dir = TempDir::new("ckpt-orphan");
+        {
+            let mut durable = DurableGraph::create(dir.path(), 4, true).unwrap();
+            durable.set_checkpoint_policy(2, 1);
+            for s in 0..2 {
+                let (events, label) = scripted_batch(s);
+                for event in events {
+                    durable.apply(event).unwrap();
+                }
+                durable.seal_snapshot(label).unwrap();
+            }
+        }
+        // Segments 0..=1 are compacted; destroying the covering checkpoint
+        // leaves a history no fallback can honestly rebuild.
+        let path = egraph_log::checkpoint_path(dir.path(), 1);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = LiveGraph::recover(dir.path()).unwrap_err();
+        assert!(matches!(err, DurableError::Checkpoint(_)), "{err}");
+        assert!(err.to_string().contains("no valid checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn write_checkpoint_requires_a_sealed_history() {
+        let dir = TempDir::new("ckpt-v0");
+        let mut durable = DurableGraph::create(dir.path(), 2, true).unwrap();
+        assert!(matches!(
+            durable.write_checkpoint(),
+            Err(DurableError::Checkpoint(_))
+        ));
     }
 
     #[test]

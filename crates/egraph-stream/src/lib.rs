@@ -32,9 +32,10 @@
 //!   invalidation matrix in [`cache`].
 //! * [`durable`] — write-ahead logging over `egraph-log`:
 //!   [`DurableGraph`] fsyncs every sealed snapshot as one binary segment
-//!   before acknowledging it, and [`LiveGraph::recover`] replays the
-//!   segment chain after a crash or restart, rebuilding the CSR serve
-//!   graph and the monotone version stamp exactly.
+//!   before acknowledging it, and [`LiveGraph::recover`] rebuilds the CSR
+//!   serve graph and the monotone version stamp exactly after a crash or
+//!   restart — from the newest valid checkpoint plus a bounded segment
+//!   suffix when a checkpoint policy is set, or by full segment replay.
 //!
 //! ```
 //! use egraph_core::ids::{NodeId, TemporalNode};
@@ -78,8 +79,8 @@ pub mod live;
 
 pub use cache::{CacheOutcome, CacheStats, CachedSession, QueryCache};
 pub use durable::{
-    event_to_record, record_to_event, replay_segment, DurableError, DurableGraph, RecoveredGraph,
-    SealReceipt,
+    event_to_record, record_to_event, replay_segment, CheckpointReceipt, DurableError,
+    DurableGraph, RecoveredGraph, SealReceipt,
 };
 pub use event::EdgeEvent;
 pub use live::LiveGraph;
@@ -87,7 +88,9 @@ pub use live::LiveGraph;
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::cache::{CacheOutcome, CacheStats, CachedSession, QueryCache};
-    pub use crate::durable::{DurableError, DurableGraph, RecoveredGraph, SealReceipt};
+    pub use crate::durable::{
+        CheckpointReceipt, DurableError, DurableGraph, RecoveredGraph, SealReceipt,
+    };
     pub use crate::event::EdgeEvent;
     pub use crate::live::LiveGraph;
 }

@@ -116,6 +116,17 @@ impl LiveGraph {
         }
     }
 
+    /// Adopts a graph restored from a checkpoint: like
+    /// [`LiveGraph::from_csr`], but pins the version stamp the graph was
+    /// serialized at instead of 0, so cached descriptors keyed on the
+    /// monotone version re-validate exactly as they would have against the
+    /// original instance's history.
+    pub fn from_csr_at_version(graph: CsrAdjacency, version: u64) -> Self {
+        let mut live = Self::from_csr(graph);
+        live.version = version;
+        live
+    }
+
     /// A process-unique identity for this live graph *instance*. Two
     /// `LiveGraph`s never share an id — clones included, since a clone may
     /// diverge while keeping the same [`LiveGraph::version`]. The

@@ -21,7 +21,16 @@
 //!   retrying client lands its request once the storm passes;
 //! * a follower's write-forwarding survives a leader restart, an injected
 //!   forward failure is shed and recovered by the client's retry, and a
-//!   replication gap halts the follower loudly instead of skipping ahead.
+//!   replication gap halts the follower loudly instead of skipping ahead;
+//! * checkpoint lifecycle faults (`ckpt.write` / `ckpt.fsync` /
+//!   `ckpt.rename` / `ckpt.read` / `log.compact.delete`) never fail the
+//!   seal they ride on and never corrupt recovery — a torn or unreadable
+//!   newest checkpoint falls back to an older one, replay stays bounded
+//!   by the retained checkpoints, and the recovered graph equals the
+//!   never-faulted twin;
+//! * a follower whose tail position the leader compacted away
+//!   re-bootstraps from `GET /checkpoint/latest` and converges instead of
+//!   halting.
 //!
 //! Failpoints compile out of release builds ([`fault::is_active_build`]),
 //! so fault-dependent tests skip there — but the crash/restart,
@@ -636,6 +645,223 @@ fn chaos_differential_recovered_state_equals_a_never_faulted_twin() {
 }
 
 // ---------------------------------------------------------------------------
+// The checkpointed chaos differential: the checkpoint lifecycle itself
+// under faults — seals must survive them, recovery must stay bounded
+// ---------------------------------------------------------------------------
+
+/// One seeded run with the checkpoint policy on (every 2 seals, retain 2)
+/// and the checkpoint lifecycle under scripted faults: the temp write, its
+/// fsync, the rename, and the compaction delete at seal time; the
+/// checkpoint read at recovery time. The invariants this pins:
+///
+/// * a checkpoint fault never fails the seal it rides on — the segment is
+///   already fsynced when the hook runs, so the receipt merely reports no
+///   checkpoint and the next due seal retries;
+/// * recovery replays at most the suffix past the *oldest* retained
+///   checkpoint, even when the newest is unreadable (`ckpt.read` falls
+///   back) — replay is bounded, never a full-history rebuild;
+/// * whatever the interleaving, the recovered graph answers every matrix
+///   shape payload-identically to the never-faulted twin.
+///
+/// The wind-down corrupts the newest *installed* checkpoint on disk
+/// (truncation, not a failpoint — so it runs in release builds too) and
+/// proves the CRC frame rejects it and recovery lands on the older one.
+fn run_checkpoint_chaos_seed(seed: u64) {
+    const NUM_NODES: usize = 6;
+    const EVERY: u64 = 2;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dir = TempDir::new(&format!("ckpt-{seed:x}"));
+    let mut durable = DurableGraph::create(dir.path(), NUM_NODES, true).unwrap();
+    durable.set_checkpoint_policy(EVERY, 2);
+    let cache = QueryCache::new();
+    let mut history: Vec<(i64, Vec<EdgeEvent>)> = Vec::new();
+    let mut pending: Vec<EdgeEvent> = Vec::new();
+    let mut next_label: i64 = 0;
+
+    for step in 0..16u32 {
+        match rng.gen_range(0..8u32) {
+            // Ingest a burst of events, mirrored into the model.
+            0..=2 => {
+                for _ in 0..rng.gen_range(1..4u32) {
+                    let u = rng.gen_range(0..NUM_NODES as u32);
+                    let v = rng.gen_range(0..NUM_NODES as u32);
+                    if u == v {
+                        continue;
+                    }
+                    let event = EdgeEvent::insert(NodeId(u), NodeId(v));
+                    durable.apply(event).unwrap();
+                    pending.push(event);
+                }
+            }
+            // Seal — sometimes with one checkpoint-lifecycle site scripted
+            // to fail. The seal itself must succeed either way.
+            3..=5 => {
+                let label = next_label;
+                next_label += 1;
+                let scripted: Option<(&str, Rule)> = if !fault::is_active_build() {
+                    None // failpoints compile out: every checkpoint runs clean
+                } else {
+                    match rng.gen_range(0..8u32) {
+                        0 => Some(("ckpt.write", Rule::error().times(1))),
+                        1 => Some((
+                            "ckpt.write",
+                            Rule::partial(rng.gen_range(1..99u32) as u8).times(1),
+                        )),
+                        2 => Some(("ckpt.fsync", Rule::error().times(1))),
+                        3 => Some(("ckpt.rename", Rule::error().times(1))),
+                        4 => Some(("log.compact.delete", Rule::error().times(1))),
+                        _ => None,
+                    }
+                };
+                if let Some((site, rule)) = &scripted {
+                    fault::configure(site, rule.clone());
+                }
+                let receipt = durable.seal_snapshot(label).unwrap_or_else(|err| {
+                    panic!(
+                        "seed {seed:#x} step {step}: a checkpoint fault must never fail \
+                         the seal it rides on: {err}"
+                    )
+                });
+                if let Some((site, _)) = &scripted {
+                    fault::clear(site);
+                }
+                assert_eq!(receipt.seq, history.len() as u64);
+                let due = (history.len() as u64 + 1).is_multiple_of(EVERY);
+                match (due, &scripted) {
+                    // A scripted `log.compact.delete` only fires when the
+                    // covered range still holds segment files; when an
+                    // earlier checkpoint already compacted it, the loop is
+                    // empty and the checkpoint legitimately installs.
+                    (true, Some(("log.compact.delete", _))) => {
+                        if let Some(checkpoint) = &receipt.checkpoint {
+                            assert_eq!(
+                                checkpoint.segments_compacted, 0,
+                                "seed {seed:#x} step {step}: a checkpoint that survived a \
+                                 scripted compaction fault cannot have deleted anything"
+                            );
+                        }
+                    }
+                    (true, Some((site, _))) => assert!(
+                        receipt.checkpoint.is_none(),
+                        "seed {seed:#x} step {step}: a checkpoint faulted at {site} must \
+                         not be reported installed"
+                    ),
+                    (true, None) => assert!(
+                        receipt.checkpoint.is_some(),
+                        "seed {seed:#x} step {step}: a clean due checkpoint must install"
+                    ),
+                    (false, _) => assert!(
+                        receipt.checkpoint.is_none(),
+                        "seed {seed:#x} step {step}: no checkpoint was due"
+                    ),
+                }
+                history.push((label, std::mem::take(&mut pending)));
+            }
+            // Query differential against the never-faulted twin.
+            6 => assert_matches_twin(
+                seed,
+                &format!("ckpt step {step}"),
+                &cache,
+                &durable,
+                &history,
+                pending.len(),
+                NUM_NODES,
+            ),
+            // Kill and restart. When at least two checkpoints are retained,
+            // half the kills also make the newest unreadable (`ckpt.read`):
+            // recovery must fall back to the older one, and in every case
+            // replay is bounded by the oldest retained checkpoint's suffix.
+            7 => {
+                drop(durable);
+                pending.clear();
+                let checkpoints = egraph_log::list_checkpoints(dir.path()).unwrap();
+                if fault::is_active_build() && checkpoints.len() >= 2 && rng.gen_bool(0.5) {
+                    fault::configure("ckpt.read", Rule::error().times(1));
+                }
+                let recovered = DurableGraph::open(dir.path()).unwrap();
+                fault::clear("ckpt.read");
+                if let Some(&oldest) = checkpoints.first() {
+                    assert!(
+                        recovered.checkpoint_seq.is_some(),
+                        "seed {seed:#x} step {step}: with a checkpoint on disk, recovery \
+                         must start from one"
+                    );
+                    let bound = history.len() as u64 - (oldest + 1);
+                    assert!(
+                        recovered.segments_replayed <= bound,
+                        "seed {seed:#x} step {step}: replay must be bounded by the oldest \
+                         retained checkpoint's suffix ({} > {bound})",
+                        recovered.segments_replayed
+                    );
+                }
+                durable = recovered.graph;
+                durable.set_checkpoint_policy(EVERY, 2);
+                assert_matches_twin(
+                    seed,
+                    &format!("ckpt step {step} post-crash"),
+                    &cache,
+                    &durable,
+                    &history,
+                    0,
+                    NUM_NODES,
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // Wind down: one clean seal, then a final restart with the newest
+    // installed checkpoint torn in half on disk.
+    durable.insert(NodeId(0), NodeId(1)).unwrap();
+    pending.push(EdgeEvent::insert(NodeId(0), NodeId(1)));
+    durable.seal_snapshot(next_label).unwrap();
+    history.push((next_label, std::mem::take(&mut pending)));
+    drop(durable);
+    let checkpoints = egraph_log::list_checkpoints(dir.path()).unwrap();
+    if checkpoints.len() >= 2 {
+        let newest = checkpoints[checkpoints.len() - 1];
+        let fallback = checkpoints[checkpoints.len() - 2];
+        let path = egraph_log::checkpoint_path(dir.path(), newest);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let recovered = DurableGraph::open(dir.path()).unwrap();
+        assert_eq!(
+            recovered.checkpoint_seq,
+            Some(fallback),
+            "seed {seed:#x}: a torn newest checkpoint must fall back to the older one"
+        );
+        assert_matches_twin(
+            seed,
+            "ckpt final torn-newest",
+            &cache,
+            &recovered.graph,
+            &history,
+            0,
+            NUM_NODES,
+        );
+    } else {
+        let recovered = DurableGraph::open(dir.path()).unwrap();
+        assert_matches_twin(
+            seed,
+            "ckpt final",
+            &cache,
+            &recovered.graph,
+            &history,
+            0,
+            NUM_NODES,
+        );
+    }
+}
+
+#[test]
+fn checkpoint_chaos_recovery_equals_a_never_faulted_twin() {
+    let _gate = gate();
+    for seed in chaos_seeds() {
+        run_checkpoint_chaos_seed(seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Overload: bounded admission sheds, in-flight completes, retry recovers
 // ---------------------------------------------------------------------------
 
@@ -931,6 +1157,21 @@ fn a_follower_halts_loudly_on_a_replication_gap() {
     let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
     let addr = listener.local_addr().unwrap();
     let fake_leader = std::thread::spawn(move || {
+        // The follower probes `/checkpoint/latest` before tailing, and once
+        // more when it hits the gap (a checkpoint could legally bridge it).
+        // Answer 404 both times: with no checkpoint on offer, the gap has
+        // no legitimate explanation and must halt.
+        let refuse_checkpoint = |listener: &TcpListener| {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut scratch = [0u8; 1024];
+            let _ = std::io::Read::read(&mut stream, &mut scratch);
+            let _ = http::write_response(
+                &mut stream,
+                404,
+                &http::error_body("no checkpoint has been installed yet"),
+            );
+        };
+        refuse_checkpoint(&listener);
         let (mut stream, _) = listener.accept().unwrap();
         let mut scratch = [0u8; 1024];
         let _ = std::io::Read::read(&mut stream, &mut scratch); // the GET head
@@ -953,6 +1194,7 @@ fn a_follower_halts_loudly_on_a_replication_gap() {
             .unwrap();
             http::write_chunk_bytes(&mut stream, &bytes).unwrap();
         }
+        refuse_checkpoint(&listener); // the gap-time probe
         stream // held open: EOF must not be mistaken for the halt
     });
 
@@ -977,4 +1219,142 @@ fn a_follower_halts_loudly_on_a_replication_gap() {
     let stream = fake_leader.join().unwrap();
     drop(stream);
     follower.shutdown();
+}
+
+#[test]
+fn a_follower_rebootstraps_from_a_checkpoint_after_compaction() {
+    let _gate = gate(); // serializes against armed failpoints elsewhere
+    let dir = TempDir::new("rebootstrap");
+
+    // Reserve a concrete port so the restarted leader comes back at the
+    // address the follower keeps tailing.
+    let addr = TcpListener::bind(("127.0.0.1", 0))
+        .unwrap()
+        .local_addr()
+        .unwrap();
+    let leader_config = ServerConfig {
+        bind: Some(addr),
+        checkpoint_every: 2,
+        retain_checkpoints: 1,
+        ..ServerConfig::default()
+    };
+    let start_leader = |dir: PathBuf, config: ServerConfig| -> Server {
+        // The old listener may linger briefly; retry the bind.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let recovered = DurableGraph::open_or_create(&dir, 6, true).unwrap();
+            match Server::start_durable(recovered, config.clone()) {
+                Ok(server) => return server,
+                Err(err) => {
+                    assert!(Instant::now() < deadline, "leader could not rebind: {err}");
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    };
+
+    // Two seals: version 2, so the checkpoint at segment 1 is installed
+    // and segments 0..=1 are already compacted away.
+    let mut leader = start_leader(dir.path().to_path_buf(), leader_config.clone());
+    let leader_client = Client::new(addr);
+    let mut history: Vec<(i64, Vec<EdgeEvent>)> = Vec::new();
+    for (body, label, events) in [
+        (
+            r#"{"events": [[0, 1], [1, 2]], "seal": 0}"#,
+            0i64,
+            vec![(0u32, 1u32), (1, 2)],
+        ),
+        (
+            r#"{"events": [[2, 3], [0, 4]], "seal": 1}"#,
+            1,
+            vec![(2, 3), (0, 4)],
+        ),
+    ] {
+        assert_eq!(leader_client.post("/ingest", body).unwrap().status, 200);
+        let events = events
+            .into_iter()
+            .map(|(u, v)| EdgeEvent::insert(NodeId(u), NodeId(v)))
+            .collect();
+        history.push((label, events));
+    }
+
+    // A fresh follower bootstraps from the checkpoint: nothing is tailed
+    // (the covered segments no longer exist to replay).
+    let follower_config = ServerConfig {
+        forward_backoff: Duration::from_millis(25), // fast tail reconnect
+        ..ServerConfig::default()
+    };
+    let mut follower = Server::start_follower(addr, follower_config).unwrap();
+    let follower_client = Client::new(follower.addr());
+    wait_until("the follower to bootstrap from the checkpoint", || {
+        let health = follower_client.get("/health").unwrap();
+        health.body.contains("\"version\": 2") && follower.stats().follower_lag_seals == 0
+    });
+    assert_eq!(
+        follower.stats().segments_replayed,
+        0,
+        "the bootstrap must come from the checkpoint, not a segment replay"
+    );
+
+    // Kill the leader; while it is down, advance and compact the log past
+    // the follower's resume point (version 2): four more seals install
+    // checkpoints at segments 3 and 5, and retain-1 compaction leaves the
+    // log starting at segment 6.
+    leader.shutdown();
+    drop(leader);
+    {
+        let recovered = DurableGraph::open(dir.path()).unwrap();
+        let mut durable = recovered.graph;
+        durable.set_checkpoint_policy(2, 1);
+        for (label, (u, v)) in [(2i64, (3u32, 5u32)), (3, (4, 5)), (4, (5, 0)), (5, (0, 2))] {
+            durable.insert(NodeId(u), NodeId(v)).unwrap();
+            durable.seal_snapshot(label).unwrap();
+            history.push((label, vec![EdgeEvent::insert(NodeId(u), NodeId(v))]));
+        }
+    }
+
+    // The restarted leader answers the follower's resume with 410 Gone;
+    // the follower must fetch the checkpoint and re-bootstrap instead of
+    // halting.
+    let mut leader = start_leader(dir.path().to_path_buf(), leader_config.clone());
+    wait_until("the follower to re-bootstrap past the compaction", || {
+        let health = follower_client.get("/health").unwrap();
+        health.body.contains("\"version\": 6") && follower.stats().follower_lag_seals == 0
+    });
+
+    // Replication is live again: a new seal flows through the re-opened
+    // tail.
+    let response = leader_client
+        .post("/ingest", r#"{"events": [[1, 3]], "seal": 6}"#)
+        .unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    history.push((6, vec![EdgeEvent::insert(NodeId(1), NodeId(3))]));
+    wait_until("the post-re-bootstrap seal to replicate", || {
+        follower.stats().segments_replayed == 1 && follower.stats().follower_lag_seals == 0
+    });
+
+    // The follower serves the leader's exact bytes, and both match the
+    // never-restarted twin of the full history.
+    let twin = twin_of(&history, 6);
+    for search in chaos_searches() {
+        let from_leader = leader_client.query(&search.descriptor()).unwrap();
+        let from_follower = follower_client.query(&search.descriptor()).unwrap();
+        assert_eq!(from_follower.status, from_leader.status);
+        assert_eq!(
+            from_follower.body,
+            from_leader.body,
+            "the re-bootstrapped follower must serve the leader's bytes for {:?}",
+            search.descriptor()
+        );
+        if let Ok(result) = search.run(twin.graph()) {
+            assert_eq!(
+                from_follower.body,
+                search_result_to_json(&result),
+                "the re-bootstrapped follower must match the twin for {:?}",
+                search.descriptor()
+            );
+        }
+    }
+    follower.shutdown();
+    leader.shutdown();
 }

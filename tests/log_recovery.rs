@@ -18,7 +18,15 @@
 //!   truncated at *every* byte offset; recovery restores exactly the last
 //!   fully-sealed snapshot every time;
 //! * **corruption**: a flipped byte mid-history or a truncated non-final
-//!   segment fails recovery outright.
+//!   segment fails recovery outright;
+//! * **checkpoints**: with a checkpoint policy set, recovery restores the
+//!   newest valid checkpoint and replays only the bounded segment suffix
+//!   sealed after it (`recovery_replayed_events` is the proof); a
+//!   checkpoint truncated at *every* byte offset falls back to an older
+//!   checkpoint (and ultimately to a loud error once compaction has made
+//!   full replay impossible) without ever serving a wrong graph, staging
+//!   `.tmp` residue is ignored, and a compaction crash mid-delete leaves a
+//!   log that still recovers.
 
 mod common;
 
@@ -317,6 +325,197 @@ fn truncation_at_every_byte_offset_restores_the_last_sealed_snapshot() {
     let receipt = durable.seal_snapshot(30).unwrap();
     assert_eq!(receipt.seq, 2, "the torn sequence number is reused");
     assert_same_graph("re-sealed", durable.live(), &twin_full);
+}
+
+/// Builds a checkpointed fixture: `seals` randomized batches under policy
+/// (`every`, `retain`), mirrored into a never-persisted twin. Returns the
+/// twin.
+fn write_checkpointed_fixture(
+    dir: &Path,
+    seed: u64,
+    seals: i64,
+    every: u64,
+    retain: usize,
+) -> LiveGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut twin = LiveGraph::directed(8);
+    let mut durable = DurableGraph::create(dir, 8, true).unwrap();
+    durable.set_checkpoint_policy(every, retain);
+    for label in 0..seals {
+        seal_both(&mut rng, &mut durable, &mut twin, label);
+    }
+    twin
+}
+
+#[test]
+fn checkpointed_recovery_is_equivalent_and_replays_only_the_suffix() {
+    // Policy (3, 2) over 8 seals: checkpoints install at versions 3 and 6
+    // (covering segments ..=2 and ..=5), and the first one's compaction
+    // deletes segments 0..=2. Recovery must restore from checkpoint 5 and
+    // replay exactly segments 6 and 7.
+    let dir = TempDir::new("ckpt-differential");
+    let mut twin = write_checkpointed_fixture(dir.path(), 0xC4EC4, 8, 3, 2);
+
+    let recovered = LiveGraph::recover(dir.path()).unwrap();
+    assert_eq!(recovered.checkpoint_seq, Some(5));
+    assert_eq!(recovered.segments_replayed, 2);
+    assert!(recovered.recovery_replayed_events > 0);
+    let mut durable = recovered.graph;
+    assert_same_graph("checkpointed recovery", durable.live(), &twin);
+
+    // The recovered graph answers every matrix cell payload-identically to
+    // the twin, and keeps sealing from the restored sequence number.
+    let root = durable
+        .live()
+        .graph()
+        .active_nodes()
+        .first()
+        .copied()
+        .unwrap();
+    let partner = durable
+        .live()
+        .graph()
+        .active_nodes()
+        .last()
+        .copied()
+        .unwrap();
+    let cache = QueryCache::new();
+    for (i, cell) in matrix_cells(root, partner).iter().enumerate() {
+        let label = format!("ckpt cell {i}");
+        let traced = cache.execute_traced(durable.live(), cell);
+        let scratch = cell.run(twin.graph());
+        assert_equivalent(
+            &label,
+            durable.live().graph(),
+            cell,
+            traced.map(|(r, _)| r),
+            scratch,
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(0xAF7E2);
+    seal_both(&mut rng, &mut durable, &mut twin, 8);
+    durable.insert(NodeId(0), NodeId(2)).unwrap();
+    twin.insert(NodeId(0), NodeId(2)).unwrap();
+    let receipt = durable.seal_snapshot(9).unwrap();
+    twin.seal_snapshot(9).unwrap();
+    assert_eq!(receipt.seq, 9, "sealing resumes at the restored sequence");
+    assert_same_graph("post-recovery seal", durable.live(), &twin);
+}
+
+#[test]
+fn checkpoints_bound_recovery_replay_to_the_suffix_events() {
+    // Deterministic event counts: every seal applies exactly 3 inserts, so
+    // the bounded-replay metric is exact. Policy (2, 1) over 11 seals:
+    // the last checkpoint lands at version 10 (covering segments ..=9) and
+    // compacts everything it covers, leaving segment 10 — recovery replays
+    // exactly one segment's 3 events out of the 33-event history.
+    let dir = TempDir::new("ckpt-bounded");
+    {
+        let mut durable = DurableGraph::create(dir.path(), 8, true).unwrap();
+        durable.set_checkpoint_policy(2, 1);
+        for s in 0..11i64 {
+            let base = (s as u32) % 6;
+            for (u, v) in [(base, base + 1), (base + 1, base + 2), (base, base + 2)] {
+                durable.insert(NodeId(u), NodeId(v)).unwrap();
+            }
+            durable.seal_snapshot(s).unwrap();
+        }
+    }
+    let recovered = LiveGraph::recover(dir.path()).unwrap();
+    assert_eq!(recovered.checkpoint_seq, Some(9));
+    assert_eq!(recovered.segments_replayed, 1);
+    assert_eq!(recovered.recovery_replayed_events, 3);
+    assert!(
+        recovered.recovery_replayed_events <= 2 * 3,
+        "replay must stay within checkpoint_every seals' worth of events"
+    );
+    assert_eq!(recovered.graph.live().version(), 11);
+    assert_eq!(recovered.graph.live().num_static_edges(), 33);
+}
+
+#[test]
+fn checkpoint_damage_at_every_byte_falls_back_and_never_corrupts() {
+    // Policy (2, 2) over 6 seals: checkpoints survive at 3 and 5, segments
+    // at 4 and 5 (the first checkpoint's compaction removed 0..=1, the
+    // third's removed 2..=3 and pruned checkpoint 1).
+    let dir = TempDir::new("ckpt-torn");
+    let twin = write_checkpointed_fixture(dir.path(), 0xD00D5, 6, 2, 2);
+    let newest = egraph_log::checkpoint_path(dir.path(), 5);
+    let older = egraph_log::checkpoint_path(dir.path(), 3);
+    let pristine = std::fs::read(&newest).unwrap();
+    assert!(
+        std::fs::read(&older).is_ok(),
+        "fixture must retain two checkpoints"
+    );
+
+    for cut in 0..=pristine.len() {
+        // (a) The newest checkpoint torn at this byte: recovery falls back
+        // to checkpoint 3 and replays segments 4..=5 — payload-identical
+        // either way.
+        std::fs::write(&newest, &pristine[..cut]).unwrap();
+        let label = format!("cut {cut}/{}", pristine.len());
+        let recovered = LiveGraph::recover(dir.path())
+            .unwrap_or_else(|e| panic!("{label}: must fall back, got {e}"));
+        if cut == pristine.len() {
+            assert_eq!(recovered.checkpoint_seq, Some(5), "{label}");
+            assert_eq!(recovered.segments_replayed, 0, "{label}");
+        } else {
+            assert_eq!(recovered.checkpoint_seq, Some(3), "{label}");
+            assert_eq!(recovered.segments_replayed, 2, "{label}");
+        }
+        assert_same_graph(&label, recovered.graph.live(), &twin);
+
+        // (b) The same bytes as crash residue in the staging window (the
+        // `.tmp` a kill between write and rename leaves): invisible to
+        // recovery, which serves the intact installed checkpoint.
+        std::fs::write(&newest, &pristine).unwrap();
+        let tmp = dir.path().join("checkpoint-0000000007.tmp");
+        std::fs::write(&tmp, &pristine[..cut]).unwrap();
+        let recovered = LiveGraph::recover(dir.path())
+            .unwrap_or_else(|e| panic!("{label}: tmp residue must be ignored, got {e}"));
+        assert_eq!(recovered.checkpoint_seq, Some(5), "{label} (tmp residue)");
+        assert_same_graph(&format!("{label} (tmp)"), recovered.graph.live(), &twin);
+        std::fs::remove_file(&tmp).unwrap();
+    }
+
+    // Both checkpoints damaged: compaction already deleted segments 0..=3,
+    // so full replay is impossible — recovery must refuse loudly instead
+    // of rebuilding a truncated history.
+    let older_pristine = std::fs::read(&older).unwrap();
+    std::fs::write(&newest, &pristine[..pristine.len() / 2]).unwrap();
+    std::fs::write(&older, &older_pristine[..older_pristine.len() / 2]).unwrap();
+    let err = LiveGraph::recover(dir.path())
+        .expect_err("a compacted log without a valid checkpoint must fail");
+    assert!(
+        err.to_string().contains("no valid checkpoint"),
+        "the error must say why recovery is impossible, got: {err}"
+    );
+}
+
+#[test]
+fn a_compaction_crash_mid_delete_still_recovers() {
+    // Same fixture as above: checkpoints 3 and 5, segments 4 and 5. A
+    // compaction covering through segment 5 that crashes after deleting
+    // segment 4 leaves {seg 5} — checkpoint 5 still covers the hole, and
+    // checkpoint 3 (now unusable: the log starts past its suffix) must be
+    // skipped, not trusted.
+    let dir = TempDir::new("ckpt-middelete");
+    let twin = write_checkpointed_fixture(dir.path(), 0x5EA15, 6, 2, 2);
+    std::fs::remove_file(egraph_log::log::segment_path(dir.path(), 4)).unwrap();
+
+    let recovered = LiveGraph::recover(dir.path()).unwrap();
+    assert_eq!(recovered.checkpoint_seq, Some(5));
+    assert_eq!(recovered.segments_replayed, 0);
+    assert_eq!(recovered.recovery_replayed_events, 0);
+    assert_same_graph("mid-delete", recovered.graph.live(), &twin);
+
+    // With the newest checkpoint *also* gone the older one must not paper
+    // over the hole (segment 4 is missing from its suffix): loud failure.
+    std::fs::remove_file(egraph_log::checkpoint_path(dir.path(), 5)).unwrap();
+    assert!(
+        LiveGraph::recover(dir.path()).is_err(),
+        "an older checkpoint must not bridge a compaction hole"
+    );
 }
 
 #[test]

@@ -15,7 +15,13 @@
 //!   from its own cache, keeps pace as the leader seals more snapshots,
 //!   pushes frames to its own subscribers, and refuses writes;
 //! * **guards**: `/log/tail` on a log-less server is 403, malformed or
-//!   out-of-range `from` is 400.
+//!   out-of-range `from` is 400;
+//! * **checkpoints**: a leader under a checkpoint policy installs
+//!   checkpoints and compacts covered segments (visible in `/stats` disk
+//!   accounting), a fresh follower bootstraps from `GET /checkpoint/latest`
+//!   and tails only the segment suffix, tailing the compacted prefix is
+//!   410, and a leader restart replays only the bounded suffix
+//!   (`recovery_replayed_events`).
 
 use std::time::{Duration, Instant};
 
@@ -302,12 +308,101 @@ fn follower_converges_and_serves_byte_identical_reads() {
 }
 
 #[test]
+fn fresh_follower_bootstraps_from_a_checkpoint_and_tails_only_the_suffix() {
+    let dir = TempDir::new("ckpt-bootstrap");
+    let config = ServerConfig {
+        checkpoint_every: 2,
+        retain_checkpoints: 1,
+        ..ServerConfig::default()
+    };
+    let recovered = DurableGraph::open_or_create(dir.path(), 6, true).unwrap();
+    let mut leader = Server::start_durable(recovered, config.clone()).unwrap();
+    let leader_client = Client::new(leader.addr());
+    ingest_fixture(&leader_client);
+
+    // Policy (2, 1) over the three fixture seals: the second seal installed
+    // checkpoint 1 and its compaction deleted segments 0..=1. The `/stats`
+    // disk accounting sees all of it.
+    assert_eq!(log_stat(&leader_client, "checkpoints_written"), 1);
+    assert_eq!(log_stat(&leader_client, "segments_compacted"), 2);
+    assert!(log_stat(&leader_client, "checkpoint_bytes") > 0);
+    assert!(log_stat(&leader_client, "segments_bytes") > 0);
+    let (last_seq, _payload) = leader_client.fetch_checkpoint().unwrap().unwrap();
+    assert_eq!(last_seq, 1, "the newest checkpoint covers segments 0..=1");
+
+    // The compacted prefix is gone for good: tailing it is 410 with a
+    // pointer at the checkpoint endpoint, not a silent hole.
+    let response = leader_client.get("/log/tail?from=0").unwrap();
+    assert_eq!(response.status, 410, "{}", response.body);
+    assert!(
+        response.body.contains("/checkpoint/latest"),
+        "{}",
+        response.body
+    );
+
+    // A fresh follower restores the checkpoint and tails only segment 2.
+    let mut follower = Server::start_follower(leader.addr(), ServerConfig::default()).unwrap();
+    let follower_client = Client::new(follower.addr());
+    wait_until("follower to bootstrap from the checkpoint", || {
+        log_stat(&follower_client, "follower_lag_seals") == 0
+    });
+    assert_eq!(
+        log_stat(&follower_client, "segments_replayed"),
+        1,
+        "bootstrap must restore the checkpoint and replay only the suffix"
+    );
+    let twin = fixture_live();
+    for search in searches() {
+        let from_leader = leader_client.query(&search.descriptor()).unwrap();
+        let from_follower = follower_client.query(&search.descriptor()).unwrap();
+        assert_eq!(from_follower.status, 200, "{}", from_follower.body);
+        assert_eq!(
+            from_follower.body,
+            from_leader.body,
+            "checkpoint-bootstrapped follower must serve the leader's bytes for {:?}",
+            search.descriptor()
+        );
+        assert_eq!(
+            from_follower.body,
+            search_result_to_json(&search.run(twin.graph()).unwrap())
+        );
+    }
+    follower.shutdown();
+
+    // Kill + restart the leader: recovery is checkpoint + bounded suffix —
+    // segment 2 holds exactly one event, and that is all that replays.
+    leader.shutdown();
+    let recovered = DurableGraph::open_or_create(dir.path(), 6, true).unwrap();
+    assert_eq!(recovered.checkpoint_seq, Some(1));
+    let mut leader = Server::start_durable(recovered, config).unwrap();
+    let leader_client = Client::new(leader.addr());
+    assert_eq!(log_stat(&leader_client, "segments_replayed"), 1);
+    assert_eq!(log_stat(&leader_client, "recovery_replayed_events"), 1);
+    for search in searches() {
+        let response = leader_client.query(&search.descriptor()).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(
+            response.body,
+            search_result_to_json(&search.run(twin.graph()).unwrap()),
+            "restart must not change the answer to {:?}",
+            search.descriptor()
+        );
+    }
+    leader.shutdown();
+}
+
+#[test]
 fn tail_endpoint_guards_reject_bad_requests() {
     // No log, nothing to tail.
     let mut plain = Server::start(fixture_live(), ServerConfig::default()).unwrap();
     let client = Client::new(plain.addr());
     let response = client.get("/log/tail?from=0").unwrap();
     assert_eq!(response.status, 403, "{}", response.body);
+    assert_eq!(
+        client.get("/checkpoint/latest").unwrap().status,
+        403,
+        "no log means no checkpoints either"
+    );
     plain.shutdown();
 
     let dir = TempDir::new("guards");
@@ -315,6 +410,10 @@ fn tail_endpoint_guards_reject_bad_requests() {
     ingest_fixture(&client);
     assert_eq!(client.get("/log/tail?from=abc").unwrap().status, 400);
     assert_eq!(client.get("/log/tail?from=99").unwrap().status, 400);
+    // Durable but checkpointing disabled: the endpoint exists, has nothing
+    // to serve, and the client maps the 404 to `None`.
+    assert_eq!(client.get("/checkpoint/latest").unwrap().status, 404);
+    assert!(client.fetch_checkpoint().unwrap().is_none());
 
     // The raw wire: tailing from 1 ships segments 1 and 2, bytes equal to
     // the leader's own disk, then stays open for live seals.
